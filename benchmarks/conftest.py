@@ -1,0 +1,39 @@
+"""Benchmark configuration.
+
+Every benchmark prints the paper-vs-measured comparison it regenerates.
+Defaults are sized to keep the whole suite minutes-scale on a laptop;
+set ``REPRO_FULL=1`` to run the paper's exact configuration (the 14-input
+Generalized Toffoli fidelity experiment — expect hours, the paper burned
+20,000 CPU-hours on 100+ cloud nodes for its version).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    """True when the paper's full experiment sizes were requested."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def fig11_width() -> int:
+    """Controls for the Figure 11 circuit: 13 in the paper, 8 by default."""
+    return 13 if full_scale() else 8
+
+
+@pytest.fixture(scope="session")
+def fig11_trials() -> int:
+    """Trajectories per bar: 1000+ in the paper, 40 by default."""
+    return 1000 if full_scale() else 40
+
+
+@pytest.fixture(scope="session")
+def sweep_ns() -> list[int]:
+    """Control counts for the Figure 9/10 sweeps (paper: up to 200)."""
+    if full_scale():
+        return [10, 25, 50, 75, 100, 125, 150, 175, 200]
+    return [8, 16, 32, 64, 128, 200]

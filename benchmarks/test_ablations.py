@@ -1,0 +1,98 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Error-source attribution (Sec. 9's discussion): rerun the Figure 11
+   point with gate errors only and with idle errors only.  On
+   superconducting models the paper attributes the qutrit circuit's edge
+   largely to *idle* error reduction (shallower circuits idle less);
+   the ablation makes that split measurable.
+2. Decomposition granularity: the three-qutrit tree gates cost 7 two-qudit
+   gates here vs the paper's cited 6+7 Di-Wei decomposition — compare
+   tree metrics at both granularities to bound what the choice costs.
+3. Dirty-ancilla strategy: ladder vs four-way split for the same C^kX,
+   quantifying why `mcx_auto` prefers ladders whenever wires allow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.noise.presets import SC
+from repro.qudits import qubits
+from repro.sim.fidelity import estimate_circuit_fidelity
+from repro.toffoli.dirty_ancilla import mcx_dirty_ladder, mcx_one_dirty
+from repro.toffoli.qutrit_tree import build_qutrit_tree
+from repro.toffoli.registry import build_toffoli
+from repro.toffoli.spec import GeneralizedToffoli
+
+GATES_ONLY = replace(SC, name="SC/gates-only", t1=None)
+IDLE_ONLY = replace(SC, name="SC/idle-only", p1=0.0, p2=0.0)
+
+
+@pytest.fixture(scope="module")
+def tree_result():
+    return build_toffoli("qutrit_tree", 8)
+
+
+def test_error_source_attribution(benchmark, tree_result):
+    trials = 30
+
+    def run(model):
+        return estimate_circuit_fidelity(
+            tree_result.circuit, model, trials=trials, seed=77,
+            wires=tree_result.all_wires, circuit_name="QUTRIT",
+        )
+
+    full = benchmark.pedantic(run, args=(SC,), rounds=1, iterations=1)
+    gates_only = run(GATES_ONLY)
+    idle_only = run(IDLE_ONLY)
+    print()
+    print("error-source ablation (QUTRIT, 8 controls, SC parameters):")
+    for estimate in (full, gates_only, idle_only):
+        print(f"  {estimate}")
+    # Each single-source run must beat the full-noise run.
+    assert gates_only.mean_fidelity >= full.mean_fidelity - 0.05
+    assert idle_only.mean_fidelity >= full.mean_fidelity - 0.05
+
+
+def test_decomposition_granularity_cost():
+    n = 32
+    lowered = build_qutrit_tree(GeneralizedToffoli(n))
+    logical = build_qutrit_tree(GeneralizedToffoli(n), decompose=False)
+    ratio = (
+        lowered.circuit.two_qudit_gate_count
+        / logical.circuit.num_operations
+    )
+    print()
+    print(
+        f"tree at N={n}: {logical.circuit.num_operations} three-qutrit "
+        f"gates -> {lowered.circuit.two_qudit_gate_count} two-qudit gates "
+        f"({ratio:.2f} per gate; Di-Wei's cited decomposition costs 6)"
+    )
+    # Our cube-root decomposition spends 7 two-qudit gates per CC gate
+    # (the root apply costs 1), so the ratio sits just under 7.
+    assert 6 <= ratio <= 7.2
+
+
+def test_dirty_ancilla_strategy(benchmark):
+    k = 12
+    wires = qubits(2 * k)
+    controls, target = wires[:k], wires[k]
+
+    def build_ladder():
+        return mcx_dirty_ladder(
+            controls, target, wires[k + 1 :], decompose=True
+        )
+
+    ladder_ops = benchmark.pedantic(build_ladder, rounds=1, iterations=1)
+    split_ops = mcx_one_dirty(controls, target, wires[k + 1], decompose=True)
+    ladder_2q = sum(1 for op in ladder_ops if op.num_qudits == 2)
+    split_2q = sum(1 for op in split_ops if op.num_qudits == 2)
+    print()
+    print(
+        f"C^{k}X with dirty wires: ladder {ladder_2q} two-qubit gates "
+        f"(needs {k - 2} borrowed) vs four-way split {split_2q} "
+        f"(needs 1 borrowed)"
+    )
+    assert ladder_2q < split_2q

@@ -1,0 +1,58 @@
+"""Section 5.2: Grover search built on the qutrit multi-controlled Z.
+
+Regenerates the success-probability profile and the depth advantage of the
+qutrit oracle decomposition over the ancilla-free qubit one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.grover import GroverSearch
+
+
+@pytest.fixture(scope="module")
+def searches():
+    return {
+        "qutrit": GroverSearch(4, marked=11),
+        "qubit": GroverSearch(4, marked=11, construction="qubit_cascade"),
+    }
+
+
+def test_grover_success_probability(benchmark, searches):
+    probability = benchmark.pedantic(
+        searches["qutrit"].success_probability, rounds=1, iterations=1
+    )
+    print()
+    print(
+        f"Grover (M=16, qutrit oracle): success probability "
+        f"{probability:.3f} after "
+        f"{searches['qutrit'].optimal_iterations()} iterations"
+    )
+    assert probability > 0.9
+
+
+def test_grover_iteration_profile(searches):
+    print()
+    print("Grover success vs iterations (M=16, marked=11):")
+    for k in range(5):
+        p = searches["qutrit"].success_probability(k)
+        print(f"  {k} iterations: {p:.3f}")
+    assert searches["qutrit"].success_probability(3) > 0.9
+
+
+def test_grover_oracle_depth_advantage(searches):
+    qutrit_depth = searches["qutrit"].build_circuit(1).depth
+    qubit_depth = searches["qubit"].build_circuit(1).depth
+    print()
+    print(
+        f"one Grover iteration depth: qutrit={qutrit_depth}, "
+        f"ancilla-free qubit={qubit_depth}"
+    )
+    assert qutrit_depth < qubit_depth
+
+
+def test_grover_constructions_agree(searches):
+    p_qutrit = searches["qutrit"].success_probability()
+    p_qubit = searches["qubit"].success_probability()
+    assert abs(p_qutrit - p_qubit) < 1e-6

@@ -1,0 +1,73 @@
+"""Section 5.3 supplement: incrementer depth vs the qubit baseline.
+
+The paper claims O(log^2 N) ancilla-free depth against linear-with-big-
+constants or quadratic qubit alternatives; this bench regenerates the
+scaling comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.scaling import best_fit
+from repro.apps.incrementer import (
+    qubit_ripple_incrementer_ops,
+    qutrit_incrementer_circuit,
+)
+from repro.circuits.circuit import Circuit
+from repro.qudits import qubits
+
+WIDTHS = (8, 16, 32, 64, 128)
+
+
+@pytest.fixture(scope="module")
+def qutrit_depths():
+    return [qutrit_incrementer_circuit(w)[0].depth for w in WIDTHS]
+
+
+@pytest.fixture(scope="module")
+def qubit_depths():
+    return [
+        Circuit(qubit_ripple_incrementer_ops(qubits(w))).depth
+        for w in (8, 16, 32)  # quadratic growth: keep the sweep short
+    ]
+
+
+def test_incrementer_depth_sweep(benchmark, qutrit_depths, qubit_depths):
+    benchmark.pedantic(
+        qutrit_incrementer_circuit, args=(32,), rounds=1, iterations=1
+    )
+    print()
+    print("Incrementer depth (Sec. 5.3): qutrit log^2 vs qubit ripple")
+    print(f"{'width':>6s} {'qutrit depth':>13s} {'qubit ripple':>13s}")
+    for i, width in enumerate(WIDTHS):
+        ripple = str(qubit_depths[i]) if i < len(qubit_depths) else "-"
+        print(f"{width:6d} {qutrit_depths[i]:13d} {ripple:>13s}")
+
+
+def test_qutrit_incrementer_is_polylog(qutrit_depths):
+    fit = best_fit(
+        list(WIDTHS),
+        qutrit_depths,
+        candidates=["log2(N)", "log2(N)^2", "N"],
+    )
+    print(f"\nqutrit incrementer depth fit: {fit}")
+    # Depth at width 2^k is exactly quadratic in k = log2 N: its second
+    # differences in k are a positive constant.  (A pure coefficient fit
+    # is ambiguous over a finite window because of the linear-in-k term.)
+    first = [b - a for a, b in zip(qutrit_depths, qutrit_depths[1:])]
+    second = [b - a for a, b in zip(first, first[1:])]
+    assert len(set(second)) == 1 and second[0] > 0
+
+
+def test_qubit_ripple_is_superlinear(qubit_depths):
+    fit = best_fit(
+        [8, 16, 32], qubit_depths, candidates=["N", "N^2", "N*log2(N)"]
+    )
+    print(f"\nqubit ripple incrementer depth fit: {fit}")
+    assert fit.model in ("N^2", "N*log2(N)")
+
+
+def test_qutrit_wins_at_every_width(qutrit_depths, qubit_depths):
+    for i in range(len(qubit_depths)):
+        assert qutrit_depths[i] < qubit_depths[i]

@@ -1,0 +1,62 @@
+"""Section 5.1: the artificial quantum neuron.
+
+Checks the quadratic perceptron activation against the classical value and
+reports the ancilla-free circuit's size (the paper's argument: the qutrit
+tree removes the ancilla that capped hosted neurons at N = 4 data qubits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.neuron import QuantumNeuron
+
+WEIGHTS_3 = [1, -1, 1, 1, -1, 1, -1, -1]
+
+
+@pytest.fixture(scope="module")
+def neuron():
+    return QuantumNeuron(3, WEIGHTS_3)
+
+
+def test_neuron_activation(benchmark, neuron):
+    probability = benchmark.pedantic(
+        neuron.activation_probability, args=(WEIGHTS_3,), rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"neuron (m=8) self-activation: {probability:.4f} (expected 1.0)"
+    )
+    assert np.isclose(probability, 1.0, atol=1e-7)
+
+
+def test_neuron_matches_classical_dot_product(neuron):
+    rng = np.random.default_rng(5)
+    print()
+    print("neuron activation vs classical (w.i/m)^2:")
+    for _ in range(5):
+        signs = [int(s) for s in rng.choice([-1, 1], size=8)]
+        quantum = neuron.activation_probability(signs)
+        classical = neuron.classical_activation(signs)
+        print(f"  input {signs}: quantum={quantum:.4f} classical={classical:.4f}")
+        assert np.isclose(quantum, classical, atol=1e-7)
+
+
+def test_neuron_is_ancilla_free_on_qutrits(neuron):
+    circuit = neuron.build_circuit(WEIGHTS_3)
+    wires = set(circuit.all_qudits())
+    assert wires <= set(neuron.register + [neuron.output])
+    print()
+    print(
+        f"neuron circuit: {len(wires)} wires (register + output, "
+        f"no ancilla), depth {circuit.depth}, "
+        f"{circuit.two_qudit_gate_count} two-qudit gates"
+    )
+
+
+def test_neuron_qubit_construction_needs_no_more_data_wires():
+    qubit_neuron = QuantumNeuron(3, WEIGHTS_3, construction="qubit_cascade")
+    quantum = qubit_neuron.activation_probability(WEIGHTS_3)
+    assert np.isclose(quantum, 1.0, atol=1e-6)

@@ -1,0 +1,73 @@
+"""Figure 10: two-qudit gate counts vs N.
+
+Paper's reported fits: ~397 N (QUBIT), ~48 N (QUBIT+ANCILLA), ~6 N
+(QUTRIT) — i.e. a ~70x gap between QUTRIT and the ancilla-free qubit
+equivalent, and ~8x between the two qubit circuits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import (
+    PAPER_COUNT_FITS,
+    fig10_gate_count_data,
+    render_series_table,
+)
+from repro.analysis.scaling import best_fit
+
+
+@pytest.fixture(scope="module")
+def count_data(sweep_ns):
+    return fig10_gate_count_data(sweep_ns)
+
+
+def test_fig10_gate_count_sweep(benchmark, sweep_ns):
+    data = benchmark.pedantic(
+        fig10_gate_count_data, args=(sweep_ns,), rounds=1, iterations=1
+    )
+    print()
+    print("Figure 10 reproduction: two-qudit gate counts")
+    print(
+        render_series_table(sweep_ns, data, PAPER_COUNT_FITS, "2q gates")
+    )
+
+
+def test_fig10_qutrit_count_is_linear_small_constant(count_data, sweep_ns):
+    fit = best_fit(sweep_ns, count_data["QUTRIT"], candidates=["N"])
+    print(f"\nQUTRIT measured 2q count {fit} (paper: ~6 N)")
+    # Paper: 6N with the Di-Wei 6-gate CC decomposition; ours uses a
+    # 7-gate decomposition, so expect ~7N.
+    assert 3 <= fit.coefficient <= 9
+
+
+def test_fig10_qubit_ancilla_count_near_48n(count_data, sweep_ns):
+    fit = best_fit(
+        sweep_ns, count_data["QUBIT+ANCILLA"], candidates=["N"]
+    )
+    print(f"\nQUBIT+ANCILLA measured 2q count {fit} (paper: ~48 N)")
+    assert 30 <= fit.coefficient <= 60
+
+
+def test_fig10_gap_between_qutrit_and_qubit(count_data, sweep_ns):
+    # Paper: ~70x at any N.  With the substituted QUBIT construction the
+    # gap grows with N; it must be large everywhere in the sweep.
+    for i, n in enumerate(sweep_ns):
+        ratio = count_data["QUBIT"][i] / count_data["QUTRIT"][i]
+        assert ratio > 10, f"QUBIT/QUTRIT ratio only {ratio:.1f} at N={n}"
+    mid = len(sweep_ns) // 2
+    ratio_mid = count_data["QUBIT"][mid] / count_data["QUTRIT"][mid]
+    print(
+        f"\nQUBIT / QUTRIT two-qudit gate ratio at N={sweep_ns[mid]}: "
+        f"{ratio_mid:.0f}x (paper: ~70x at all N; ours grows with N "
+        f"due to the substituted quadratic QUBIT construction)"
+    )
+
+
+def test_fig10_ancilla_gain_close_to_8x(count_data, sweep_ns):
+    # Paper: 397/48 ~ 8.3x gain from one borrowed ancilla.  Measured at
+    # the largest N in the sweep (the substitution inflates this with N).
+    i = len(sweep_ns) - 1
+    ratio = count_data["QUBIT"][i] / count_data["QUBIT+ANCILLA"][i]
+    print(f"\nQUBIT / QUBIT+ANCILLA ratio at N={sweep_ns[i]}: {ratio:.1f}x")
+    assert ratio > 3

@@ -1,0 +1,113 @@
+"""Figure 11: mean fidelity of each circuit under each noise model.
+
+The paper simulates the 14-input (13 controls + target) Generalized
+Toffoli, 1000+ trajectories per bar, 16 bars: {QUBIT, QUBIT+ANCILLA,
+QUTRIT} x {SC, SC+T1, SC+GATES, SC+T1+GATES} plus the trapped-ion bars
+(QUBIT and QUBIT+ANCILLA under TI_QUBIT, QUTRIT under BARE_QUTRIT and
+DRESSED_QUTRIT).
+
+Default configuration is scaled down (width/trials fixtures in
+conftest.py); REPRO_FULL=1 restores the paper's size.  The reproduction
+targets the *shape*: QUTRIT far above QUBIT everywhere, QUBIT+ANCILLA in
+between, trapped-ion qutrits >= 90%, and fidelity improving with each
+hardware upgrade.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import (
+    fig11_fidelity_data,
+    render_fidelity_bars,
+)
+from repro.noise.presets import (
+    BARE_QUTRIT,
+    DRESSED_QUTRIT,
+    SC,
+    SC_GATES,
+    SC_T1,
+    SC_T1_GATES,
+    TI_QUBIT,
+)
+
+SC_MODELS = (SC, SC_T1, SC_GATES, SC_T1_GATES)
+
+ALL_PAIRS = (
+    [("QUBIT", model) for model in SC_MODELS]
+    + [("QUBIT+ANCILLA", model) for model in SC_MODELS]
+    + [("QUTRIT", model) for model in SC_MODELS]
+    + [
+        ("QUBIT", TI_QUBIT),
+        ("QUBIT+ANCILLA", TI_QUBIT),
+        ("QUTRIT", BARE_QUTRIT),
+        ("QUTRIT", DRESSED_QUTRIT),
+    ]
+)
+
+
+@pytest.fixture(scope="module")
+def fig11_points(fig11_width, fig11_trials):
+    return fig11_fidelity_data(
+        ALL_PAIRS, num_controls=fig11_width, trials=fig11_trials
+    )
+
+
+def _lookup(points, circuit, model):
+    for point in points:
+        if (
+            point.circuit_label == circuit
+            and point.noise_model == model.name
+        ):
+            return point.estimate.mean_fidelity
+    raise KeyError((circuit, model.name))
+
+
+def test_fig11_all_sixteen_bars(benchmark, fig11_points):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print(
+        "Figure 11 reproduction: mean fidelity per circuit / noise model "
+        "(paper values measured at 13 controls & 1000+ trials; ours at "
+        "the width shown in EXPERIMENTS.md)"
+    )
+    print(render_fidelity_bars(fig11_points))
+    assert len(fig11_points) == 16
+
+
+def test_fig11_qutrit_beats_qubit_under_every_sc_model(fig11_points):
+    for model in SC_MODELS:
+        qutrit = _lookup(fig11_points, "QUTRIT", model)
+        qubit = _lookup(fig11_points, "QUBIT", model)
+        assert qutrit > qubit, f"QUTRIT did not beat QUBIT under {model.name}"
+
+
+def test_fig11_qutrit_beats_qubit_ancilla(fig11_points):
+    wins = sum(
+        _lookup(fig11_points, "QUTRIT", model)
+        >= _lookup(fig11_points, "QUBIT+ANCILLA", model)
+        for model in SC_MODELS
+    )
+    # Paper: QUTRIT wins all four; statistical noise at reduced trial
+    # counts may drop one.
+    assert wins >= 3
+
+
+def test_fig11_hardware_upgrades_help_qutrit(fig11_points):
+    base = _lookup(fig11_points, "QUTRIT", SC)
+    best = _lookup(fig11_points, "QUTRIT", SC_T1_GATES)
+    assert best > base
+
+
+def test_fig11_trapped_ion_ordering(fig11_points):
+    ti_qubit = _lookup(fig11_points, "QUBIT", TI_QUBIT)
+    bare = _lookup(fig11_points, "QUTRIT", BARE_QUTRIT)
+    dressed = _lookup(fig11_points, "QUTRIT", DRESSED_QUTRIT)
+    assert dressed > ti_qubit
+    assert bare > ti_qubit
+    assert dressed >= bare - 0.02  # paper: 96.1% vs 94.9%
+
+
+def test_fig11_trapped_ion_qutrits_above_ninety_percent(fig11_points):
+    assert _lookup(fig11_points, "QUTRIT", DRESSED_QUTRIT) > 0.9
+    assert _lookup(fig11_points, "QUTRIT", BARE_QUTRIT) > 0.9

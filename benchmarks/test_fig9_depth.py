@@ -1,0 +1,65 @@
+"""Figure 9: circuit depth vs N for QUBIT, QUBIT+ANCILLA, QUTRIT.
+
+Paper's reported fits: ~633 N, ~76 N, ~38 log2 N.  The QUTRIT and
+QUBIT+ANCILLA shapes reproduce directly; the QUBIT baseline is the
+documented substituted construction (DESIGN.md), so its curve is reported
+against the paper's 633 N reference line.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import (
+    PAPER_DEPTH_FITS,
+    fig9_depth_data,
+    render_series_table,
+)
+from repro.analysis.scaling import best_fit
+
+
+@pytest.fixture(scope="module")
+def depth_data(sweep_ns):
+    return fig9_depth_data(sweep_ns)
+
+
+def test_fig9_depth_sweep(benchmark, sweep_ns):
+    """Regenerates Figure 9's series (the benchmark measures build time)."""
+    data = benchmark.pedantic(
+        fig9_depth_data, args=(sweep_ns,), rounds=1, iterations=1
+    )
+    print()
+    print("Figure 9 reproduction: Generalized Toffoli circuit depth")
+    print(render_series_table(sweep_ns, data, PAPER_DEPTH_FITS, "depth"))
+
+
+def test_fig9_qutrit_depth_is_logarithmic(depth_data, sweep_ns):
+    fit = best_fit(sweep_ns, depth_data["QUTRIT"])
+    print(f"\nQUTRIT measured depth {fit} (paper: ~38 log2 N)")
+    assert fit.model in ("log2(N)", "log2(N)^2")
+
+
+def test_fig9_qubit_ancilla_depth_is_linear(depth_data, sweep_ns):
+    fit = best_fit(
+        sweep_ns, depth_data["QUBIT+ANCILLA"], candidates=["N", "N^2"]
+    )
+    print(f"\nQUBIT+ANCILLA measured depth {fit} (paper: ~76 N)")
+    assert fit.model == "N"
+    assert 40 <= fit.coefficient <= 120
+
+
+def test_fig9_ordering_matches_paper(depth_data, sweep_ns):
+    for i, n in enumerate(sweep_ns):
+        assert (
+            depth_data["QUTRIT"][i]
+            < depth_data["QUBIT+ANCILLA"][i]
+            < depth_data["QUBIT"][i]
+        ), f"depth ordering violated at N={n}"
+
+
+def test_fig9_qutrit_depth_within_paper_band(depth_data, sweep_ns):
+    # The paper's coefficient is 38 with their 13-gate CC decomposition;
+    # ours is 7 two-qudit gates per CC gate, so the measured coefficient
+    # is smaller.  Same asymptote, coefficient within [5, 40].
+    fit = best_fit(sweep_ns, depth_data["QUTRIT"], candidates=["log2(N)"])
+    assert 5 <= fit.coefficient <= 40

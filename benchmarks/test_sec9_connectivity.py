@@ -1,0 +1,89 @@
+"""Section 9: connectivity's effect on the qutrit tree's depth.
+
+The paper: "Accounting for data movement on a nearest-neighbor-
+connectivity 2D architecture would expand the qutrit circuit depth from
+log N to sqrt(N)" — while trapped-ion chains (all-to-all) keep the log.
+This bench routes the same tree onto all-to-all, 2D-grid and line devices
+and reports the measured inflation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.arch.routing import route_circuit
+from repro.arch.topology import all_to_all, grid_2d, line
+from repro.toffoli.qutrit_tree import build_qutrit_tree
+from repro.toffoli.spec import GeneralizedToffoli
+
+SIZES = (8, 15, 24)
+
+
+def _grid_for(num_wires: int):
+    rows = math.isqrt(num_wires)
+    cols = math.ceil(num_wires / rows)
+    return grid_2d(rows, cols)
+
+
+@pytest.fixture(scope="module")
+def routed():
+    table = {}
+    for n in SIZES:
+        lowered = build_qutrit_tree(GeneralizedToffoli(n))
+        wires = n + 1
+        table[n] = {
+            "all-to-all": route_circuit(lowered.circuit, all_to_all(wires)),
+            "grid": route_circuit(lowered.circuit, _grid_for(wires)),
+            "line": route_circuit(lowered.circuit, line(wires)),
+        }
+    return table
+
+
+def test_sec9_depth_inflation(benchmark, routed):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("Sec. 9: qutrit tree depth under connectivity constraints")
+    print(
+        f"{'N':>4s} {'all-to-all':>11s} {'2D grid':>9s} {'line':>7s} "
+        f"{'grid swaps':>11s} {'line swaps':>11s}"
+    )
+    for n in SIZES:
+        row = routed[n]
+        print(
+            f"{n:4d} {row['all-to-all'].depth:11d} "
+            f"{row['grid'].depth:9d} {row['line'].depth:7d} "
+            f"{row['grid'].swap_count:11d} {row['line'].swap_count:11d}"
+        )
+
+
+def test_sec9_all_to_all_needs_no_swaps(routed):
+    for n in SIZES:
+        assert routed[n]["all-to-all"].swap_count == 0
+
+
+def test_sec9_constrained_devices_inflate_depth(routed):
+    for n in SIZES:
+        row = routed[n]
+        assert (
+            row["all-to-all"].depth
+            <= row["grid"].depth
+            <= row["line"].depth
+        )
+
+
+def test_sec9_grid_overhead_grows_slower_than_line(routed):
+    grid_growth = (
+        routed[SIZES[-1]]["grid"].swap_count
+        / max(1, routed[SIZES[0]]["grid"].swap_count)
+    )
+    line_growth = (
+        routed[SIZES[-1]]["line"].swap_count
+        / max(1, routed[SIZES[0]]["line"].swap_count)
+    )
+    print(
+        f"\nswap growth {SIZES[0]} -> {SIZES[-1]}: "
+        f"grid {grid_growth:.1f}x, line {line_growth:.1f}x"
+    )
+    assert grid_growth <= line_growth

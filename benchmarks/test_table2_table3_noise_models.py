@@ -1,0 +1,79 @@
+"""Tables 2 and 3: the noise-model parameter tables.
+
+These are definitional tables; the bench renders them from the presets and
+asserts the derived quantities the paper's Section 7 discusses (two-qutrit
+reliability penalty, damping probabilities per gate time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import render_table2, render_table3
+from repro.noise.presets import (
+    BARE_QUTRIT,
+    DRESSED_QUTRIT,
+    IBM_CURRENT,
+    SC,
+    SC_T1_GATES,
+    SUPERCONDUCTING_MODELS,
+    TI_QUBIT,
+    TRAPPED_ION_MODELS,
+)
+
+
+def test_table2_render(benchmark):
+    text = benchmark.pedantic(render_table2, rounds=1, iterations=1)
+    print()
+    print(text)
+    for name in ("SC", "SC+T1", "SC+GATES", "SC+T1+GATES"):
+        assert name in text
+
+
+def test_table3_render(benchmark):
+    text = benchmark.pedantic(render_table3, rounds=1, iterations=1)
+    print()
+    print(text)
+    for name in ("TI_QUBIT", "BARE_QUTRIT", "DRESSED_QUTRIT"):
+        assert name in text
+
+
+def test_two_qutrit_reliability_penalty():
+    # Sec. 7.1.1: two-qutrit gates are (1-80p2)/(1-15p2) times less
+    # reliable; print the factor for each SC model.
+    print()
+    print("Two-qutrit vs two-qubit no-error ratio (Sec. 7.1.1):")
+    for model in SUPERCONDUCTING_MODELS:
+        ratio = model.reliability_ratio_two_qudit()
+        print(f"  {model.name:14s} {ratio:.6f}")
+        assert ratio < 1.0
+
+
+def test_idle_error_magnitudes():
+    # lambda_1 for one two-qudit moment: SC at T1=1ms, dt=300ns -> 3e-4.
+    lam1, lam2 = SC.idle_lambdas(3, SC.gate_time_2q)
+    assert np.isclose(lam1, 1 - np.exp(-3e-7 / 1e-3))
+    assert lam2 > lam1
+    print()
+    print(
+        f"SC idle lambdas per two-qudit moment: lambda1={lam1:.2e}, "
+        f"lambda2={lam2:.2e}"
+    )
+
+
+def test_current_hardware_motivation():
+    # Sec. 7.2: current IBM parameters make a 14-input gate essentially
+    # certain to fail; the forward-looking SC model is 10x better in both
+    # gate errors and T1.
+    assert np.isclose(IBM_CURRENT.p1 / SC.p1, 10)
+    assert np.isclose(SC.t1 / IBM_CURRENT.t1, 10)
+    assert np.isclose(SC_T1_GATES.p1 * 100, IBM_CURRENT.p1)
+
+
+def test_trapped_ion_gate_times_dominate():
+    # TI two-qudit gates are 200x slower than single-qudit ones, which is
+    # why gate errors (not idling) dominate on clock-state ions.
+    for model in TRAPPED_ION_MODELS:
+        assert np.isclose(model.gate_time_2q / model.gate_time_1q, 200)
+    assert TI_QUBIT.t1 is None and DRESSED_QUTRIT.t1 is None
+    assert BARE_QUTRIT.idle_dephasing_rate > 0

@@ -1,0 +1,57 @@
+"""repro — reproduction of "Asymptotic Improvements to Quantum Circuits via
+Qutrits" (Gokhale et al., ISCA 2019).
+
+The package provides a mixed-dimension qudit circuit library, a
+quantum-trajectory noise simulator with the paper's superconducting and
+trapped-ion noise models, the paper's log-depth ancilla-free qutrit
+Generalized Toffoli plus all benchmarked baselines, and the applications
+built on top of it (incrementer, Grover search, quantum neuron).
+
+Quickstart::
+
+    from repro import ClassicalSimulator, build_toffoli
+
+    result = build_toffoli("qutrit_tree", num_controls=5)
+    sim = ClassicalSimulator()
+    wires = result.controls + [result.target]
+    print(sim.run_values(result.circuit, wires, (1, 1, 1, 1, 1, 0)))
+"""
+
+from .qudits import QUBIT_D, QUTRIT_D, Qudit, qubits, qudit_line, qutrits
+from .circuits import Circuit, GateOperation, Moment
+from .sim import (
+    ClassicalSimulator,
+    FidelityEstimate,
+    StateVector,
+    StateVectorSimulator,
+    TrajectorySimulator,
+    estimate_circuit_fidelity,
+)
+from .noise import ALL_MODELS, NoiseModel
+from .toffoli import CONSTRUCTIONS, GeneralizedToffoli, build_toffoli
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Qudit",
+    "QUBIT_D",
+    "QUTRIT_D",
+    "qubits",
+    "qutrits",
+    "qudit_line",
+    "Circuit",
+    "Moment",
+    "GateOperation",
+    "StateVector",
+    "ClassicalSimulator",
+    "StateVectorSimulator",
+    "TrajectorySimulator",
+    "FidelityEstimate",
+    "estimate_circuit_fidelity",
+    "NoiseModel",
+    "ALL_MODELS",
+    "GeneralizedToffoli",
+    "build_toffoli",
+    "CONSTRUCTIONS",
+    "__version__",
+]

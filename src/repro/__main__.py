@@ -1,0 +1,139 @@
+"""Command-line entry point: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro tables            # Tables 1-3
+    python -m repro figures           # Figures 9 and 10 (depth / counts)
+    python -m repro fidelity          # scaled-down Figure 11
+    python -m repro fidelity --controls 13 --trials 1000   # paper size
+    python -m repro verify            # exhaustive construction checks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_tables(args: argparse.Namespace) -> None:
+    from .analysis.tables import render_table1, render_table2, render_table3
+
+    print(render_table1(control_counts=tuple(args.sizes)))
+    print()
+    print(render_table2())
+    print()
+    print(render_table3())
+
+
+def _cmd_figures(args: argparse.Namespace) -> None:
+    from .analysis.figures import (
+        PAPER_COUNT_FITS,
+        PAPER_DEPTH_FITS,
+        fig9_depth_data,
+        fig10_gate_count_data,
+        render_series_table,
+    )
+
+    sizes = list(args.sizes)
+    print("Figure 9 reproduction: circuit depth")
+    print(
+        render_series_table(
+            sizes, fig9_depth_data(sizes), PAPER_DEPTH_FITS, "depth"
+        )
+    )
+    print()
+    print("Figure 10 reproduction: two-qudit gate count")
+    print(
+        render_series_table(
+            sizes, fig10_gate_count_data(sizes), PAPER_COUNT_FITS, "2q gates"
+        )
+    )
+
+
+def _cmd_fidelity(args: argparse.Namespace) -> None:
+    from .analysis.figures import fig11_fidelity_data, render_fidelity_bars
+    from .noise.presets import (
+        BARE_QUTRIT,
+        DRESSED_QUTRIT,
+        SC,
+        SC_GATES,
+        SC_T1,
+        SC_T1_GATES,
+        TI_QUBIT,
+    )
+
+    sc_models = (SC, SC_T1, SC_GATES, SC_T1_GATES)
+    pairs = (
+        [("QUBIT", m) for m in sc_models]
+        + [("QUBIT+ANCILLA", m) for m in sc_models]
+        + [("QUTRIT", m) for m in sc_models]
+        + [
+            ("QUBIT", TI_QUBIT),
+            ("QUBIT+ANCILLA", TI_QUBIT),
+            ("QUTRIT", BARE_QUTRIT),
+            ("QUTRIT", DRESSED_QUTRIT),
+        ]
+    )
+    print(
+        f"Figure 11 reproduction at {args.controls} controls, "
+        f"{args.trials} trajectories per bar"
+    )
+    points = fig11_fidelity_data(
+        pairs, num_controls=args.controls, trials=args.trials,
+        seed=args.seed,
+    )
+    print(render_fidelity_bars(points))
+
+
+def _cmd_verify(args: argparse.Namespace) -> None:
+    from .toffoli.registry import CONSTRUCTIONS, build_toffoli
+    from .toffoli.verification import verify_construction
+
+    for name in sorted(CONSTRUCTIONS):
+        result = build_toffoli(name, args.controls)
+        checked = verify_construction(result)
+        print(
+            f"{name:20s} N={args.controls}: verified {checked} inputs "
+            f"({result.describe()})"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Dispatch the repro command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the ISCA 2019 qutrit-circuits experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tables = sub.add_parser("tables", help="render Tables 1-3")
+    tables.add_argument(
+        "--sizes", type=int, nargs="+", default=[8, 16, 32, 64]
+    )
+    tables.set_defaults(func=_cmd_tables)
+
+    figures = sub.add_parser("figures", help="Figures 9 and 10 sweeps")
+    figures.add_argument(
+        "--sizes", type=int, nargs="+", default=[8, 16, 32, 64]
+    )
+    figures.set_defaults(func=_cmd_figures)
+
+    fidelity = sub.add_parser("fidelity", help="Figure 11 fidelity bars")
+    fidelity.add_argument("--controls", type=int, default=6)
+    fidelity.add_argument("--trials", type=int, default=25)
+    fidelity.add_argument("--seed", type=int, default=2019)
+    fidelity.set_defaults(func=_cmd_fidelity)
+
+    verify = sub.add_parser(
+        "verify", help="exhaustively verify every construction"
+    )
+    verify.add_argument("--controls", type=int, default=4)
+    verify.set_defaults(func=_cmd_verify)
+
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Measurement, scaling fits, and paper table/figure renderers."""
+
+from .metrics import CircuitMetrics, construction_metrics, sweep_constructions
+from .scaling import ScalingFit, best_fit, fit_model, MODELS
+from .tables import render_table1, render_table2, render_table3
+from .figures import (
+    fig9_depth_data,
+    fig10_gate_count_data,
+    fig11_fidelity_data,
+    render_series_table,
+    render_fidelity_bars,
+)
+
+__all__ = [
+    "CircuitMetrics",
+    "construction_metrics",
+    "sweep_constructions",
+    "ScalingFit",
+    "best_fit",
+    "fit_model",
+    "MODELS",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "fig9_depth_data",
+    "fig10_gate_count_data",
+    "fig11_fidelity_data",
+    "render_series_table",
+    "render_fidelity_bars",
+]

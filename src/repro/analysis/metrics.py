@@ -1,0 +1,65 @@
+"""Per-construction circuit metrics: depth, gate counts, ancilla, width."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+from ..toffoli.registry import CONSTRUCTIONS, build_toffoli
+
+
+@dataclass(frozen=True)
+class CircuitMetrics:
+    """The resource profile of one built decomposition."""
+
+    construction: str
+    num_controls: int
+    depth: int
+    total_gates: int
+    two_qudit_gates: int
+    single_qudit_gates: int
+    clean_ancilla: int
+    borrowed_ancilla: int
+    width: int
+
+    @property
+    def ancilla(self) -> int:
+        """Total non-data wires."""
+        return self.clean_ancilla + self.borrowed_ancilla
+
+
+@lru_cache(maxsize=4096)
+def construction_metrics(name: str, num_controls: int) -> CircuitMetrics:
+    """Build the named construction and measure it.
+
+    Cached: the large ancilla-free qubit circuits (millions of gates at
+    N = 200) are expensive to rebuild, and the depth/count sweeps request
+    the same points repeatedly.  Only the immutable metrics record is
+    retained; the circuit itself is released after measurement.
+    """
+    result = build_toffoli(name, num_controls)
+    circuit = result.circuit
+    return CircuitMetrics(
+        construction=name,
+        num_controls=num_controls,
+        depth=circuit.depth,
+        total_gates=circuit.num_operations,
+        two_qudit_gates=circuit.two_qudit_gate_count,
+        single_qudit_gates=circuit.single_qudit_gate_count,
+        clean_ancilla=len(result.clean_ancilla),
+        borrowed_ancilla=len(result.borrowed_ancilla),
+        width=len(result.all_wires),
+    )
+
+
+def sweep_constructions(
+    names: Iterable[str] | None = None,
+    control_counts: Sequence[int] = (2, 4, 8, 16, 32),
+) -> dict[str, list[CircuitMetrics]]:
+    """Metrics for each construction across a range of control counts."""
+    names = list(names) if names is not None else sorted(CONSTRUCTIONS)
+    return {
+        name: [construction_metrics(name, n) for n in control_counts]
+        for name in names
+    }

@@ -1,0 +1,22 @@
+"""Applications of the qutrit Generalized Toffoli (Sec. 5 of the paper)."""
+
+from .incrementer import (
+    conditional_increment_ops,
+    qubit_ripple_incrementer_ops,
+    qutrit_incrementer_circuit,
+    qutrit_incrementer_ops,
+)
+from .grover import GroverSearch
+from .neuron import QuantumNeuron
+from .arithmetic import add_constant_ops, controlled_add_constant_ops
+
+__all__ = [
+    "qutrit_incrementer_ops",
+    "qutrit_incrementer_circuit",
+    "qubit_ripple_incrementer_ops",
+    "conditional_increment_ops",
+    "GroverSearch",
+    "QuantumNeuron",
+    "add_constant_ops",
+    "controlled_add_constant_ops",
+]

@@ -1,0 +1,62 @@
+"""Constant addition from incrementers (Sec. 5.4).
+
+The incrementer is the kernel of larger arithmetic: ``register += c`` for a
+classical constant c decomposes into one sub-register increment per set bit
+(adding 2^k is incrementing the slice that starts at bit k), and the
+controlled variant conditions every increment on a control wire — the shape
+modular-exponentiation circuits for Shor's algorithm are built from.  The
+paper's qutrit incrementer reduces each piece to O(log^2) depth with no
+ancilla, improving the constants of those circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..circuits.operation import GateOperation
+from ..qudits import Qudit
+from .incrementer import conditional_increment_ops, qutrit_incrementer_ops
+
+
+def add_constant_ops(
+    register: Sequence[Qudit], constant: int, decompose: bool = True
+) -> list[GateOperation]:
+    """``register += constant (mod 2^len(register))``, LSB first.
+
+    One qutrit incrementer per set bit of ``constant``, each acting on the
+    sub-register from that bit upward.
+    """
+    register = list(register)
+    width = len(register)
+    constant %= 1 << width
+    ops: list[GateOperation] = []
+    for bit in range(width):
+        if (constant >> bit) & 1:
+            ops.extend(qutrit_incrementer_ops(register[bit:], decompose))
+    return ops
+
+
+def controlled_add_constant_ops(
+    register: Sequence[Qudit],
+    constant: int,
+    control: Qudit,
+    control_value: int = 1,
+    decompose: bool = True,
+) -> list[GateOperation]:
+    """``register += constant`` iff ``control`` holds ``control_value``.
+
+    Uses the carry-conditioned incrementer directly: the control wire plays
+    the role of the carry for every sub-register increment.
+    """
+    register = list(register)
+    width = len(register)
+    constant %= 1 << width
+    ops: list[GateOperation] = []
+    for bit in range(width):
+        if (constant >> bit) & 1:
+            ops.extend(
+                conditional_increment_ops(
+                    register[bit:], control, control_value, decompose
+                )
+            )
+    return ops

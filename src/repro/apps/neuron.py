@@ -1,0 +1,169 @@
+"""The artificial quantum neuron (Sec. 5.1; Tacchino et al. 2019).
+
+An n-wire register encodes m = 2^n binary coefficients: the input state
+|psi_i> = (1/sqrt m) sum_j i_j |j> with i_j in {-1, +1}, and likewise a
+weight state |psi_w>.  The circuit
+
+1. prepares |psi_i> from |0...0> with Hadamards and sign flips
+   (multi-controlled Z on every j with i_j = -1 — hypergraph-state
+   machinery dominated by Generalized Toffolis, which is why the paper
+   flags the neuron as a target application),
+2. applies U_w^-1, mapping |psi_w> onto |1...1>,
+3. flips an output wire with an n-controlled X.
+
+The output wire then reads 1 with probability |<psi_w|psi_i>|^2 =
+(w . i / m)^2 — a quadratic perceptron activation.  With the qutrit tree
+the final n-controlled X needs no ancilla, which is exactly the paper's
+"larger neurons without waiting for larger hardware" argument.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.operation import GateOperation
+from ..exceptions import DecompositionError
+from ..gates.base import Gate
+from ..gates.qubit import H as QUBIT_H
+from ..gates.qubit import X as QUBIT_X
+from ..gates.qubit import Z as QUBIT_Z
+from ..gates.qutrit import embedded_qubit_gate, phase_gate
+from ..qudits import QUTRIT_D, Qudit, qubits, qutrits
+from ..sim.statevector import StateVectorSimulator
+from ..toffoli.ancilla_free import multi_controlled_u_cascade
+from ..toffoli.qutrit_tree import qutrit_multi_controlled_ops
+
+
+def _validate_signs(signs: Sequence[int], m: int, label: str) -> list[int]:
+    signs = list(signs)
+    if len(signs) != m:
+        raise ValueError(f"{label} must have {m} entries, got {len(signs)}")
+    if any(s not in (-1, 1) for s in signs):
+        raise ValueError(f"{label} entries must be +1 or -1")
+    return signs
+
+
+class QuantumNeuron:
+    """A 2^n-input binary perceptron evaluated on n+1 wires."""
+
+    def __init__(
+        self,
+        num_bits: int,
+        weights: Sequence[int],
+        construction: str = "qutrit_tree",
+    ) -> None:
+        if num_bits < 2:
+            raise ValueError("the neuron needs at least 2 register wires")
+        if construction not in ("qutrit_tree", "qubit_cascade"):
+            raise DecompositionError(
+                f"unsupported construction {construction!r}"
+            )
+        self.num_bits = num_bits
+        self.num_inputs = 1 << num_bits
+        self.weights = _validate_signs(weights, self.num_inputs, "weights")
+        self.construction = construction
+        if construction == "qutrit_tree":
+            self.register: list[Qudit] = qutrits(num_bits)
+            self.output = Qudit(num_bits, QUTRIT_D)
+            self._h: Gate = embedded_qubit_gate(QUBIT_H, 3)
+            self._x: Gate = embedded_qubit_gate(QUBIT_X, 3)
+        else:
+            self.register = qubits(num_bits)
+            self.output = Qudit(num_bits, 2)
+            self._h = QUBIT_H
+            self._x = QUBIT_X
+
+    # ------------------------------------------------------------------
+
+    def _bits(self, index: int) -> list[int]:
+        n = self.num_bits
+        return [(index >> (n - 1 - k)) & 1 for k in range(n)]
+
+    def _phase_flip_ops(self, index: int) -> list[GateOperation]:
+        """Phase -1 on basis state |index> of the register."""
+        pattern = self._bits(index)
+        controls, target = self.register[:-1], self.register[-1]
+        if self.construction == "qutrit_tree":
+            gate = phase_gate(3, pattern[-1], np.pi)
+            return qutrit_multi_controlled_ops(
+                controls, pattern[:-1], target, gate
+            )
+        ops: list[GateOperation] = []
+        flips = [
+            QUBIT_X.on(w) for w, v in zip(self.register, pattern) if v == 0
+        ]
+        ops.extend(flips)
+        ops.extend(
+            multi_controlled_u_cascade(
+                controls, target, QUBIT_Z.unitary(), "Z"
+            )
+        )
+        ops.extend(flips)
+        return ops
+
+    def _sign_ops(self, signs: Sequence[int]) -> list[GateOperation]:
+        """Diagonal +-1 pattern over the register basis."""
+        ops: list[GateOperation] = []
+        for index, sign in enumerate(signs):
+            if sign == -1:
+                ops.extend(self._phase_flip_ops(index))
+        return ops
+
+    def state_prep_ops(self, signs: Sequence[int]) -> list[GateOperation]:
+        """|0..0> -> (1/sqrt m) sum_j signs_j |j>."""
+        signs = _validate_signs(signs, self.num_inputs, "signs")
+        ops = [self._h.on(w) for w in self.register]
+        ops.extend(self._sign_ops(signs))
+        return ops
+
+    def activation_ops(self) -> list[GateOperation]:
+        """U_w^-1 then the n-controlled X onto the output wire.
+
+        U_w^-1 = (sign flips of w) . H^n . X^n sends |psi_w> to |1...1>,
+        so the multi-controlled X fires with amplitude <psi_w|psi_i>.
+        """
+        ops = self._sign_ops(self.weights)
+        ops.extend(self._h.on(w) for w in self.register)
+        ops.extend(self._x.on(w) for w in self.register)
+        if self.construction == "qutrit_tree":
+            ops.extend(
+                qutrit_multi_controlled_ops(
+                    self.register,
+                    [1] * self.num_bits,
+                    self.output,
+                    embedded_qubit_gate(QUBIT_X, 3),
+                )
+            )
+        else:
+            ops.extend(
+                multi_controlled_u_cascade(
+                    self.register, self.output, QUBIT_X.unitary(), "X"
+                )
+            )
+        return ops
+
+    def build_circuit(self, input_signs: Sequence[int]) -> Circuit:
+        """Full neuron evaluation circuit for one input pattern."""
+        circuit = Circuit()
+        circuit.append(self.state_prep_ops(input_signs))
+        circuit.append(self.activation_ops())
+        return circuit
+
+    # ------------------------------------------------------------------
+
+    def activation_probability(self, input_signs: Sequence[int]) -> float:
+        """P(output reads 1) for the given input pattern (simulated)."""
+        circuit = self.build_circuit(input_signs)
+        sim = StateVectorSimulator()
+        state = sim.run(circuit, wires=self.register + [self.output])
+        populations = state.level_populations(self.output)
+        return float(populations[1])
+
+    def classical_activation(self, input_signs: Sequence[int]) -> float:
+        """The ideal activation (w . i / m)^2 for cross-checking."""
+        signs = _validate_signs(input_signs, self.num_inputs, "signs")
+        dot = sum(w * s for w, s in zip(self.weights, signs))
+        return (dot / self.num_inputs) ** 2

@@ -1,0 +1,21 @@
+"""Device connectivity and routing (the paper's Section 9 discussion).
+
+The paper's circuits assume all-to-all connectivity; Section 9 notes that
+mapping onto a nearest-neighbour 2D architecture stretches the qutrit
+tree's depth from log N toward sqrt(N), while trapped-ion chains (all-to-
+all) keep the log.  This package makes that discussion measurable: device
+topologies, a SWAP-inserting router, and depth-inflation analysis.
+"""
+
+from .topology import CouplingGraph, all_to_all, grid_2d, line
+from .routing import RoutedCircuit, route_circuit, swap_gate
+
+__all__ = [
+    "CouplingGraph",
+    "all_to_all",
+    "line",
+    "grid_2d",
+    "RoutedCircuit",
+    "route_circuit",
+    "swap_gate",
+]

@@ -1,0 +1,146 @@
+"""Greedy SWAP routing onto constrained topologies.
+
+Routes a logical circuit onto a :class:`~repro.arch.topology.CouplingGraph`
+by tracking a logical-to-physical placement and inserting SWAPs along
+shortest paths until each two-qudit gate's operands are adjacent.  The
+router is deliberately simple (the paper's Sec. 9 point is about
+*asymptotics* — log N circuits inflating toward sqrt(N) on 2D grids — not
+about router quality), but it is semantics-preserving and verified:
+the routed circuit equals the original up to the reported output
+placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..circuits.circuit import Circuit
+from ..exceptions import SchedulingError
+from ..gates.base import PermutationGate
+from ..qudits import Qudit
+
+
+@lru_cache(maxsize=None)
+def swap_gate(dim: int) -> PermutationGate:
+    """SWAP on two d-level wires (a classical permutation for any d)."""
+    mapping = [0] * (dim * dim)
+    for a in range(dim):
+        for b in range(dim):
+            mapping[a * dim + b] = b * dim + a
+    return PermutationGate(mapping, (dim, dim), f"SWAP(d{dim})")
+
+
+@dataclass
+class RoutedCircuit:
+    """A routed circuit plus the bookkeeping needed to interpret it."""
+
+    circuit: Circuit
+    #: Physical site wires indexed by site number.
+    sites: list[Qudit]
+    #: logical wire -> final physical site index.
+    final_placement: dict[Qudit, int]
+    #: logical wire -> initial physical site index.
+    initial_placement: dict[Qudit, int]
+    swap_count: int
+    topology_name: str
+
+    @property
+    def depth(self) -> int:
+        """Scheduled depth on the constrained device."""
+        return self.circuit.depth
+
+    def output_site(self, logical: Qudit) -> Qudit:
+        """The physical wire holding ``logical``'s value at the end."""
+        return self.sites[self.final_placement[logical]]
+
+
+def route_circuit(
+    circuit: Circuit,
+    topology,
+    placement: dict[Qudit, int] | None = None,
+    wires: list[Qudit] | None = None,
+) -> RoutedCircuit:
+    """Map ``circuit`` onto ``topology``, inserting SWAPs as needed.
+
+    All logical wires must share one dimension (the physical sites are
+    homogeneous).  ``placement`` assigns logical wires to sites; defaults
+    to identity order over ``wires`` (default: the circuit's wires —
+    pass a superset to reserve sites for untouched data wires).  Raises
+    :class:`SchedulingError` for gates wider than two wires (lower
+    circuits first) or if the device is too small.
+    """
+    logical_wires = list(wires) if wires is not None else circuit.all_qudits()
+    missing = set(circuit.all_qudits()) - set(logical_wires)
+    if missing:
+        raise SchedulingError(f"wires {sorted(missing)} not in wire list")
+    if not logical_wires:
+        return RoutedCircuit(
+            Circuit(), [], {}, {}, 0, topology.name
+        )
+    dims = {w.dimension for w in logical_wires}
+    if len(dims) > 1:
+        raise SchedulingError(
+            f"routing needs homogeneous wire dimensions, got {sorted(dims)}"
+        )
+    dim = dims.pop()
+    if topology.size < len(logical_wires):
+        raise SchedulingError(
+            f"{topology.name} has {topology.size} sites for "
+            f"{len(logical_wires)} wires"
+        )
+    if not topology.is_connected():
+        raise SchedulingError(f"{topology.name} is not connected")
+
+    sites = [Qudit(index, dim) for index in range(topology.size)]
+    if placement is None:
+        placement = {w: k for k, w in enumerate(logical_wires)}
+    where = dict(placement)
+    occupant: dict[int, Qudit | None] = {s: None for s in range(topology.size)}
+    for wire, site in where.items():
+        if occupant[site] is not None:
+            raise SchedulingError(f"two wires placed on site {site}")
+        occupant[site] = wire
+
+    swap = swap_gate(dim)
+    routed = Circuit()
+    swap_count = 0
+
+    def do_swap(site_a: int, site_b: int) -> None:
+        nonlocal swap_count
+        routed.append(swap.on(sites[site_a], sites[site_b]))
+        wire_a, wire_b = occupant[site_a], occupant[site_b]
+        occupant[site_a], occupant[site_b] = wire_b, wire_a
+        if wire_a is not None:
+            where[wire_a] = site_b
+        if wire_b is not None:
+            where[wire_b] = site_a
+        swap_count += 1
+
+    for op in circuit.all_operations():
+        if op.num_qudits == 1:
+            routed.append(op.gate.on(sites[where[op.qudits[0]]]))
+            continue
+        if op.num_qudits != 2:
+            raise SchedulingError(
+                f"route_circuit handles 1- and 2-qudit gates; decompose "
+                f"{op.gate.name} first"
+            )
+        wire_a, wire_b = op.qudits
+        while not topology.are_adjacent(where[wire_a], where[wire_b]):
+            step = topology.shortest_path_step(
+                where[wire_a], where[wire_b]
+            )
+            do_swap(where[wire_a], step)
+        routed.append(
+            op.gate.on(sites[where[wire_a]], sites[where[wire_b]])
+        )
+
+    return RoutedCircuit(
+        circuit=routed,
+        sites=sites,
+        final_placement={w: where[w] for w in logical_wires},
+        initial_placement=placement,
+        swap_count=swap_count,
+        topology_name=topology.name,
+    )

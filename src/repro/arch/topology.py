@@ -1,0 +1,125 @@
+"""Device coupling graphs.
+
+A :class:`CouplingGraph` is a set of physical sites with an undirected
+edge wherever a two-qudit gate can act natively.  Three families cover
+the paper's discussion: all-to-all (trapped-ion chains, Sec. 7.3), the
+1D line, and the nearest-neighbour 2D grid (superconducting lattices,
+Sec. 9).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+
+class CouplingGraph:
+    """An undirected connectivity graph over sites ``0 .. size-1``."""
+
+    def __init__(
+        self, size: int, edges: Iterable[tuple[int, int]], name: str
+    ) -> None:
+        if size < 1:
+            raise ValueError("topology needs at least one site")
+        self._size = size
+        self._name = name
+        self._adjacency: dict[int, set[int]] = {s: set() for s in range(size)}
+        for a, b in edges:
+            if a == b:
+                raise ValueError(f"self-loop on site {a}")
+            if not (0 <= a < size and 0 <= b < size):
+                raise ValueError(f"edge ({a},{b}) outside 0..{size - 1}")
+            self._adjacency[a].add(b)
+            self._adjacency[b].add(a)
+        self._distance: list[list[int]] | None = None
+
+    @property
+    def size(self) -> int:
+        """Number of physical sites."""
+        return self._size
+
+    @property
+    def name(self) -> str:
+        """Topology label used in reports."""
+        return self._name
+
+    def neighbors(self, site: int) -> set[int]:
+        """Sites adjacent to ``site``."""
+        return set(self._adjacency[site])
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        """True iff a native two-qudit gate can couple ``a`` and ``b``."""
+        return b in self._adjacency[a]
+
+    def _ensure_distances(self) -> list[list[int]]:
+        if self._distance is None:
+            table = []
+            for source in range(self._size):
+                dist = [-1] * self._size
+                dist[source] = 0
+                queue = deque([source])
+                while queue:
+                    here = queue.popleft()
+                    for nxt in self._adjacency[here]:
+                        if dist[nxt] < 0:
+                            dist[nxt] = dist[here] + 1
+                            queue.append(nxt)
+                table.append(dist)
+            self._distance = table
+        return self._distance
+
+    def distance(self, a: int, b: int) -> int:
+        """Hop count between sites (-1 if disconnected)."""
+        return self._ensure_distances()[a][b]
+
+    def is_connected(self) -> bool:
+        """True iff every site can reach every other."""
+        return all(d >= 0 for d in self._ensure_distances()[0])
+
+    def diameter(self) -> int:
+        """Longest shortest path — the routing worst case."""
+        table = self._ensure_distances()
+        return max(max(row) for row in table)
+
+    def shortest_path_step(self, source: int, target: int) -> int:
+        """The neighbour of ``source`` that moves one hop toward ``target``."""
+        if source == target:
+            raise ValueError("source equals target")
+        table = self._ensure_distances()
+        best = min(
+            self._adjacency[source], key=lambda s: table[s][target]
+        )
+        if table[best][target] >= table[source][target]:
+            raise ValueError(
+                f"no progress from {source} toward {target} (disconnected?)"
+            )
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CouplingGraph {self._name} size={self._size}>"
+
+
+def all_to_all(size: int) -> CouplingGraph:
+    """Full connectivity — trapped-ion chains within one trap."""
+    edges = [(a, b) for a in range(size) for b in range(a + 1, size)]
+    return CouplingGraph(size, edges, f"all-to-all({size})")
+
+
+def line(size: int) -> CouplingGraph:
+    """1D nearest-neighbour chain."""
+    return CouplingGraph(
+        size, [(k, k + 1) for k in range(size - 1)], f"line({size})"
+    )
+
+
+def grid_2d(rows: int, cols: int) -> CouplingGraph:
+    """2D nearest-neighbour grid — superconducting lattices (Sec. 9)."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            site = r * cols + c
+            if c + 1 < cols:
+                edges.append((site, site + 1))
+            if r + 1 < rows:
+                edges.append((site, site + cols))
+    return CouplingGraph(rows * cols, edges, f"grid({rows}x{cols})")

@@ -1,0 +1,16 @@
+"""Circuit construction: operations, moments, ASAP-scheduled circuits."""
+
+from .operation import GateOperation
+from .moment import Moment
+from .circuit import Circuit
+from .diagram import to_text_diagram
+from .schedule import moment_duration, schedule_durations
+
+__all__ = [
+    "GateOperation",
+    "Moment",
+    "Circuit",
+    "to_text_diagram",
+    "moment_duration",
+    "schedule_durations",
+]

@@ -1,0 +1,200 @@
+"""ASAP-scheduled circuits.
+
+``Circuit.append`` schedules each operation into the earliest moment whose
+wires are all free — the same earliest-possible strategy the paper uses via
+Cirq's scheduler (Sec. 6.1).  Depth therefore equals the length of the
+critical path through the gate DAG, which is the paper's time-cost metric
+(Sec. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import SchedulingError, SimulationError
+from ..gates.base import index_to_values
+from ..qudits import Qudit, total_dimension
+from .moment import Moment
+from .operation import GateOperation
+
+OpTree = GateOperation | Iterable["OpTree"]
+
+
+def _flatten(tree: OpTree) -> Iterator[GateOperation]:
+    if isinstance(tree, GateOperation):
+        yield tree
+        return
+    for item in tree:
+        yield from _flatten(item)
+
+
+class Circuit:
+    """A sequence of moments over mixed-dimension wires."""
+
+    def __init__(self, operations: OpTree = ()) -> None:
+        self._moments: list[Moment] = []
+        # Index of the last moment using each wire, for O(1) ASAP appends.
+        self._last_use: dict[Qudit, int] = {}
+        # Earliest moment new appends may occupy (raised by barrier()).
+        self._barrier_floor = 0
+        self.append(operations)
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    def append(self, operations: OpTree) -> "Circuit":
+        """Append operations with earliest-possible scheduling.
+
+        Returns ``self`` so building can be chained.
+        """
+        for op in _flatten(operations):
+            earliest = -1
+            for wire in op.qudits:
+                earliest = max(earliest, self._last_use.get(wire, -1))
+            index = max(earliest + 1, self._barrier_floor)
+            while index >= len(self._moments):
+                self._moments.append(Moment())
+            self._moments[index] = self._moments[index].with_operation(op)
+            for wire in op.qudits:
+                self._last_use[wire] = index
+        return self
+
+    def append_moment(self, operations: OpTree) -> "Circuit":
+        """Append operations as one new moment (a scheduling barrier)."""
+        ops = list(_flatten(operations))
+        moment = Moment(ops)
+        self._moments.append(moment)
+        index = len(self._moments) - 1
+        for wire in moment.qudits:
+            self._last_use[wire] = index
+        return self
+
+    def barrier(self) -> "Circuit":
+        """Prevent later appends from sliding into existing moments."""
+        self._barrier_floor = len(self._moments)
+        return self
+
+    def __add__(self, other: "Circuit") -> "Circuit":
+        joined = Circuit()
+        joined.append(self.all_operations())
+        joined.append(other.all_operations())
+        return joined
+
+    def inverse(self) -> "Circuit":
+        """The inverse circuit (reversed moments of inverted gates)."""
+        inv = Circuit()
+        for moment in reversed(self._moments):
+            inv.append_moment(moment.inverse().operations)
+        return inv
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def moments(self) -> tuple[Moment, ...]:
+        """The scheduled moments in time order."""
+        return tuple(self._moments)
+
+    def all_operations(self) -> Iterator[GateOperation]:
+        """Operations in schedule order (moment by moment)."""
+        for moment in self._moments:
+            yield from moment
+
+    def all_qudits(self) -> list[Qudit]:
+        """Wires used anywhere in the circuit, sorted by index."""
+        return sorted(self._last_use)
+
+    @property
+    def depth(self) -> int:
+        """Number of moments = critical-path length (the paper's depth)."""
+        return len(self._moments)
+
+    @property
+    def num_operations(self) -> int:
+        """Total gate count."""
+        return sum(len(m) for m in self._moments)
+
+    @property
+    def two_qudit_gate_count(self) -> int:
+        """Number of operations spanning 2+ wires (Figure 10's metric)."""
+        return sum(
+            1 for op in self.all_operations() if op.is_multi_qudit
+        )
+
+    @property
+    def single_qudit_gate_count(self) -> int:
+        """Number of 1-wire operations."""
+        return self.num_operations - self.two_qudit_gate_count
+
+    def max_gate_width(self) -> int:
+        """Widest operation in the circuit (2 once fully decomposed)."""
+        return max(
+            (op.num_qudits for op in self.all_operations()), default=0
+        )
+
+    def __len__(self) -> int:
+        return len(self._moments)
+
+    def __iter__(self) -> Iterator[Moment]:
+        return iter(self._moments)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Circuit depth={self.depth} ops={self.num_operations} "
+            f"wires={len(self._last_use)}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Dense semantics (small circuits only; tests and verification)
+    # ------------------------------------------------------------------
+
+    def unitary(self, wire_order: Sequence[Qudit] | None = None) -> np.ndarray:
+        """Dense unitary of the whole circuit.
+
+        Exponential in width — use only for verification of small circuits.
+        The simulator modules apply circuits to state vectors instead
+        (Sec. 6.2: never build the d^N x d^N operator).
+        """
+        wires = list(wire_order) if wire_order else self.all_qudits()
+        missing = set(self.all_qudits()) - set(wires)
+        if missing:
+            raise SimulationError(f"wire_order missing wires {missing}")
+        total = total_dimension(wires)
+        if total > 1 << 14:
+            raise SimulationError(
+                f"refusing to build a {total}x{total} dense unitary"
+            )
+        from ..sim.state import StateVector
+
+        columns = []
+        dims = [w.dimension for w in wires]
+        for index in range(total):
+            state = StateVector.computational_basis(
+                wires, index_to_values(index, dims)
+            )
+            for op in self.all_operations():
+                state.apply_operation(op)
+            columns.append(state.vector)
+        return np.stack(columns, axis=1)
+
+    def classical_map(
+        self, assignment: Mapping[Qudit, int]
+    ) -> dict[Qudit, int]:
+        """Push a basis-state assignment through the circuit.
+
+        Linear in circuit size and width — the paper's fast verification
+        path.  All gates must be classical permutations.
+        """
+        values = dict(assignment)
+        for op in self.all_operations():
+            for wire in op.qudits:
+                if wire not in values:
+                    raise SchedulingError(
+                        f"no input value provided for wire {wire}"
+                    )
+            values.update(op.classical_action(values))
+        return values

@@ -1,0 +1,70 @@
+"""Text diagrams for circuits.
+
+Renders a wire-per-row diagram in the style of the paper's figures:
+controls show their activation value (``@1``, ``@2``, ``@0``) and targets
+show the gate name, so the Figure 4/5 circuits are recognisable at a
+glance in docstrings, examples and debugging sessions.
+"""
+
+from __future__ import annotations
+
+from ..gates.controlled import ControlledGate
+from ..qudits import Qudit
+from .circuit import Circuit
+
+_MAX_CELL = 12
+
+
+def _cell_labels(op) -> dict[Qudit, str]:
+    gate = op.gate
+    labels: dict[Qudit, str] = {}
+    if isinstance(gate, ControlledGate):
+        n_ctrl = gate.num_controls
+        for wire, value in zip(op.qudits[:n_ctrl], gate.control_values):
+            labels[wire] = f"@{value}"
+        sub_name = gate.sub_gate.name[:_MAX_CELL]
+        for wire in op.qudits[n_ctrl:]:
+            labels[wire] = sub_name
+    else:
+        name = gate.name[:_MAX_CELL]
+        for wire in op.qudits:
+            labels[wire] = name
+    return labels
+
+
+def to_text_diagram(circuit: Circuit, max_moments: int | None = None) -> str:
+    """A column-per-moment text diagram of ``circuit``.
+
+    ``max_moments`` truncates wide circuits (an ellipsis column is added).
+    """
+    wires = circuit.all_qudits()
+    if not wires:
+        return "(empty circuit)"
+    moments = list(circuit.moments)
+    truncated = False
+    if max_moments is not None and len(moments) > max_moments:
+        moments = moments[:max_moments]
+        truncated = True
+
+    columns: list[dict[Qudit, str]] = []
+    for moment in moments:
+        column: dict[Qudit, str] = {}
+        for op in moment:
+            column.update(_cell_labels(op))
+        columns.append(column)
+
+    widths = [
+        max(3, *(len(col.get(w, "")) for w in wires)) for col in columns
+    ]
+    name_width = max(len(str(w)) for w in wires)
+    lines = []
+    for wire in wires:
+        cells = []
+        for col, width in zip(columns, widths):
+            label = col.get(wire, "-" * width)
+            cells.append(label.center(width, "-"))
+        row = f"{str(wire).rjust(name_width)}: " + "-".join(cells)
+        if truncated:
+            row += "-..."
+        lines.append(row)
+    return "\n".join(lines)

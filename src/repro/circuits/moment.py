@@ -1,0 +1,69 @@
+"""A moment: operations executing simultaneously on disjoint wires.
+
+Moments are the unit of time in the paper's noise methodology (Fig. 8):
+gate errors attach to each operation in the moment, then idle errors attach
+to *every* wire, scaled by the moment's duration.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..exceptions import SchedulingError
+from ..qudits import Qudit
+from .operation import GateOperation
+
+
+class Moment:
+    """An immutable set of wire-disjoint simultaneous operations."""
+
+    __slots__ = ("_operations", "_qudits")
+
+    def __init__(self, operations: Iterable[GateOperation] = ()) -> None:
+        ops = tuple(operations)
+        used: set[Qudit] = set()
+        for op in ops:
+            overlap = used.intersection(op.qudits)
+            if overlap:
+                raise SchedulingError(
+                    f"moment operations overlap on wires {sorted(overlap)}"
+                )
+            used.update(op.qudits)
+        self._operations = ops
+        self._qudits = frozenset(used)
+
+    @property
+    def operations(self) -> tuple[GateOperation, ...]:
+        """Operations in this moment."""
+        return self._operations
+
+    @property
+    def qudits(self) -> frozenset[Qudit]:
+        """Wires touched by this moment."""
+        return self._qudits
+
+    @property
+    def has_multi_qudit_gate(self) -> bool:
+        """True iff any operation spans 2+ wires (sets the moment duration)."""
+        return any(op.is_multi_qudit for op in self._operations)
+
+    def operates_on(self, wires: Iterable[Qudit]) -> bool:
+        """True iff this moment touches any of ``wires``."""
+        return not self._qudits.isdisjoint(wires)
+
+    def with_operation(self, op: GateOperation) -> "Moment":
+        """A new moment with ``op`` added (wires must be free)."""
+        return Moment(self._operations + (op,))
+
+    def inverse(self) -> "Moment":
+        """Moment of the inverses of all operations."""
+        return Moment(op.inverse() for op in self._operations)
+
+    def __iter__(self) -> Iterator[GateOperation]:
+        return iter(self._operations)
+
+    def __len__(self) -> int:
+        return len(self._operations)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Moment[" + ", ".join(repr(op) for op in self._operations) + "]"

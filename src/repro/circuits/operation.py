@@ -1,0 +1,91 @@
+"""A gate bound to concrete wires."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import DimensionMismatchError
+from ..gates.base import Gate
+from ..qudits import Qudit, check_distinct
+
+
+class GateOperation:
+    """``gate`` applied to an ordered tuple of distinct wires."""
+
+    __slots__ = ("_gate", "_qudits")
+
+    def __init__(self, gate: Gate, wires: Sequence[Qudit]) -> None:
+        wires = tuple(wires)
+        check_distinct(wires)
+        gate.validate_wires(wires)
+        self._gate = gate
+        self._qudits = wires
+
+    @property
+    def gate(self) -> Gate:
+        """The unbound gate."""
+        return self._gate
+
+    @property
+    def qudits(self) -> tuple[Qudit, ...]:
+        """The wires the gate acts on, in gate order."""
+        return self._qudits
+
+    @property
+    def num_qudits(self) -> int:
+        """Number of wires spanned."""
+        return len(self._qudits)
+
+    @property
+    def is_multi_qudit(self) -> bool:
+        """True for entangling (2+ wire) operations."""
+        return len(self._qudits) >= 2
+
+    def inverse(self) -> "GateOperation":
+        """The inverse operation on the same wires."""
+        return GateOperation(self._gate.inverse(), self._qudits)
+
+    def unitary(self) -> np.ndarray:
+        """The gate's matrix (not expanded to any ambient space)."""
+        return self._gate.unitary()
+
+    def classical_action(
+        self, assignment: Mapping[Qudit, int]
+    ) -> dict[Qudit, int]:
+        """Apply the gate's permutation action to a wire-value assignment.
+
+        Returns a dict holding only the wires this operation touches; wires
+        absent from ``assignment`` raise ``KeyError``.
+        """
+        before = tuple(assignment[w] for w in self._qudits)
+        after = self._gate.classical_action(before)
+        return dict(zip(self._qudits, after))
+
+    def with_wires(self, mapping: Mapping[Qudit, Qudit]) -> "GateOperation":
+        """Re-bind the same gate onto substituted wires."""
+        new_wires = tuple(mapping.get(w, w) for w in self._qudits)
+        for old, new in zip(self._qudits, new_wires):
+            if old.dimension != new.dimension:
+                raise DimensionMismatchError(
+                    f"cannot remap {old} (d={old.dimension}) to {new} "
+                    f"(d={new.dimension})"
+                )
+        return GateOperation(self._gate, new_wires)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        wires = ", ".join(str(w) for w in self._qudits)
+        return f"{self._gate.name}({wires})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GateOperation):
+            return NotImplemented
+        return (
+            self._qudits == other._qudits
+            and self._gate.dims == other._gate.dims
+            and np.allclose(self._gate.unitary(), other._gate.unitary())
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self), self._qudits, self._gate.name))

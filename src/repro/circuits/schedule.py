@@ -1,0 +1,44 @@
+"""Moment timing.
+
+Idle errors depend on wall-clock duration (Sec. 6.1): a moment containing a
+two-qudit gate lasts the (longer) two-qudit gate time; a moment of only
+single-qudit gates lasts the single-qudit gate time.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .moment import Moment
+
+
+def moment_duration(
+    moment: Moment, single_qudit_time: float, multi_qudit_time: float
+) -> float:
+    """Duration of one moment given the two gate times (seconds)."""
+    if moment.has_multi_qudit_gate:
+        return multi_qudit_time
+    return single_qudit_time
+
+
+def schedule_durations(
+    moments: Sequence[Moment],
+    single_qudit_time: float,
+    multi_qudit_time: float,
+) -> list[float]:
+    """Per-moment durations for a whole circuit."""
+    return [
+        moment_duration(m, single_qudit_time, multi_qudit_time)
+        for m in moments
+    ]
+
+
+def total_duration(
+    moments: Sequence[Moment],
+    single_qudit_time: float,
+    multi_qudit_time: float,
+) -> float:
+    """Total wall-clock time of a circuit under the given gate times."""
+    return sum(
+        schedule_durations(moments, single_qudit_time, multi_qudit_time)
+    )

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish the common failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class DimensionMismatchError(ReproError):
+    """A gate was applied to qudits whose dimensions it does not accept."""
+
+
+class NotClassicalError(ReproError):
+    """A classical (basis-state) action was requested from a gate that is
+    not a computational-basis permutation."""
+
+
+class SchedulingError(ReproError):
+    """A circuit edit would produce an invalid moment structure."""
+
+
+class DecompositionError(ReproError):
+    """A requested gate decomposition cannot be constructed."""
+
+
+class NoiseModelError(ReproError):
+    """A noise channel or noise model was configured inconsistently."""
+
+
+class SimulationError(ReproError):
+    """A simulator was driven with inputs it cannot process."""

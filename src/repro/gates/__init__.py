@@ -1,0 +1,104 @@
+"""Gate library: qubit, qutrit and general qudit gates.
+
+The binary gates mirror the standard universal set; the ternary gates follow
+Section 2 of the paper (X01, X02, X12, X+1, X-1, ternary Z / Hadamard), and
+:class:`ControlledGate` supports controls that activate on any basis value of
+any dimension, which the paper's circuit constructions rely on (|1>-, |2>-
+and |0>-activated controls).
+"""
+
+from .base import Gate, PermutationGate, PhasedGate
+from .matrix import MatrixGate
+from .qubit import (
+    CNOT,
+    CZ,
+    H,
+    IDENTITY2,
+    P,
+    RX,
+    RY,
+    RZ,
+    S,
+    S_DAG,
+    SQRT_X,
+    SQRT_X_DAG,
+    SWAP,
+    T,
+    T_DAG,
+    TOFFOLI,
+    X,
+    Y,
+    Z,
+    controlled_power_of_x,
+)
+from .qutrit import (
+    IDENTITY3,
+    QUTRIT_H,
+    X01,
+    X02,
+    X12,
+    X_MINUS_1,
+    X_PLUS_1,
+    Z3,
+    clock_gate,
+    embedded_qubit_gate,
+    identity_gate,
+    level_swap,
+    shift_gate,
+)
+from .controlled import ControlledGate, controlled
+from .decompositions import (
+    decompose_controlled_controlled_u,
+    decompose_operation,
+    toffoli_to_cnots,
+    two_controlled_qubit_u,
+)
+
+__all__ = [
+    "Gate",
+    "MatrixGate",
+    "PermutationGate",
+    "PhasedGate",
+    "ControlledGate",
+    "controlled",
+    # qubit gates
+    "X",
+    "Y",
+    "Z",
+    "H",
+    "S",
+    "S_DAG",
+    "T",
+    "T_DAG",
+    "P",
+    "RX",
+    "RY",
+    "RZ",
+    "SQRT_X",
+    "SQRT_X_DAG",
+    "CNOT",
+    "CZ",
+    "SWAP",
+    "TOFFOLI",
+    "IDENTITY2",
+    "controlled_power_of_x",
+    # qutrit / qudit gates
+    "X01",
+    "X02",
+    "X12",
+    "X_PLUS_1",
+    "X_MINUS_1",
+    "Z3",
+    "QUTRIT_H",
+    "IDENTITY3",
+    "clock_gate",
+    "shift_gate",
+    "level_swap",
+    "embedded_qubit_gate",
+    "identity_gate",
+    # decompositions
+    "decompose_controlled_controlled_u",
+    "decompose_operation",
+    "toffoli_to_cnots",
+    "two_controlled_qubit_u",
+]

@@ -1,0 +1,248 @@
+"""Gate abstractions.
+
+A :class:`Gate` is defined by the tuple of qudit dimensions it acts on and a
+unitary matrix over the joint space (row/column index = mixed-radix value of
+the wires, first wire most significant — the same convention numpy's
+``reshape`` gives when the state is stored as a tensor).
+
+Gates that permute computational basis states additionally expose a
+*classical action*, which is what makes the paper's linear-time circuit
+verification possible (Sec. 6): a classical input can be pushed through a
+permutation circuit in O(width) per gate without ever forming a state
+vector.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..exceptions import DimensionMismatchError, NotClassicalError
+from ..linalg import is_permutation_matrix, is_unitary, permutation_of
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..circuits.operation import GateOperation
+    from ..qudits import Qudit
+
+
+def values_to_index(values: Sequence[int], dims: Sequence[int]) -> int:
+    """Mixed-radix encode ``values`` (first wire most significant)."""
+    index = 0
+    for value, dim in zip(values, dims, strict=True):
+        if not 0 <= value < dim:
+            raise ValueError(f"value {value} out of range for dimension {dim}")
+        index = index * dim + value
+    return index
+
+
+def index_to_values(index: int, dims: Sequence[int]) -> tuple[int, ...]:
+    """Mixed-radix decode ``index`` into per-wire values."""
+    values = []
+    for dim in reversed(dims):
+        values.append(index % dim)
+        index //= dim
+    return tuple(reversed(values))
+
+
+class Gate(ABC):
+    """A unitary on a fixed tuple of qudit dimensions."""
+
+    @property
+    @abstractmethod
+    def dims(self) -> tuple[int, ...]:
+        """Dimensions of the wires this gate acts on, in order."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short human-readable name used in diagrams and reprs."""
+
+    @abstractmethod
+    def unitary(self) -> np.ndarray:
+        """The gate's unitary matrix over the joint wire space."""
+
+    # ------------------------------------------------------------------
+    # Derived behaviour
+    # ------------------------------------------------------------------
+
+    @property
+    def num_qudits(self) -> int:
+        """Number of wires the gate spans."""
+        return len(self.dims)
+
+    @property
+    def total_dim(self) -> int:
+        """Dimension of the joint space the unitary acts on."""
+        product = 1
+        for d in self.dims:
+            product *= d
+        return product
+
+    def inverse(self) -> "Gate":
+        """The inverse gate.  Default: wrap the conjugate transpose."""
+        from .matrix import MatrixGate
+
+        return MatrixGate(
+            self.unitary().conj().T, self.dims, name=f"{self.name}^-1"
+        )
+
+    # -- classical (permutation) behaviour ------------------------------
+
+    _perm_cache: list[int] | None = None
+
+    def _permutation(self) -> list[int]:
+        if self._perm_cache is None:
+            matrix = self.unitary()
+            if not is_permutation_matrix(matrix):
+                raise NotClassicalError(
+                    f"gate {self.name} is not a basis permutation"
+                )
+            # object.__setattr__ keeps this compatible with frozen dataclasses
+            object.__setattr__(self, "_perm_cache", permutation_of(matrix))
+        return self._perm_cache  # type: ignore[return-value]
+
+    @property
+    def is_classical(self) -> bool:
+        """True iff the gate maps computational basis states to basis states."""
+        try:
+            self._permutation()
+        except NotClassicalError:
+            return False
+        return True
+
+    def classical_action(self, values: Sequence[int]) -> tuple[int, ...]:
+        """Image of the basis state ``values`` under the gate.
+
+        Raises :class:`NotClassicalError` for non-permutation gates.
+        """
+        perm = self._permutation()
+        index = values_to_index(values, self.dims)
+        return index_to_values(perm[index], self.dims)
+
+    # -- construction helpers -------------------------------------------
+
+    def on(self, *wires: "Qudit") -> "GateOperation":
+        """Bind the gate to concrete wires, returning an operation."""
+        from ..circuits.operation import GateOperation
+
+        return GateOperation(self, tuple(wires))
+
+    def validate_wires(self, wires: Sequence["Qudit"]) -> None:
+        """Check arity and per-wire dimensions; raise on mismatch."""
+        if len(wires) != self.num_qudits:
+            raise DimensionMismatchError(
+                f"gate {self.name} spans {self.num_qudits} wires, "
+                f"got {len(wires)}"
+            )
+        for wire, dim in zip(wires, self.dims):
+            if wire.dimension != dim:
+                raise DimensionMismatchError(
+                    f"gate {self.name} expects dimension {dim} on wire "
+                    f"{wire}, which has dimension {wire.dimension}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name} dims={self.dims}>"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+class PermutationGate(Gate):
+    """A classical reversible gate given directly by a basis permutation.
+
+    ``mapping[i] = j`` means basis state ``i`` maps to basis state ``j``
+    (indices are mixed-radix encodings of the wire values).
+    """
+
+    def __init__(
+        self, mapping: Sequence[int], dims: Sequence[int], name: str
+    ) -> None:
+        dims = tuple(dims)
+        total = 1
+        for d in dims:
+            total *= d
+        if sorted(mapping) != list(range(total)):
+            raise ValueError(
+                f"mapping {mapping!r} is not a permutation of 0..{total - 1}"
+            )
+        self._mapping = list(mapping)
+        self._dims = dims
+        self._name = name
+
+    @property
+    def dims(self) -> tuple[int, ...]:
+        return self._dims
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def unitary(self) -> np.ndarray:
+        total = self.total_dim
+        matrix = np.zeros((total, total), dtype=complex)
+        for src, dst in enumerate(self._mapping):
+            matrix[dst, src] = 1.0
+        return matrix
+
+    def _permutation(self) -> list[int]:
+        return self._mapping
+
+    def inverse(self) -> "PermutationGate":
+        inverse_map = [0] * len(self._mapping)
+        for src, dst in enumerate(self._mapping):
+            inverse_map[dst] = src
+        return PermutationGate(inverse_map, self._dims, f"{self.name}^-1")
+
+
+class PhasedGate(Gate):
+    """A diagonal gate ``diag(phases)`` (all basis states kept, rephased)."""
+
+    def __init__(
+        self, phases: Sequence[complex], dims: Sequence[int], name: str
+    ) -> None:
+        self._phases = np.asarray(phases, dtype=complex)
+        self._dims = tuple(dims)
+        if not np.allclose(np.abs(self._phases), 1.0, atol=1e-9):
+            raise ValueError("diagonal entries must have unit magnitude")
+        total = 1
+        for d in self._dims:
+            total *= d
+        if self._phases.shape != (total,):
+            raise DimensionMismatchError(
+                f"need {total} phases for dims {self._dims}, "
+                f"got {self._phases.shape}"
+            )
+        self._name = name
+
+    @property
+    def dims(self) -> tuple[int, ...]:
+        return self._dims
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def unitary(self) -> np.ndarray:
+        return np.diag(self._phases)
+
+    def inverse(self) -> "PhasedGate":
+        return PhasedGate(self._phases.conj(), self._dims, f"{self.name}^-1")
+
+
+def validated_unitary(matrix: np.ndarray, dims: Sequence[int]) -> np.ndarray:
+    """Coerce and validate a unitary of the right size for ``dims``."""
+    matrix = np.asarray(matrix, dtype=complex)
+    total = 1
+    for d in dims:
+        total *= d
+    if matrix.shape != (total, total):
+        raise DimensionMismatchError(
+            f"matrix shape {matrix.shape} does not match dims {tuple(dims)} "
+            f"(expected {(total, total)})"
+        )
+    if not is_unitary(matrix, atol=1e-7):
+        raise ValueError("matrix is not unitary")
+    return matrix

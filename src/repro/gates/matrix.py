@@ -1,0 +1,44 @@
+"""A gate defined directly by its unitary matrix."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import Gate, validated_unitary
+
+
+class MatrixGate(Gate):
+    """Wraps an explicit unitary matrix over the given wire dimensions.
+
+    Used for derived gates (roots of unitaries, inverses, random test
+    unitaries).  The matrix is validated for shape and unitarity once at
+    construction.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        dims: Sequence[int],
+        name: str = "U",
+    ) -> None:
+        self._dims = tuple(dims)
+        self._matrix = validated_unitary(matrix, self._dims)
+        self._name = name
+
+    @property
+    def dims(self) -> tuple[int, ...]:
+        return self._dims
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def unitary(self) -> np.ndarray:
+        return self._matrix.copy()
+
+    def inverse(self) -> "MatrixGate":
+        return MatrixGate(
+            self._matrix.conj().T, self._dims, name=f"{self._name}^-1"
+        )

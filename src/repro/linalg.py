@@ -1,0 +1,131 @@
+"""Small linear-algebra toolkit used across the library.
+
+Everything here operates on plain numpy arrays.  The simulator never builds
+d^N x d^N operators for whole circuits (Sec. 6.2 of the paper); these helpers
+are for *per-gate* matrices, verification, and test support.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+ATOL = 1e-9
+
+
+def is_unitary(matrix: np.ndarray, atol: float = ATOL) -> bool:
+    """True iff ``matrix`` is square and unitary within ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    eye = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix.conj().T @ matrix, eye, atol=atol))
+
+
+def is_permutation_matrix(matrix: np.ndarray, atol: float = ATOL) -> bool:
+    """True iff ``matrix`` is a 0/1 permutation matrix within ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    rounded = np.where(np.abs(matrix - 1) < atol, 1.0, 0.0)
+    if not np.allclose(matrix, rounded, atol=atol):
+        return False
+    return bool(
+        np.all(rounded.sum(axis=0) == 1) and np.all(rounded.sum(axis=1) == 1)
+    )
+
+
+def permutation_of(matrix: np.ndarray, atol: float = ATOL) -> list[int]:
+    """Return ``perm`` with ``matrix @ e_j = e_perm[j]`` for a permutation
+    matrix, i.e. the basis-state map ``j -> perm[j]``.
+
+    Raises ``ValueError`` if the matrix is not a permutation matrix.
+    """
+    matrix = np.asarray(matrix)
+    if not is_permutation_matrix(matrix, atol=atol):
+        raise ValueError("matrix is not a permutation matrix")
+    return [int(np.argmax(np.abs(matrix[:, j]))) for j in range(matrix.shape[1])]
+
+
+def allclose_up_to_global_phase(
+    a: np.ndarray, b: np.ndarray, atol: float = 1e-7
+) -> bool:
+    """True iff ``a == exp(i phi) * b`` for some real ``phi``.
+
+    Handy for comparing decompositions that are only required to agree up to
+    an unobservable global phase.
+    """
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return False
+    # Align phases on the largest-magnitude entry of b.
+    flat_b = b.reshape(-1)
+    k = int(np.argmax(np.abs(flat_b)))
+    if np.abs(flat_b[k]) < atol:
+        return bool(np.allclose(a, b, atol=atol))
+    phase = a.reshape(-1)[k] / flat_b[k]
+    if not np.isclose(np.abs(phase), 1.0, atol=1e-6):
+        return False
+    return bool(np.allclose(a, phase * b, atol=atol))
+
+
+def matrix_root(matrix: np.ndarray, power: float) -> np.ndarray:
+    """A (principal) fractional power ``matrix ** power`` of a unitary.
+
+    Uses the eigendecomposition; for unitary input the result is unitary.
+    Eigenvalue phases are taken in (-pi, pi], which matches the usual
+    principal-root convention (e.g. sqrt(X) is the standard V gate).
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    values, vectors = np.linalg.eig(matrix)
+    # Clamp |eigenvalue| to 1 to keep unitarity under roundoff.
+    phases = np.angle(values)
+    rooted = np.exp(1j * phases * power)
+    return (vectors * rooted) @ np.linalg.inv(vectors)
+
+
+def random_state_vector(
+    dim: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Haar-random pure state of dimension ``dim`` in O(dim) time and space.
+
+    The paper highlights (Sec. 6.2) generating random states directly as a
+    single column instead of truncating a Haar-random d^N x d^N unitary:
+    a vector of i.i.d. complex Gaussians, normalised, is exactly the first
+    column of a Haar-random unitary in distribution.
+    """
+    rng = rng or np.random.default_rng()
+    raw = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    return raw / np.linalg.norm(raw)
+
+
+def random_unitary(dim: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Haar-random unitary via QR of a complex Ginibre matrix (test helper)."""
+    rng = rng or np.random.default_rng()
+    raw = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(raw)
+    # Fix the phase ambiguity of QR to get the Haar measure.
+    d = np.diagonal(r)
+    return q * (d / np.abs(d))
+
+
+def kron_all(*matrices: np.ndarray) -> np.ndarray:
+    """Kronecker product of all arguments, left to right."""
+    out = np.array([[1.0 + 0j]])
+    for m in matrices:
+        out = np.kron(out, np.asarray(m, dtype=complex))
+    return out
+
+
+def fidelity(state_a: np.ndarray, state_b: np.ndarray) -> float:
+    """Squared overlap |<a|b>|^2 between two pure state vectors.
+
+    This is the paper's reliability metric (Algorithm 1's return value).
+    """
+    a = np.asarray(state_a).reshape(-1)
+    b = np.asarray(state_b).reshape(-1)
+    if a.shape != b.shape:
+        raise ValueError(
+            f"states live in different spaces: {a.shape} vs {b.shape}"
+        )
+    return float(np.abs(np.vdot(a, b)) ** 2)

@@ -1,0 +1,46 @@
+"""Noise channels and the paper's near-term device noise models."""
+
+from .kraus import KrausChannel, UnitaryMixtureChannel
+from .depolarizing import (
+    generalized_paulis,
+    single_qudit_depolarizing,
+    two_qudit_depolarizing,
+)
+from .damping import amplitude_damping_channel, damping_lambdas, dephasing_channel
+from .model import NoiseModel
+from .presets import (
+    ALL_MODELS,
+    BARE_QUTRIT,
+    DRESSED_QUTRIT,
+    IBM_CURRENT,
+    SC,
+    SC_GATES,
+    SC_T1,
+    SC_T1_GATES,
+    SUPERCONDUCTING_MODELS,
+    TI_QUBIT,
+    TRAPPED_ION_MODELS,
+)
+
+__all__ = [
+    "KrausChannel",
+    "UnitaryMixtureChannel",
+    "generalized_paulis",
+    "single_qudit_depolarizing",
+    "two_qudit_depolarizing",
+    "amplitude_damping_channel",
+    "damping_lambdas",
+    "dephasing_channel",
+    "NoiseModel",
+    "IBM_CURRENT",
+    "SC",
+    "SC_T1",
+    "SC_GATES",
+    "SC_T1_GATES",
+    "TI_QUBIT",
+    "BARE_QUTRIT",
+    "DRESSED_QUTRIT",
+    "SUPERCONDUCTING_MODELS",
+    "TRAPPED_ION_MODELS",
+    "ALL_MODELS",
+]

@@ -1,0 +1,81 @@
+"""Idle errors: amplitude damping (T1 relaxation) and coherent dephasing.
+
+Appendix A.1.2 of the paper: a qudit idling for time dt relaxes from level m
+directly to |0> with probability lambda_m = 1 - exp(-m dt / T1) (eq. 9 — the
+|2> state decays twice as fast as |1>).  The Kraus operators are eq. 7
+(qubits) and eq. 8 (qutrits), generalised here to any dimension.
+
+Trapped-ion clock-state qutrits have negligible damping; the BARE_QUTRIT
+model instead sees small *coherent phase* idle errors (Appendix A.3), which
+:func:`dephasing_channel` models as random clock-gate kicks.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..exceptions import NoiseModelError
+from .kraus import KrausChannel, UnitaryMixtureChannel
+
+
+def damping_lambdas(duration: float, t1: float, dim: int) -> tuple[float, ...]:
+    """Eq. 9: lambda_m = 1 - exp(-m * duration / T1) for m = 1..dim-1."""
+    if t1 <= 0:
+        raise NoiseModelError(f"T1 must be positive, got {t1}")
+    if duration < 0:
+        raise NoiseModelError(f"duration must be non-negative, got {duration}")
+    return tuple(
+        1.0 - float(np.exp(-m * duration / t1)) for m in range(1, dim)
+    )
+
+
+@lru_cache(maxsize=None)
+def amplitude_damping_channel(
+    dim: int, lambdas: tuple[float, ...]
+) -> KrausChannel:
+    """Eqs. 7-8 generalised: K_0 keeps amplitudes (attenuating excited
+    levels), K_m maps level m to |0> with amplitude sqrt(lambda_m)."""
+    if len(lambdas) != dim - 1:
+        raise NoiseModelError(
+            f"need {dim - 1} lambda values for dimension {dim}, "
+            f"got {len(lambdas)}"
+        )
+    for lam in lambdas:
+        if not 0 <= lam <= 1:
+            raise NoiseModelError(f"lambda {lam} outside [0, 1]")
+    keep = np.zeros((dim, dim), dtype=complex)
+    keep[0, 0] = 1.0
+    for m, lam in enumerate(lambdas, start=1):
+        keep[m, m] = np.sqrt(1.0 - lam)
+    operators = [keep]
+    for m, lam in enumerate(lambdas, start=1):
+        jump = np.zeros((dim, dim), dtype=complex)
+        jump[0, m] = np.sqrt(lam)
+        operators.append(jump)
+    return KrausChannel(
+        f"amplitude_damping(d={dim}, lambdas={lambdas})", (dim,), operators
+    )
+
+
+@lru_cache(maxsize=None)
+def dephasing_channel(
+    dim: int, probability: float
+) -> UnitaryMixtureChannel:
+    """Random clock-gate (Z^k) kicks, each with the given probability.
+
+    A lightweight stand-in for the BARE_QUTRIT model's small coherent phase
+    idle errors: with probability ``probability`` per non-identity clock
+    power, the qudit picks up a relative phase between its levels.
+    """
+    if probability < 0:
+        raise NoiseModelError(f"negative dephasing probability {probability}")
+    omega = np.exp(2j * np.pi / dim)
+    terms = []
+    for power in range(1, dim):
+        clock = np.diag([omega ** (power * level) for level in range(dim)])
+        terms.append((probability, clock))
+    return UnitaryMixtureChannel(
+        f"dephasing(d={dim}, p={probability:g})", (dim,), terms
+    )

@@ -1,0 +1,104 @@
+"""Symmetric depolarizing gate errors for arbitrary qudit dimensions.
+
+Appendix A.1.1 of the paper: the error basis is the set of generalized Pauli
+operators X^j Z^k (j, k not both zero), where X is the cyclic shift and Z
+the clock matrix.  For a d-level qudit there are d^2 - 1 single-qudit error
+channels (3 for qubits, 8 for qutrits); two-qudit error operators are the
+pairwise tensor products (15 for two qubits, 80 for two qutrits — eqs. 4
+and 6).  Every error term carries the same probability p, so two-qutrit
+gates are (1 - 80 p2) / (1 - 15 p2) times less reliable than two-qubit
+gates — the paper's headline cost of operating qutrits.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from .kraus import UnitaryMixtureChannel
+
+
+@lru_cache(maxsize=None)
+def _shift_matrix(dim: int) -> np.ndarray:
+    matrix = np.zeros((dim, dim), dtype=complex)
+    for value in range(dim):
+        matrix[(value + 1) % dim, value] = 1.0
+    return matrix
+
+
+@lru_cache(maxsize=None)
+def _clock_matrix(dim: int) -> np.ndarray:
+    omega = np.exp(2j * np.pi / dim)
+    return np.diag([omega**k for k in range(dim)])
+
+
+@lru_cache(maxsize=None)
+def _pauli_tuple(dim: int) -> tuple[np.ndarray, ...]:
+    """All d^2 - 1 non-identity generalized Paulis X^j Z^k of dimension d."""
+    shift = _shift_matrix(dim)
+    clock = _clock_matrix(dim)
+    paulis = []
+    for j in range(dim):
+        for k in range(dim):
+            if j == 0 and k == 0:
+                continue
+            paulis.append(
+                np.linalg.matrix_power(shift, j)
+                @ np.linalg.matrix_power(clock, k)
+            )
+    return tuple(paulis)
+
+
+def generalized_paulis(dim: int) -> list[np.ndarray]:
+    """The d^2 - 1 non-identity generalized Paulis (copies)."""
+    return [p.copy() for p in _pauli_tuple(dim)]
+
+
+@lru_cache(maxsize=None)
+def single_qudit_depolarizing(
+    dim: int, p_channel: float
+) -> UnitaryMixtureChannel:
+    """Eq. 3 / eq. 5: each of the d^2 - 1 error terms fires with ``p_channel``."""
+    terms = [(p_channel, op) for op in _pauli_tuple(dim)]
+    return UnitaryMixtureChannel(
+        f"depolarizing(d={dim}, p={p_channel:g})", (dim,), terms
+    )
+
+
+@lru_cache(maxsize=None)
+def two_qudit_depolarizing(
+    dim_a: int, dim_b: int, p_channel: float
+) -> UnitaryMixtureChannel:
+    """Eq. 4 / eq. 6: the (da db)^2 - 1 pairwise Pauli products, each with
+    probability ``p_channel``.
+
+    Mixed dimensions are supported because the library's circuits can put a
+    qutrit control next to a qubit target.
+    """
+    singles_a = (np.eye(dim_a, dtype=complex),) + _pauli_tuple(dim_a)
+    singles_b = (np.eye(dim_b, dtype=complex),) + _pauli_tuple(dim_b)
+    terms = []
+    for i, op_a in enumerate(singles_a):
+        for j, op_b in enumerate(singles_b):
+            if i == 0 and j == 0:
+                continue
+            terms.append((p_channel, np.kron(op_a, op_b)))
+    return UnitaryMixtureChannel(
+        f"depolarizing2(d={dim_a}x{dim_b}, p={p_channel:g})",
+        (dim_a, dim_b),
+        terms,
+    )
+
+
+def gate_error_channel(
+    dims: tuple[int, ...], p1_channel: float, p2_channel: float
+) -> UnitaryMixtureChannel:
+    """Dispatch on gate arity: 1-qudit -> p1 channel, 2-qudit -> p2 channel."""
+    if len(dims) == 1:
+        return single_qudit_depolarizing(dims[0], p1_channel)
+    if len(dims) == 2:
+        return two_qudit_depolarizing(dims[0], dims[1], p2_channel)
+    raise ValueError(
+        f"gate errors are defined for 1- and 2-qudit gates, got {len(dims)}"
+    )

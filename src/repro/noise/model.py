@@ -1,0 +1,101 @@
+"""The generic parametrized noise model of Section 7.1.
+
+A :class:`NoiseModel` bundles:
+
+* per-error-channel depolarizing probabilities ``p1`` (single-qudit gates)
+  and ``p2`` (two-qudit gates) — note these are *per channel*: a qubit gate
+  has 3/15 channels while a qutrit gate has 8/80, which is exactly how the
+  paper charges the extra cost of operating qutrits;
+* gate durations for single- and two-qudit gates, which set moment lengths;
+* an optional T1 for amplitude-damping idle errors (eq. 9);
+* an optional coherent-dephasing idle rate (trapped-ion bare qutrits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..circuits.moment import Moment
+from ..circuits.schedule import moment_duration
+from .damping import (
+    amplitude_damping_channel,
+    damping_lambdas,
+    dephasing_channel,
+)
+from .depolarizing import gate_error_channel
+from .kraus import KrausChannel, UnitaryMixtureChannel
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """A device noise model in the paper's generic parametrization."""
+
+    name: str
+    #: Per-channel single-qudit depolarizing probability.
+    p1: float
+    #: Per-channel two-qudit depolarizing probability.
+    p2: float
+    #: Single-qudit gate time in seconds.
+    gate_time_1q: float
+    #: Two-qudit gate time in seconds.
+    gate_time_2q: float
+    #: Amplitude-damping lifetime in seconds; None disables damping
+    #: (clock-state trapped-ion models).
+    t1: float | None = None
+    #: Coherent phase-kick rate per second of idling (BARE_QUTRIT).
+    idle_dephasing_rate: float = 0.0
+    #: Free-text provenance note.
+    description: str = field(default="", compare=False)
+
+    # ------------------------------------------------------------------
+    # Derived quantities used in tables and tests
+    # ------------------------------------------------------------------
+
+    def total_gate_error(self, dims: tuple[int, ...]) -> float:
+        """Total error probability of one gate on wires of ``dims``.
+
+        For a qubit gate this is the paper's ``3 p1`` / ``15 p2``; for a
+        qutrit gate ``8 p1`` / ``80 p2``.
+        """
+        channel = self.gate_error(dims)
+        return channel.error_probability
+
+    def reliability_ratio_two_qudit(self) -> float:
+        """(1 - 80 p2) / (1 - 15 p2): how much less reliable a two-qutrit
+        gate is than a two-qubit gate under this model (Sec. 7.1.1)."""
+        return (1 - 80 * self.p2) / (1 - 15 * self.p2)
+
+    def idle_lambdas(self, dim: int, duration: float) -> tuple[float, ...]:
+        """Damping probabilities lambda_m for one idle window."""
+        if self.t1 is None:
+            return tuple(0.0 for _ in range(dim - 1))
+        return damping_lambdas(duration, self.t1, dim)
+
+    # ------------------------------------------------------------------
+    # Channel factories (cached in the underlying modules)
+    # ------------------------------------------------------------------
+
+    def gate_error(self, dims: tuple[int, ...]) -> UnitaryMixtureChannel:
+        """Depolarizing channel applied after a gate on ``dims``."""
+        return gate_error_channel(dims, self.p1, self.p2)
+
+    def idle_channels(
+        self, dim: int, duration: float
+    ) -> list[KrausChannel | UnitaryMixtureChannel]:
+        """Idle-error channels for one wire over one moment."""
+        channels: list[KrausChannel | UnitaryMixtureChannel] = []
+        if self.t1 is not None:
+            lambdas = damping_lambdas(duration, self.t1, dim)
+            channels.append(amplitude_damping_channel(dim, lambdas))
+        if self.idle_dephasing_rate > 0:
+            probability = min(1.0 / dim, self.idle_dephasing_rate * duration)
+            channels.append(dephasing_channel(dim, probability))
+        return channels
+
+    def moment_duration(self, moment: Moment) -> float:
+        """Wall-clock duration of a moment under this model's gate times."""
+        return moment_duration(moment, self.gate_time_1q, self.gate_time_2q)
+
+    def circuit_duration(self, moments) -> float:
+        """Total wall-clock duration of a circuit's moments."""
+        return sum(self.moment_duration(m) for m in moments)

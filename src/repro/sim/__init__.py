@@ -1,0 +1,27 @@
+"""Simulators: classical verification, state vector, noisy trajectories,
+exact density-matrix reference, measurement sampling."""
+
+from .state import StateVector
+from .classical import ClassicalSimulator
+from .statevector import StateVectorSimulator
+from .trajectory import TrajectoryResult, TrajectorySimulator
+from .fidelity import FidelityEstimate, estimate_circuit_fidelity
+from .density import DensityMatrix, DensityMatrixSimulator
+from .measurement import MeasurementResult, sample_state
+from .parallel import estimate_circuit_fidelity_parallel, merge_estimates
+
+__all__ = [
+    "StateVector",
+    "ClassicalSimulator",
+    "StateVectorSimulator",
+    "TrajectorySimulator",
+    "TrajectoryResult",
+    "FidelityEstimate",
+    "estimate_circuit_fidelity",
+    "estimate_circuit_fidelity_parallel",
+    "merge_estimates",
+    "DensityMatrix",
+    "DensityMatrixSimulator",
+    "MeasurementResult",
+    "sample_state",
+]

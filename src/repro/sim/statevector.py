@@ -1,0 +1,51 @@
+"""Noise-free state-vector simulation."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..circuits.circuit import Circuit
+from ..qudits import Qudit
+from .state import StateVector
+
+
+class StateVectorSimulator:
+    """Applies a circuit to a state vector, moment by moment."""
+
+    def run(
+        self,
+        circuit: Circuit,
+        initial_state: StateVector | None = None,
+        wires: Sequence[Qudit] | None = None,
+    ) -> StateVector:
+        """Final state after the whole circuit.
+
+        If ``initial_state`` is omitted, starts from |0...0> over
+        ``wires`` (default: the circuit's wires).
+        """
+        if initial_state is None:
+            wires = list(wires) if wires else circuit.all_qudits()
+            state = StateVector.zero(wires)
+        else:
+            state = initial_state.copy()
+            covered = set(state.wires)
+            missing = [w for w in circuit.all_qudits() if w not in covered]
+            if missing:
+                raise ValueError(
+                    f"initial state does not cover circuit wires {missing}"
+                )
+        for moment in circuit:
+            for op in moment:
+                state.apply_operation(op)
+        return state
+
+    def run_basis(
+        self,
+        circuit: Circuit,
+        wires: Sequence[Qudit],
+        values: Sequence[int],
+    ) -> StateVector:
+        """Run from the computational basis state |values>."""
+        return self.run(
+            circuit, StateVector.computational_basis(list(wires), values)
+        )

@@ -1,0 +1,73 @@
+"""He et al.'s log-depth construction with a linear number of clean ancilla.
+
+A binary tree of Toffolis ANDs control pairs into fresh |0> ancilla; after
+log2 N layers a single wire holds the conjunction, one CNOT hits the
+target, and the mirrored tree uncomputes.  This is the design the paper's
+qutrit tree replaces: same log-depth shape, but the ancilla register it
+needs "effectively halves the potential of any given hardware" (Sec. 3.2) —
+the qutrit |2> states stand in for these ancilla.
+"""
+
+from __future__ import annotations
+
+from ..circuits.circuit import Circuit
+from ..circuits.operation import GateOperation
+from ..exceptions import DecompositionError
+from ..gates.qubit import CNOT, X
+from ..qudits import QUBIT_D, Qudit, qubits
+from .dirty_ancilla import toffoli_ops
+from .spec import ConstructionResult, GeneralizedToffoli
+
+
+def build_he_tree(
+    spec: GeneralizedToffoli, decompose: bool = True
+) -> ConstructionResult:
+    """Log-depth Generalized Toffoli with N-1 clean ancilla."""
+    n = spec.num_controls
+    controls = qubits(n)
+    target = Qudit(n, QUBIT_D)
+    for value in spec.control_values:
+        if value > 1:
+            raise DecompositionError(
+                "qubit constructions support activation values 0 and 1 only"
+            )
+    flips = [
+        X.on(wire)
+        for wire, value in zip(controls, spec.control_values)
+        if value == 0
+    ]
+
+    ancilla: list[Qudit] = []
+    next_index = n + 1
+    compute: list[GateOperation] = []
+    layer = list(controls)
+    while len(layer) > 1:
+        next_layer: list[Qudit] = []
+        for i in range(0, len(layer) - 1, 2):
+            fresh = Qudit(next_index, QUBIT_D)
+            next_index += 1
+            ancilla.append(fresh)
+            compute.extend(
+                toffoli_ops(layer[i], layer[i + 1], fresh, decompose)
+            )
+            next_layer.append(fresh)
+        if len(layer) % 2:
+            next_layer.append(layer[-1])
+        layer = next_layer
+
+    if n == 0:
+        core: list[GateOperation] = [X.on(target)]
+    else:
+        apply_op = CNOT.on(layer[0], target)
+        uncompute = [op.inverse() for op in reversed(compute)]
+        core = compute + [apply_op] + uncompute
+
+    circuit = Circuit(flips + core + flips)
+    return ConstructionResult(
+        circuit=circuit,
+        controls=controls,
+        target=target,
+        spec=spec,
+        name="he_tree",
+        clean_ancilla=ancilla,
+    )

@@ -1,0 +1,56 @@
+"""Tests for circuit metrics collection."""
+
+from repro.analysis.metrics import (
+    CircuitMetrics,
+    construction_metrics,
+    sweep_constructions,
+)
+
+
+class TestConstructionMetrics:
+    def test_fields_populated(self):
+        metrics = construction_metrics("qutrit_tree", 6)
+        assert metrics.construction == "qutrit_tree"
+        assert metrics.num_controls == 6
+        assert metrics.depth > 0
+        assert metrics.two_qudit_gates > 0
+        assert metrics.width == 7
+
+    def test_gate_count_consistency(self):
+        metrics = construction_metrics("qubit_one_dirty", 5)
+        assert (
+            metrics.total_gates
+            == metrics.two_qudit_gates + metrics.single_qudit_gates
+        )
+
+    def test_ancilla_property(self):
+        metrics = construction_metrics("he_tree", 4)
+        assert metrics.ancilla == metrics.clean_ancilla == 3
+
+    def test_borrowed_counted(self):
+        metrics = construction_metrics("qubit_one_dirty", 4)
+        assert metrics.borrowed_ancilla == 1
+        assert metrics.ancilla == 1
+
+
+class TestSweep:
+    def test_default_sweep_covers_all_constructions(self):
+        sweeps = sweep_constructions(control_counts=(2, 4))
+        assert len(sweeps) == 6
+        for metrics in sweeps.values():
+            assert [m.num_controls for m in metrics] == [2, 4]
+
+    def test_selected_names_only(self):
+        sweeps = sweep_constructions(
+            names=["qutrit_tree"], control_counts=(3, 5)
+        )
+        assert list(sweeps) == ["qutrit_tree"]
+
+    def test_monotone_cost_in_n(self):
+        sweeps = sweep_constructions(
+            names=["qutrit_tree", "qubit_one_dirty"],
+            control_counts=(4, 8, 16),
+        )
+        for metrics in sweeps.values():
+            costs = [m.two_qudit_gates for m in metrics]
+            assert costs == sorted(costs)

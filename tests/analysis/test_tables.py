@@ -1,0 +1,51 @@
+"""Tests for the table renderers."""
+
+from repro.analysis.tables import render_table1, render_table2, render_table3
+
+
+class TestTable1:
+    def test_mentions_every_construction(self):
+        text = render_table1(control_counts=(4, 8, 16))
+        for label in (
+            "This work (QUTRIT)",
+            "Gidney (QUBIT)",
+            "He",
+            "Wang",
+            "Lanyon / Ralph",
+        ):
+            assert label in text
+
+    def test_qutrit_tree_reports_log_depth(self):
+        text = render_table1(control_counts=(8, 16, 32, 64))
+        for line in text.splitlines():
+            if "This work" in line:
+                assert "log2(N)" in line
+                return
+        raise AssertionError("qutrit tree row missing")
+
+
+class TestTable2:
+    def test_all_models_listed(self):
+        text = render_table2()
+        for name in ("SC", "SC+T1", "SC+GATES", "SC+T1+GATES"):
+            assert name in text
+
+    def test_paper_values_present(self):
+        text = render_table2()
+        assert "1e-04" in text and "1e-03" in text
+        assert "1 ms" in text and "10 ms" in text
+
+
+class TestTable3:
+    def test_all_models_listed(self):
+        text = render_table3()
+        for name in ("TI_QUBIT", "BARE_QUTRIT", "DRESSED_QUTRIT"):
+            assert name in text
+
+    def test_paper_values_present(self):
+        text = render_table3()
+        assert "6.4e-04" in text
+        assert "1.3e-04" in text
+        assert "4.3e-04" in text
+        assert "3.1e-04" in text
+        assert "200 us" in text

@@ -1,0 +1,81 @@
+"""Tests for constant addition built from incrementers (Sec. 5.4)."""
+
+import pytest
+
+from repro.apps.arithmetic import add_constant_ops, controlled_add_constant_ops
+from repro.circuits.circuit import Circuit
+from repro.qudits import Qudit, qutrits
+
+
+def _as_int(bits):
+    return sum(b << i for i, b in enumerate(bits))
+
+
+def _as_bits(value, width):
+    return [(value >> i) & 1 for i in range(width)]
+
+
+class TestAddConstant:
+    @pytest.mark.parametrize("constant", [0, 1, 2, 3, 5, 7, 12, 15])
+    def test_all_constants_width_4(self, constant, classical_sim):
+        width = 4
+        register = qutrits(width)
+        circuit = Circuit(
+            add_constant_ops(register, constant, decompose=False)
+        )
+        for value in range(1 << width):
+            out = classical_sim.run_values(
+                circuit, register, _as_bits(value, width)
+            )
+            assert _as_int(out) == (value + constant) % (1 << width)
+
+    def test_constant_reduced_mod_2n(self, classical_sim):
+        width = 3
+        register = qutrits(width)
+        circuit = Circuit(
+            add_constant_ops(register, 8 + 3, decompose=False)
+        )
+        out = classical_sim.run_values(circuit, register, _as_bits(1, width))
+        assert _as_int(out) == 4
+
+    def test_zero_constant_is_empty(self):
+        assert add_constant_ops(qutrits(4), 0) == []
+
+    def test_addition_composes(self, classical_sim):
+        width = 5
+        register = qutrits(width)
+        circuit = Circuit(add_constant_ops(register, 6, decompose=False))
+        circuit.append(add_constant_ops(register, 11, decompose=False))
+        out = classical_sim.run_values(
+            circuit, register, _as_bits(9, width)
+        )
+        assert _as_int(out) == (9 + 6 + 11) % (1 << width)
+
+
+class TestControlledAddConstant:
+    @pytest.mark.parametrize("control_value", [1, 2])
+    def test_fires_only_when_control_matches(
+        self, control_value, classical_sim
+    ):
+        width = 3
+        constant = 5
+        register = qutrits(width)
+        control = Qudit(width, 3)
+        circuit = Circuit(
+            controlled_add_constant_ops(
+                register, constant, control, control_value, decompose=False
+            )
+        )
+        wires = register + [control]
+        for value in range(1 << width):
+            for state in range(3):
+                out = classical_sim.run_values(
+                    circuit, wires, _as_bits(value, width) + [state]
+                )
+                expected = (
+                    (value + constant) % (1 << width)
+                    if state == control_value
+                    else value
+                )
+                assert _as_int(out[:width]) == expected
+                assert out[width] == state

@@ -1,0 +1,74 @@
+"""Tests for Grover search (Sec. 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.grover import GroverSearch
+from repro.exceptions import DecompositionError
+
+
+class TestSearch:
+    @pytest.mark.parametrize("marked", [0, 3, 5, 7])
+    def test_three_bit_search_finds_marked(self, marked):
+        search = GroverSearch(3, marked)
+        assert search.success_probability() > 0.9
+
+    @pytest.mark.parametrize("marked", [0, 9, 15])
+    def test_four_bit_search_finds_marked(self, marked):
+        search = GroverSearch(4, marked)
+        assert search.success_probability() > 0.9
+
+    def test_two_bit_search_is_exact(self):
+        # M=4 with one marked item: a single iteration succeeds exactly.
+        search = GroverSearch(2, 1)
+        assert np.isclose(search.success_probability(1), 1.0, atol=1e-7)
+
+    def test_qubit_construction_matches_qutrit(self):
+        for marked in (2, 6):
+            p_qutrit = GroverSearch(3, marked).success_probability()
+            p_qubit = GroverSearch(
+                3, marked, construction="qubit_cascade"
+            ).success_probability()
+            assert np.isclose(p_qutrit, p_qubit, atol=1e-6)
+
+    def test_amplification_grows_then_overshoots(self):
+        search = GroverSearch(4, 11)
+        probabilities = [
+            search.success_probability(k) for k in (0, 1, 2, 3, 4)
+        ]
+        assert probabilities[0] < probabilities[1] < probabilities[3]
+        # Past the optimum the probability turns around (rotation picture).
+        assert search.success_probability(6) < search.success_probability(3)
+
+    def test_zero_iterations_is_uniform(self):
+        search = GroverSearch(3, 4)
+        assert np.isclose(search.success_probability(0), 1 / 8, atol=1e-9)
+
+
+class TestStructure:
+    def test_optimal_iterations(self):
+        assert GroverSearch(2, 0).optimal_iterations() == 1
+        assert GroverSearch(4, 0).optimal_iterations() == 3
+
+    def test_qutrit_register_binary_output(self):
+        # The search register never shows |2> population at the end.
+        from repro.sim.statevector import StateVectorSimulator
+
+        search = GroverSearch(3, 6)
+        circuit = search.build_circuit()
+        state = StateVectorSimulator().run(circuit, wires=search.wires)
+        for wire in search.wires:
+            assert state.level_populations(wire)[2] < 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GroverSearch(1, 0)
+        with pytest.raises(ValueError):
+            GroverSearch(3, 8)
+        with pytest.raises(DecompositionError):
+            GroverSearch(3, 0, construction="bogus")
+
+    def test_circuit_uses_no_extra_wires(self):
+        search = GroverSearch(4, 5)
+        circuit = search.build_circuit(1)
+        assert set(circuit.all_qudits()) == set(search.wires)

@@ -1,0 +1,137 @@
+"""Tests for the qutrit incrementer (Sec. 5.3, Figure 7)."""
+
+from itertools import product
+
+import pytest
+
+from repro.apps.incrementer import (
+    conditional_increment_ops,
+    qubit_ripple_incrementer_ops,
+    qutrit_incrementer_circuit,
+    qutrit_incrementer_ops,
+)
+from repro.circuits.circuit import Circuit
+from repro.exceptions import DecompositionError
+from repro.qudits import Qudit, qubits, qutrits
+from repro.sim.statevector import StateVectorSimulator
+
+
+def _as_int(bits):
+    return sum(b << i for i, b in enumerate(bits))
+
+
+def _as_bits(value, width):
+    return [(value >> i) & 1 for i in range(width)]
+
+
+class TestQutritIncrementer:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 5, 6, 7, 8])
+    def test_plus_one_mod_2n_exhaustive(self, width, classical_sim):
+        circuit, register = qutrit_incrementer_circuit(
+            width, decompose=False
+        )
+        for value in range(1 << width):
+            out = classical_sim.run_values(
+                circuit, register, _as_bits(value, width)
+            )
+            assert all(b <= 1 for b in out), "output left the qubit space"
+            assert _as_int(out) == (value + 1) % (1 << width)
+
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_decomposed_matches(self, width, state_sim):
+        circuit, register = qutrit_incrementer_circuit(width)
+        for value in range(1 << width):
+            state = state_sim.run_basis(
+                circuit, register, _as_bits(value, width)
+            )
+            expected = _as_bits((value + 1) % (1 << width), width)
+            assert state.probability_of(expected) == pytest.approx(
+                1.0, abs=1e-7
+            )
+
+    def test_repeated_increments_wrap(self, classical_sim):
+        width = 4
+        circuit, register = qutrit_incrementer_circuit(
+            width, decompose=False
+        )
+        value = [0] * width
+        for step in range(1, (1 << width) + 1):
+            value = list(
+                classical_sim.run_values(circuit, register, value)
+            )
+            assert _as_int(value) == step % (1 << width)
+
+    def test_requires_qutrit_wires(self):
+        with pytest.raises(DecompositionError):
+            qutrit_incrementer_ops(qubits(3))
+
+    def test_empty_register(self):
+        assert qutrit_incrementer_ops([]) == []
+
+    def test_log_squared_depth_scaling(self):
+        # Depth at width 2^k is a quadratic polynomial in k — i.e.
+        # Theta(log^2 N), the paper's claim.  A quadratic in k has constant
+        # second differences; linear depth would grow them geometrically.
+        depths = [
+            qutrit_incrementer_circuit(1 << k)[0].depth for k in range(3, 9)
+        ]
+        first_diffs = [b - a for a, b in zip(depths, depths[1:])]
+        second_diffs = [b - a for a, b in zip(first_diffs, first_diffs[1:])]
+        assert len(set(second_diffs)) == 1
+        assert second_diffs[0] > 0
+
+    def test_no_ancilla(self):
+        circuit, register = qutrit_incrementer_circuit(16)
+        assert set(circuit.all_qudits()) == set(register)
+
+
+class TestConditionalIncrement:
+    @pytest.mark.parametrize("carry_value", [1, 2])
+    def test_fires_only_on_carry(self, carry_value, classical_sim):
+        width = 3
+        register = qutrits(width)
+        carry = Qudit(width, 3)
+        circuit = Circuit(
+            conditional_increment_ops(
+                register, carry, carry_value, decompose=False
+            )
+        )
+        wires = register + [carry]
+        for value in range(1 << width):
+            for carry_state in range(3):
+                values = _as_bits(value, width) + [carry_state]
+                out = classical_sim.run_values(circuit, wires, values)
+                expected_value = (
+                    (value + 1) % (1 << width)
+                    if carry_state == carry_value
+                    else value
+                )
+                assert _as_int(out[:width]) == expected_value
+                assert out[width] == carry_state, "carry wire modified"
+
+    def test_empty_register_is_noop(self):
+        carry = Qudit(0, 3)
+        assert conditional_increment_ops([], carry) == []
+
+
+class TestQubitRippleBaseline:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 5, 6])
+    def test_plus_one_exhaustive(self, width, state_sim):
+        register = qubits(width)
+        circuit = Circuit(qubit_ripple_incrementer_ops(register))
+        for value in range(1 << width):
+            state = state_sim.run_basis(
+                circuit, register, _as_bits(value, width)
+            )
+            expected = _as_bits((value + 1) % (1 << width), width)
+            assert state.probability_of(expected) == pytest.approx(
+                1.0, abs=1e-7
+            )
+
+    def test_depth_grows_faster_than_qutrit_version(self):
+        width = 16
+        qubit_depth = Circuit(
+            qubit_ripple_incrementer_ops(qubits(width))
+        ).depth
+        qutrit_depth = qutrit_incrementer_circuit(width)[0].depth
+        assert qubit_depth > 3 * qutrit_depth

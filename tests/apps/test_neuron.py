@@ -1,0 +1,89 @@
+"""Tests for the artificial quantum neuron (Sec. 5.1)."""
+
+from itertools import product
+
+import numpy as np
+import pytest
+
+from repro.apps.neuron import QuantumNeuron
+from repro.exceptions import DecompositionError
+
+
+class TestActivation:
+    def test_matching_input_fully_activates(self):
+        weights = [1, -1, -1, 1]
+        neuron = QuantumNeuron(2, weights)
+        assert np.isclose(
+            neuron.activation_probability(weights), 1.0, atol=1e-7
+        )
+
+    def test_orthogonal_input_never_activates(self):
+        weights = [1, 1, 1, 1]
+        inputs = [1, -1, 1, -1]  # dot = 0
+        neuron = QuantumNeuron(2, weights)
+        assert np.isclose(
+            neuron.activation_probability(inputs), 0.0, atol=1e-9
+        )
+
+    def test_matches_classical_for_all_two_bit_patterns(self):
+        weights = [1, -1, 1, 1]
+        neuron = QuantumNeuron(2, weights)
+        for signs in product([-1, 1], repeat=4):
+            quantum = neuron.activation_probability(list(signs))
+            classical = neuron.classical_activation(list(signs))
+            assert np.isclose(quantum, classical, atol=1e-7)
+
+    def test_three_bit_neuron_spot_checks(self):
+        weights = [1, 1, -1, 1, -1, -1, 1, 1]
+        neuron = QuantumNeuron(3, weights)
+        for signs in (
+            weights,
+            [1] * 8,
+            [1, -1, 1, -1, 1, -1, 1, -1],
+        ):
+            assert np.isclose(
+                neuron.activation_probability(signs),
+                neuron.classical_activation(signs),
+                atol=1e-7,
+            )
+
+    def test_qubit_construction_agrees(self):
+        weights = [1, -1, -1, 1]
+        inputs = [1, 1, -1, 1]
+        qutrit = QuantumNeuron(2, weights)
+        qubit = QuantumNeuron(2, weights, construction="qubit_cascade")
+        assert np.isclose(
+            qutrit.activation_probability(inputs),
+            qubit.activation_probability(inputs),
+            atol=1e-6,
+        )
+
+
+class TestValidation:
+    def test_weight_length_checked(self):
+        with pytest.raises(ValueError):
+            QuantumNeuron(2, [1, -1])
+
+    def test_weight_values_checked(self):
+        with pytest.raises(ValueError):
+            QuantumNeuron(2, [1, 0, 1, 1])
+
+    def test_input_length_checked(self):
+        neuron = QuantumNeuron(2, [1, 1, 1, 1])
+        with pytest.raises(ValueError):
+            neuron.activation_probability([1, 1])
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            QuantumNeuron(1, [1, 1])
+
+    def test_construction_validated(self):
+        with pytest.raises(DecompositionError):
+            QuantumNeuron(2, [1, 1, 1, 1], construction="bogus")
+
+    def test_ancilla_free_on_qutrits(self):
+        neuron = QuantumNeuron(2, [1, 1, 1, 1])
+        circuit = neuron.build_circuit([1, 1, 1, 1])
+        assert set(circuit.all_qudits()) <= set(
+            neuron.register + [neuron.output]
+        )

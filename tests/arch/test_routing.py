@@ -1,0 +1,182 @@
+"""Tests for the SWAP router (Sec. 9's connectivity discussion)."""
+
+from itertools import product
+
+import pytest
+
+from repro.arch.routing import route_circuit, swap_gate
+from repro.arch.topology import all_to_all, grid_2d, line
+from repro.circuits.circuit import Circuit
+from repro.exceptions import SchedulingError
+from repro.gates.controlled import ControlledGate
+from repro.gates.qubit import CNOT, H, X
+from repro.gates.qutrit import X01, X_PLUS_1
+from repro.qudits import qubits, qutrits
+from repro.sim.classical import ClassicalSimulator
+from repro.toffoli.qutrit_tree import build_qutrit_tree
+from repro.toffoli.spec import GeneralizedToffoli
+
+
+class TestSwapGate:
+    def test_qubit_swap(self):
+        gate = swap_gate(2)
+        assert gate.classical_action((1, 0)) == (0, 1)
+
+    def test_qutrit_swap(self):
+        gate = swap_gate(3)
+        for a in range(3):
+            for b in range(3):
+                assert gate.classical_action((a, b)) == (b, a)
+
+    def test_swap_is_involution(self):
+        gate = swap_gate(3)
+        for a in range(3):
+            for b in range(3):
+                assert gate.classical_action(
+                    gate.classical_action((a, b))
+                ) == (a, b)
+
+
+def _route_and_check(circuit, wires, topology):
+    """Route and verify outputs match the original on all binary inputs."""
+    routed = route_circuit(circuit, topology, wires=wires)
+    sim = ClassicalSimulator()
+    for values in product([0, 1], repeat=len(wires)):
+        expected = sim.run(circuit, dict(zip(wires, values)))
+        # Run the routed circuit: site wires, initial placement order.
+        site_values = {site: 0 for site in routed.sites}
+        for wire, value in zip(wires, values):
+            site_values[routed.sites[routed.initial_placement[wire]]] = value
+        out = sim.run(routed.circuit, site_values)
+        for wire in wires:
+            assert out[routed.output_site(wire)] == expected[wire], (
+                topology.name,
+                values,
+            )
+    return routed
+
+
+class TestRouting:
+    def test_all_to_all_inserts_no_swaps(self):
+        wires = qutrits(4)
+        circuit = Circuit(
+            [
+                ControlledGate(X_PLUS_1, (3,), (1,)).on(wires[0], wires[3]),
+                ControlledGate(X01, (3,), (2,)).on(wires[3], wires[1]),
+            ]
+        )
+        routed = _route_and_check(circuit, wires, all_to_all(4))
+        assert routed.swap_count == 0
+        assert routed.depth == circuit.depth
+
+    def test_line_routing_correct(self):
+        wires = qutrits(4)
+        circuit = Circuit(
+            [
+                ControlledGate(X_PLUS_1, (3,), (1,)).on(wires[0], wires[3]),
+                ControlledGate(X01, (3,), (2,)).on(wires[3], wires[0]),
+            ]
+        )
+        routed = _route_and_check(circuit, wires, line(4))
+        assert routed.swap_count > 0
+
+    def test_grid_routing_correct(self):
+        wires = qutrits(6)
+        circuit = Circuit(
+            [
+                ControlledGate(X_PLUS_1, (3,), (1,)).on(wires[0], wires[5]),
+                ControlledGate(X01, (3,), (2,)).on(wires[5], wires[2]),
+                X_PLUS_1.on(wires[4]),
+            ]
+        )
+        _route_and_check(circuit, wires, grid_2d(2, 3))
+
+    def test_routed_tree_still_computes_toffoli(self):
+        result = build_qutrit_tree(GeneralizedToffoli(5), decompose=False)
+        # The undecomposed tree has 3-wire gates: route the decomposed one.
+        # Decomposed gates are non-classical, so check a statevector point.
+        lowered = build_qutrit_tree(GeneralizedToffoli(5))
+        routed = route_circuit(lowered.circuit, line(6))
+        from repro.sim.statevector import StateVectorSimulator
+
+        sim = StateVectorSimulator()
+        wires = lowered.controls + [lowered.target]
+        values = {site: 0 for site in routed.sites}
+        for wire in lowered.controls:
+            values[routed.sites[routed.initial_placement[wire]]] = 1
+        state = sim.run_basis(
+            routed.circuit, routed.sites, [values[s] for s in routed.sites]
+        )
+        expected = [values[s] for s in routed.sites]
+        expected[
+            routed.sites.index(routed.output_site(lowered.target))
+        ] ^= 1
+        assert state.probability_of(expected) == pytest.approx(1.0, abs=1e-6)
+
+    def test_single_qudit_gates_follow_placement(self):
+        wires = qubits(3)
+        circuit = Circuit(
+            [CNOT.on(wires[0], wires[2]), X.on(wires[0]), H.on(wires[2])]
+        )
+        routed = route_circuit(circuit, line(3))
+        assert routed.circuit.num_operations >= circuit.num_operations
+
+    def test_mixed_dimensions_rejected(self):
+        from repro.qudits import Qudit
+
+        a, b = Qudit(0, 2), Qudit(1, 3)
+        circuit = Circuit(
+            [ControlledGate(X_PLUS_1, (2,), (1,)).on(a, b)]
+        )
+        with pytest.raises(SchedulingError):
+            route_circuit(circuit, line(2))
+
+    def test_too_small_device_rejected(self):
+        wires = qubits(3)
+        circuit = Circuit([CNOT.on(wires[0], wires[2])])
+        with pytest.raises(SchedulingError):
+            route_circuit(circuit, line(2), wires=wires)
+
+    def test_wire_list_must_cover_circuit(self):
+        wires = qubits(3)
+        circuit = Circuit([CNOT.on(wires[0], wires[2])])
+        with pytest.raises(SchedulingError):
+            route_circuit(circuit, line(3), wires=wires[:1])
+
+    def test_wide_gates_rejected(self):
+        wires = qubits(3)
+        gate = ControlledGate(X, (2, 2))
+        with pytest.raises(SchedulingError):
+            route_circuit(Circuit([gate.on(*wires)]), line(3))
+
+    def test_empty_circuit(self):
+        routed = route_circuit(Circuit(), line(2))
+        assert routed.swap_count == 0
+        assert routed.depth == 0
+
+
+class TestSection9Asymptotics:
+    """The discussion the package exists for: topology inflates depth."""
+
+    def test_constrained_topologies_cost_more_depth(self):
+        lowered = build_qutrit_tree(GeneralizedToffoli(8))
+        n_wires = 9
+        on_full = route_circuit(lowered.circuit, all_to_all(n_wires))
+        on_grid = route_circuit(lowered.circuit, grid_2d(3, 3))
+        on_line = route_circuit(lowered.circuit, line(n_wires))
+        assert on_full.depth <= on_grid.depth <= on_line.depth
+        assert on_full.swap_count == 0 < on_grid.swap_count
+
+    def test_grid_beats_line_asymptotically(self):
+        # sqrt(N) vs N distances: the grid's swap overhead grows slower.
+        def swaps(topology_factory, n_controls, sites):
+            lowered = build_qutrit_tree(GeneralizedToffoli(n_controls))
+            return route_circuit(
+                lowered.circuit, topology_factory(sites)
+            ).swap_count
+
+        line_growth = swaps(line, 24, 25) / max(1, swaps(line, 8, 9))
+        grid_growth = swaps(lambda n: grid_2d(5, 5), 24, 25) / max(
+            1, swaps(lambda n: grid_2d(3, 3), 8, 9)
+        )
+        assert grid_growth < line_growth

@@ -1,0 +1,71 @@
+"""Tests for device coupling graphs."""
+
+import pytest
+
+from repro.arch.topology import CouplingGraph, all_to_all, grid_2d, line
+
+
+class TestConstruction:
+    def test_all_to_all_everything_adjacent(self):
+        graph = all_to_all(5)
+        for a in range(5):
+            for b in range(5):
+                if a != b:
+                    assert graph.are_adjacent(a, b)
+
+    def test_line_adjacency(self):
+        graph = line(4)
+        assert graph.are_adjacent(0, 1)
+        assert not graph.are_adjacent(0, 2)
+
+    def test_grid_adjacency(self):
+        graph = grid_2d(2, 3)
+        assert graph.size == 6
+        assert graph.are_adjacent(0, 1)   # same row
+        assert graph.are_adjacent(0, 3)   # same column
+        assert not graph.are_adjacent(0, 4)  # diagonal
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingGraph(3, [(1, 1)], "bad")
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingGraph(3, [(0, 3)], "bad")
+
+
+class TestMetrics:
+    def test_line_distance(self):
+        graph = line(6)
+        assert graph.distance(0, 5) == 5
+        assert graph.distance(2, 2) == 0
+
+    def test_grid_distance_is_manhattan(self):
+        graph = grid_2d(4, 4)
+        # site 0 = (0,0), site 15 = (3,3).
+        assert graph.distance(0, 15) == 6
+
+    def test_diameters(self):
+        assert all_to_all(7).diameter() == 1
+        assert line(7).diameter() == 6
+        assert grid_2d(3, 3).diameter() == 4
+
+    def test_connectivity(self):
+        assert line(5).is_connected()
+        disconnected = CouplingGraph(4, [(0, 1), (2, 3)], "split")
+        assert not disconnected.is_connected()
+
+    def test_shortest_path_step_makes_progress(self):
+        graph = grid_2d(3, 3)
+        here, target = 0, 8
+        hops = 0
+        while here != target:
+            nxt = graph.shortest_path_step(here, target)
+            assert graph.distance(nxt, target) == graph.distance(here, target) - 1
+            here = nxt
+            hops += 1
+        assert hops == graph.distance(0, 8)
+
+    def test_shortest_path_step_rejects_same_site(self):
+        with pytest.raises(ValueError):
+            line(3).shortest_path_step(1, 1)

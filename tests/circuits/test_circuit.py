@@ -1,0 +1,143 @@
+"""Tests for ASAP-scheduled circuits."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import SchedulingError, SimulationError
+from repro.gates.controlled import ControlledGate
+from repro.gates.qubit import CNOT, H, X, Z
+from repro.gates.qutrit import X01, X_PLUS_1
+from repro.linalg import allclose_up_to_global_phase
+from repro.qudits import Qudit, qubits, qutrits
+
+
+class TestScheduling:
+    def test_parallel_gates_share_a_moment(self):
+        a, b = qubits(2)
+        circuit = Circuit([X.on(a), X.on(b)])
+        assert circuit.depth == 1
+        assert len(circuit.moments[0]) == 2
+
+    def test_dependent_gates_stack(self):
+        a, b = qubits(2)
+        circuit = Circuit([X.on(a), CNOT.on(a, b), X.on(b)])
+        assert circuit.depth == 3
+
+    def test_asap_slides_past_busy_wires(self):
+        a, b, c = qubits(3)
+        circuit = Circuit([CNOT.on(a, b), X.on(c)])
+        # X on c is independent, so it shares moment 0.
+        assert circuit.depth == 1
+
+    def test_independent_chains_interleave(self):
+        a, b, c, d = qubits(4)
+        circuit = Circuit([X.on(a), X.on(b), CNOT.on(a, b), X.on(c), X.on(d)])
+        assert circuit.depth == 2  # CNOT in moment 1; all X's in moment 0
+
+    def test_append_moment_is_a_barrier(self):
+        a, b = qubits(2)
+        circuit = Circuit([X.on(a)])
+        circuit.append_moment([X.on(b)])
+        circuit.append([X.on(b)])
+        # The explicit moment forces X(b) to moment 1; next lands at 2.
+        assert circuit.depth == 3
+
+    def test_barrier_blocks_sliding(self):
+        a, b = qubits(2)
+        circuit = Circuit([X.on(a)])
+        circuit.barrier()
+        circuit.append([X.on(b)])
+        assert circuit.depth == 2
+
+    def test_nested_op_trees_flatten(self):
+        a, b = qubits(2)
+        circuit = Circuit([[X.on(a)], [[H.on(b)]]])
+        assert circuit.num_operations == 2
+
+
+class TestMetrics:
+    def test_gate_counts(self):
+        a, b, c = qubits(3)
+        circuit = Circuit([X.on(a), CNOT.on(a, b), CNOT.on(b, c), H.on(a)])
+        assert circuit.num_operations == 4
+        assert circuit.two_qudit_gate_count == 2
+        assert circuit.single_qudit_gate_count == 2
+
+    def test_max_gate_width(self):
+        a, b, c = qubits(3)
+        wide = ControlledGate(X, (2, 2)).on(a, b, c)
+        assert Circuit([wide]).max_gate_width() == 3
+
+    def test_all_qudits_sorted(self):
+        a, b = Qudit(5, 2), Qudit(1, 2)
+        circuit = Circuit([X.on(a), X.on(b)])
+        assert circuit.all_qudits() == [b, a]
+
+    def test_empty_circuit(self):
+        circuit = Circuit()
+        assert circuit.depth == 0
+        assert circuit.num_operations == 0
+        assert circuit.max_gate_width() == 0
+
+
+class TestInverseAndComposition:
+    def test_inverse_reverses_unitary(self):
+        a, b = qutrits(2)
+        circuit = Circuit(
+            [X_PLUS_1.on(a), ControlledGate(X01, (3,), (2,)).on(a, b)]
+        )
+        combined = circuit + circuit.inverse()
+        u = combined.unitary([a, b])
+        assert np.allclose(u, np.eye(9), atol=1e-9)
+
+    def test_addition_concatenates(self):
+        a = Qudit(0, 2)
+        c1, c2 = Circuit([X.on(a)]), Circuit([H.on(a)])
+        combined = c1 + c2
+        assert combined.num_operations == 2
+        assert allclose_up_to_global_phase(
+            combined.unitary([a]), H.unitary() @ X.unitary()
+        )
+
+
+class TestDenseSemantics:
+    def test_unitary_of_bell_circuit(self):
+        a, b = qubits(2)
+        circuit = Circuit([H.on(a), CNOT.on(a, b)])
+        u = circuit.unitary([a, b])
+        column = u[:, 0]
+        expected = np.zeros(4, dtype=complex)
+        expected[0] = expected[3] = 1 / np.sqrt(2)
+        assert np.allclose(column, expected)
+
+    def test_unitary_respects_wire_order(self):
+        a, b = qubits(2)
+        circuit = Circuit([CNOT.on(a, b)])
+        u_ab = circuit.unitary([a, b])
+        u_ba = circuit.unitary([b, a])
+        assert not np.allclose(u_ab, u_ba)
+
+    def test_unitary_missing_wire_rejected(self):
+        a, b = qubits(2)
+        circuit = Circuit([CNOT.on(a, b)])
+        with pytest.raises(SimulationError):
+            circuit.unitary([a])
+
+    def test_unitary_size_guard(self):
+        wires = qubits(15)
+        circuit = Circuit([X.on(w) for w in wires])
+        with pytest.raises(SimulationError):
+            circuit.unitary(wires)
+
+    def test_classical_map(self):
+        a, b = qubits(2)
+        circuit = Circuit([X.on(a), CNOT.on(a, b)])
+        out = circuit.classical_map({a: 0, b: 0})
+        assert out == {a: 1, b: 1}
+
+    def test_classical_map_missing_input(self):
+        a, b = qubits(2)
+        circuit = Circuit([CNOT.on(a, b)])
+        with pytest.raises(SchedulingError):
+            circuit.classical_map({a: 1})

@@ -1,0 +1,58 @@
+"""Tests for text diagrams."""
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.diagram import to_text_diagram
+from repro.gates.controlled import ControlledGate
+from repro.gates.qubit import CNOT, H
+from repro.gates.qutrit import X01, X_PLUS_1
+from repro.qudits import qubits, qutrits
+
+
+class TestDiagram:
+    def test_empty_circuit(self):
+        assert to_text_diagram(Circuit()) == "(empty circuit)"
+
+    def test_every_wire_gets_a_row(self):
+        a, b, c = qutrits(3)
+        circuit = Circuit(
+            [ControlledGate(X_PLUS_1, (3,), (1,)).on(a, b), X01.on(c)]
+        )
+        text = to_text_diagram(circuit)
+        assert len(text.splitlines()) == 3
+
+    def test_control_values_shown(self):
+        a, b = qutrits(2)
+        circuit = Circuit([ControlledGate(X01, (3,), (2,)).on(a, b)])
+        text = to_text_diagram(circuit)
+        assert "@2" in text
+        assert "X01" in text
+
+    def test_figure4_toffoli_shape(self):
+        # The paper's Figure 4: |1>-controlled X+1, |2>-controlled X01,
+        # then the restoring X-1.
+        q0, q1, q2 = qutrits(3)
+        circuit = Circuit(
+            [
+                ControlledGate(X_PLUS_1, (3,), (1,)).on(q0, q1),
+                ControlledGate(X01, (3,), (2,)).on(q1, q2),
+                ControlledGate(
+                    X_PLUS_1.inverse(), (3,), (1,)
+                ).on(q0, q1),
+            ]
+        )
+        text = to_text_diagram(circuit)
+        assert "@1" in text and "@2" in text
+        assert text.count("@1") == 2
+
+    def test_truncation(self):
+        a = qubits(1)[0]
+        circuit = Circuit([H.on(a) for _ in range(10)])
+        text = to_text_diagram(circuit, max_moments=3)
+        assert "..." in text
+
+    def test_moment_alignment(self):
+        a, b = qubits(2)
+        circuit = Circuit([H.on(a), CNOT.on(a, b)])
+        rows = to_text_diagram(circuit).splitlines()
+        # Both rows have identical length (columns aligned).
+        assert len(rows[0]) == len(rows[1])

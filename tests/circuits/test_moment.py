@@ -1,0 +1,53 @@
+"""Tests for moments of simultaneous operations."""
+
+import pytest
+
+from repro.circuits.moment import Moment
+from repro.exceptions import SchedulingError
+from repro.gates.qubit import CNOT, H, X
+from repro.qudits import qubits
+
+
+class TestMoment:
+    def test_disjoint_operations_allowed(self):
+        a, b, c = qubits(3)
+        moment = Moment([X.on(a), CNOT.on(b, c)])
+        assert len(moment) == 2
+        assert moment.qudits == {a, b, c}
+
+    def test_overlapping_operations_rejected(self):
+        a, b = qubits(2)
+        with pytest.raises(SchedulingError):
+            Moment([X.on(a), CNOT.on(a, b)])
+
+    def test_has_multi_qudit_gate(self):
+        a, b, c = qubits(3)
+        assert Moment([CNOT.on(a, b)]).has_multi_qudit_gate
+        assert not Moment([X.on(a), H.on(c)]).has_multi_qudit_gate
+
+    def test_operates_on(self):
+        a, b, c = qubits(3)
+        moment = Moment([CNOT.on(a, b)])
+        assert moment.operates_on([a])
+        assert not moment.operates_on([c])
+
+    def test_with_operation_checks_overlap(self):
+        a, b = qubits(2)
+        moment = Moment([X.on(a)])
+        extended = moment.with_operation(H.on(b))
+        assert len(extended) == 2
+        with pytest.raises(SchedulingError):
+            extended.with_operation(X.on(a))
+
+    def test_inverse_inverts_each_op(self):
+        a, b = qubits(2)
+        moment = Moment([CNOT.on(a, b)])
+        inv = moment.inverse()
+        assert len(inv) == 1
+        # CNOT is self-inverse.
+        assert inv.operations[0] == CNOT.on(a, b)
+
+    def test_empty_moment(self):
+        moment = Moment()
+        assert len(moment) == 0
+        assert not moment.has_multi_qudit_gate

@@ -1,0 +1,69 @@
+"""Tests for gate operations bound to wires."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.operation import GateOperation
+from repro.exceptions import DimensionMismatchError
+from repro.gates.controlled import ControlledGate
+from repro.gates.qubit import CNOT, H, X
+from repro.gates.qutrit import X01, X_PLUS_1
+from repro.qudits import Qudit, qubits
+
+
+class TestConstruction:
+    def test_wire_count_must_match_gate(self):
+        with pytest.raises(DimensionMismatchError):
+            GateOperation(CNOT, (Qudit(0, 2),))
+
+    def test_wire_dimensions_must_match_gate(self):
+        with pytest.raises(DimensionMismatchError):
+            GateOperation(X01, (Qudit(0, 2),))
+
+    def test_duplicate_wires_rejected(self):
+        wire = Qudit(0, 2)
+        with pytest.raises(ValueError):
+            GateOperation(CNOT, (wire, wire))
+
+    def test_is_multi_qudit(self):
+        a, b = qubits(2)
+        assert CNOT.on(a, b).is_multi_qudit
+        assert not X.on(a).is_multi_qudit
+
+
+class TestSemantics:
+    def test_classical_action_returns_touched_wires(self):
+        a, b = qubits(2)
+        out = CNOT.on(a, b).classical_action({a: 1, b: 0})
+        assert out == {a: 1, b: 1}
+
+    def test_inverse_operation(self):
+        t = Qudit(0, 3)
+        op = X_PLUS_1.on(t)
+        inv = op.inverse()
+        assert inv.qudits == op.qudits
+        assert np.allclose(
+            inv.unitary() @ op.unitary(), np.eye(3), atol=1e-9
+        )
+
+    def test_with_wires_remap(self):
+        a, b = qubits(2)
+        c, d = qubits(2, start=10)
+        op = CNOT.on(a, b).with_wires({a: c, b: d})
+        assert op.qudits == (c, d)
+
+    def test_with_wires_rejects_dim_change(self):
+        a, b = qubits(2)
+        with pytest.raises(DimensionMismatchError):
+            CNOT.on(a, b).with_wires({a: Qudit(10, 3)})
+
+    def test_equality_uses_matrix(self):
+        a = Qudit(0, 2)
+        assert X.on(a) == X.on(a)
+        assert X.on(a) != H.on(a)
+
+    def test_controlled_operation_classical(self):
+        c, t = Qudit(0, 3), Qudit(1, 3)
+        op = ControlledGate(X_PLUS_1, (3,), (2,)).on(c, t)
+        assert op.classical_action({c: 2, t: 0}) == {c: 2, t: 1}
+        assert op.classical_action({c: 1, t: 0}) == {c: 1, t: 0}

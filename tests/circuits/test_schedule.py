@@ -1,0 +1,38 @@
+"""Tests for moment timing."""
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.moment import Moment
+from repro.circuits.schedule import (
+    moment_duration,
+    schedule_durations,
+    total_duration,
+)
+from repro.gates.qubit import CNOT, H, X
+from repro.qudits import qubits
+
+
+class TestDurations:
+    def test_single_qudit_moment_duration(self):
+        a, b = qubits(2)
+        moment = Moment([X.on(a), H.on(b)])
+        assert moment_duration(moment, 1e-7, 3e-7) == 1e-7
+
+    def test_two_qudit_moment_duration(self):
+        a, b, c = qubits(3)
+        moment = Moment([CNOT.on(a, b), X.on(c)])
+        assert moment_duration(moment, 1e-7, 3e-7) == 3e-7
+
+    def test_schedule_durations_per_moment(self):
+        a, b = qubits(2)
+        circuit = Circuit([X.on(a), CNOT.on(a, b), H.on(b)])
+        durations = schedule_durations(circuit.moments, 1.0, 3.0)
+        assert durations == [1.0, 3.0, 1.0]
+
+    def test_total_duration(self):
+        a, b = qubits(2)
+        circuit = Circuit([X.on(a), CNOT.on(a, b), H.on(b)])
+        assert total_duration(circuit.moments, 1.0, 3.0) == 5.0
+
+    def test_empty_schedule(self):
+        assert schedule_durations([], 1.0, 3.0) == []
+        assert total_duration([], 1.0, 3.0) == 0.0

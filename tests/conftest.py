@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import ClassicalSimulator, StateVectorSimulator
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG; tests that need randomness share this seed."""
+    return np.random.default_rng(20190622)  # the paper's conference date
+
+
+@pytest.fixture
+def classical_sim() -> ClassicalSimulator:
+    return ClassicalSimulator()
+
+
+@pytest.fixture
+def state_sim() -> StateVectorSimulator:
+    return StateVectorSimulator()

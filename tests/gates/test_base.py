@@ -1,0 +1,110 @@
+"""Tests for the gate abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, NotClassicalError
+from repro.gates.base import (
+    PermutationGate,
+    PhasedGate,
+    index_to_values,
+    values_to_index,
+)
+from repro.gates.qubit import H, X
+from repro.qudits import Qudit
+
+
+class TestMixedRadix:
+    def test_roundtrip_qutrits(self):
+        dims = (3, 3, 3)
+        for index in range(27):
+            values = index_to_values(index, dims)
+            assert values_to_index(values, dims) == index
+
+    def test_first_wire_most_significant(self):
+        assert values_to_index((1, 0), (2, 2)) == 2
+        assert values_to_index((0, 1), (2, 2)) == 1
+
+    def test_mixed_dimensions(self):
+        dims = (2, 3)
+        assert values_to_index((1, 2), dims) == 5
+        assert index_to_values(5, dims) == (1, 2)
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(ValueError):
+            values_to_index((2,), (2,))
+
+
+class TestPermutationGate:
+    def test_unitary_matches_mapping(self):
+        gate = PermutationGate([1, 2, 0], (3,), "shift")
+        u = gate.unitary()
+        assert np.allclose(u @ np.eye(3)[:, 0], np.eye(3)[:, 1])
+
+    def test_classical_action(self):
+        gate = PermutationGate([1, 2, 0], (3,), "shift")
+        assert gate.classical_action((0,)) == (1,)
+        assert gate.classical_action((2,)) == (0,)
+
+    def test_inverse_roundtrip(self):
+        gate = PermutationGate([1, 2, 0], (3,), "shift")
+        inv = gate.inverse()
+        for v in range(3):
+            forward = gate.classical_action((v,))
+            assert inv.classical_action(forward) == (v,)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            PermutationGate([0, 0, 1], (3,), "bad")
+
+    def test_is_classical(self):
+        assert PermutationGate([0, 1], (2,), "id").is_classical
+
+
+class TestPhasedGate:
+    def test_diagonal_unitary(self):
+        gate = PhasedGate([1, 1j, -1], (3,), "phases")
+        assert np.allclose(gate.unitary(), np.diag([1, 1j, -1]))
+
+    def test_rejects_non_unit_phases(self):
+        with pytest.raises(ValueError):
+            PhasedGate([1, 0.5], (2,), "bad")
+
+    def test_inverse_conjugates(self):
+        gate = PhasedGate([1, 1j], (2,), "s")
+        assert np.allclose(
+            gate.inverse().unitary(), np.diag([1, -1j])
+        )
+
+    def test_identity_phase_is_classical(self):
+        assert PhasedGate([1, 1], (2,), "id").is_classical
+
+    def test_nontrivial_phase_is_not_classical(self):
+        gate = PhasedGate([1, 1j], (2,), "s")
+        assert not gate.is_classical
+        with pytest.raises(NotClassicalError):
+            gate.classical_action((1,))
+
+
+class TestGateProtocol:
+    def test_num_qudits_and_total_dim(self):
+        gate = PermutationGate(list(range(6)), (2, 3), "id")
+        assert gate.num_qudits == 2
+        assert gate.total_dim == 6
+
+    def test_default_inverse_via_matrix(self):
+        inv = H.inverse()
+        assert np.allclose(inv.unitary() @ H.unitary(), np.eye(2), atol=1e-9)
+
+    def test_on_builds_operation(self):
+        wire = Qudit(0, 2)
+        op = X.on(wire)
+        assert op.qudits == (wire,)
+
+    def test_validate_wires_arity(self):
+        with pytest.raises(DimensionMismatchError):
+            X.validate_wires([Qudit(0, 2), Qudit(1, 2)])
+
+    def test_validate_wires_dimension(self):
+        with pytest.raises(DimensionMismatchError):
+            X.validate_wires([Qudit(0, 3)])

@@ -1,0 +1,117 @@
+"""Tests for controlled gates with arbitrary activation values."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, NotClassicalError
+from repro.gates.controlled import ControlledGate, controlled
+from repro.gates.qubit import H, X, Z
+from repro.gates.qutrit import X01, X_PLUS_1, Z3
+from repro.linalg import is_unitary
+
+
+class TestConstruction:
+    def test_default_control_values_are_ones(self):
+        gate = ControlledGate(X, (2, 2))
+        assert gate.control_values == (1, 1)
+
+    def test_dims_are_controls_then_target(self):
+        gate = ControlledGate(X01, (3, 2), (2, 0))
+        assert gate.dims == (3, 2, 3)
+
+    def test_value_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ControlledGate(X, (2,), (2,))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            ControlledGate(X, (2, 2), (1,))
+
+    def test_needs_a_control(self):
+        with pytest.raises(ValueError):
+            ControlledGate(X, ())
+
+
+class TestUnitary:
+    def test_cnot_block_structure(self):
+        u = ControlledGate(X, (2,)).unitary()
+        expected = np.eye(4, dtype=complex)
+        expected[2:, 2:] = X.unitary()
+        assert np.allclose(u, expected)
+
+    def test_zero_valued_control_block(self):
+        u = ControlledGate(X, (2,), (0,)).unitary()
+        expected = np.eye(4, dtype=complex)
+        expected[:2, :2] = X.unitary()
+        assert np.allclose(u, expected)
+
+    def test_two_controlled_on_twos(self):
+        # The paper's interior tree gate: |2>,|2>-controlled X+1.
+        gate = ControlledGate(X_PLUS_1, (3, 3), (2, 2))
+        u = gate.unitary()
+        assert is_unitary(u)
+        # Active block is the last 3x3 (control index 2*3+2 = 8).
+        assert np.allclose(u[24:, 24:], X_PLUS_1.unitary())
+        assert np.allclose(u[:24, :24], np.eye(24))
+
+    def test_controlled_is_unitary_for_nonclassical_sub(self):
+        assert is_unitary(ControlledGate(H, (3,), (2,)).unitary())
+
+
+class TestClassicalAction:
+    def test_fires_only_on_match(self):
+        gate = ControlledGate(X_PLUS_1, (3,), (2,))
+        assert gate.classical_action((2, 1)) == (2, 2)
+        assert gate.classical_action((1, 1)) == (1, 1)
+        assert gate.classical_action((0, 1)) == (0, 1)
+
+    def test_multi_control_requires_all(self):
+        gate = ControlledGate(X, (2, 2), (1, 1))
+        assert gate.classical_action((1, 0, 0)) == (1, 0, 0)
+        assert gate.classical_action((1, 1, 0)) == (1, 1, 1)
+
+    def test_zero_value_controls(self):
+        gate = ControlledGate(X, (2, 2), (0, 0))
+        assert gate.classical_action((0, 0, 0)) == (0, 0, 1)
+        assert gate.classical_action((0, 1, 0)) == (0, 1, 0)
+
+    def test_nonclassical_sub_gate_raises_even_when_inactive(self):
+        gate = ControlledGate(H, (2,), (1,))
+        with pytest.raises(NotClassicalError):
+            gate.classical_action((0, 0))
+
+    def test_permutation_table_matches_unitary(self):
+        gate = ControlledGate(X01, (3,), (2,))
+        from repro.linalg import permutation_of
+
+        assert gate._permutation() == permutation_of(gate.unitary())
+
+
+class TestInverse:
+    def test_inverse_keeps_controls(self):
+        gate = ControlledGate(X_PLUS_1, (3, 3), (1, 2))
+        inv = gate.inverse()
+        assert inv.control_values == (1, 2)
+        assert np.allclose(
+            inv.unitary() @ gate.unitary(), np.eye(27), atol=1e-9
+        )
+
+    def test_self_inverse_controlled_z(self):
+        gate = ControlledGate(Z, (2,))
+        assert np.allclose(
+            gate.unitary() @ gate.unitary(), np.eye(4)
+        )
+
+
+class TestConveniences:
+    def test_controlled_defaults(self):
+        gate = controlled(X)
+        assert gate.control_values == (1,)
+        assert gate.control_dims == (2,)
+
+    def test_controlled_infers_qutrit_for_value_two(self):
+        gate = controlled(Z3, control_values=(2,))
+        assert gate.control_dims == (3,)
+
+    def test_name_mentions_values(self):
+        assert "2" in ControlledGate(X01, (3,), (2,)).name

@@ -1,0 +1,157 @@
+"""Tests for gate decompositions — the compositional bedrock.
+
+Every construction's correctness reduces to these identities, so they are
+checked exhaustively over activation values and against random targets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import DecompositionError
+from repro.gates.controlled import ControlledGate
+from repro.gates.decompositions import (
+    decompose_all,
+    decompose_controlled_controlled_u,
+    decompose_operation,
+    toffoli_to_cnots,
+    two_controlled_qubit_u,
+)
+from repro.gates.matrix import MatrixGate
+from repro.gates.qubit import TOFFOLI, X
+from repro.gates.qutrit import X01, X02, X_PLUS_1
+from repro.linalg import allclose_up_to_global_phase, random_unitary
+from repro.qudits import Qudit
+
+
+def circuit_unitary(ops, wires):
+    return Circuit(ops).unitary(wires)
+
+
+class TestToffoliToCnots:
+    def test_matches_toffoli_exactly(self):
+        a, b, t = Qudit(0, 2), Qudit(1, 2), Qudit(2, 2)
+        u = circuit_unitary(toffoli_to_cnots(a, b, t), [a, b, t])
+        assert np.allclose(u, TOFFOLI.unitary(), atol=1e-9)
+
+    def test_uses_six_cnots(self):
+        a, b, t = Qudit(0, 2), Qudit(1, 2), Qudit(2, 2)
+        ops = toffoli_to_cnots(a, b, t)
+        two_qubit = [op for op in ops if op.num_qudits == 2]
+        assert len(two_qubit) == 6
+        assert len(ops) == 15
+
+
+class TestTwoControlledQubitU:
+    @pytest.mark.parametrize("values", [(1, 1), (0, 1), (1, 0), (0, 0)])
+    def test_all_activation_values(self, values):
+        a, b, t = Qudit(0, 2), Qudit(1, 2), Qudit(2, 2)
+        ops = two_controlled_qubit_u(a, b, t, X, values)
+        u = circuit_unitary(ops, [a, b, t])
+        ref = ControlledGate(X, (2, 2), values).unitary()
+        assert allclose_up_to_global_phase(u, ref)
+
+    def test_random_target_unitary(self):
+        rng = np.random.default_rng(11)
+        target_u = MatrixGate(random_unitary(2, rng), (2,), "R")
+        a, b, t = Qudit(0, 2), Qudit(1, 2), Qudit(2, 2)
+        ops = two_controlled_qubit_u(a, b, t, target_u)
+        u = circuit_unitary(ops, [a, b, t])
+        ref = ControlledGate(target_u, (2, 2)).unitary()
+        assert allclose_up_to_global_phase(u, ref)
+
+    def test_five_two_qubit_gates(self):
+        a, b, t = Qudit(0, 2), Qudit(1, 2), Qudit(2, 2)
+        ops = two_controlled_qubit_u(a, b, t, X)
+        assert sum(1 for op in ops if op.num_qudits == 2) == 5
+
+
+class TestCubeRootCascade:
+    """The 7-gate qutrit CC-U decomposition behind the tree construction."""
+
+    @pytest.mark.parametrize(
+        "values",
+        [(1, 1), (2, 2), (1, 2), (2, 1), (0, 1), (0, 2), (2, 0), (0, 0)],
+    )
+    def test_all_qutrit_activation_pairs(self, values):
+        q0, q1, t = Qudit(0, 3), Qudit(1, 3), Qudit(2, 3)
+        ops = decompose_controlled_controlled_u(q0, q1, t, X_PLUS_1, values)
+        u = circuit_unitary(ops, [q0, q1, t])
+        ref = ControlledGate(X_PLUS_1, (3, 3), values).unitary()
+        assert allclose_up_to_global_phase(u, ref)
+
+    @pytest.mark.parametrize("target", [X01, X02, X_PLUS_1])
+    def test_tree_target_gates(self, target):
+        q0, q1, t = Qudit(0, 3), Qudit(1, 3), Qudit(2, 3)
+        ops = decompose_controlled_controlled_u(q0, q1, t, target, (2, 2))
+        u = circuit_unitary(ops, [q0, q1, t])
+        ref = ControlledGate(target, (3, 3), (2, 2)).unitary()
+        assert allclose_up_to_global_phase(u, ref)
+
+    def test_random_qutrit_target(self):
+        rng = np.random.default_rng(13)
+        target = MatrixGate(random_unitary(3, rng), (3,), "R3")
+        q0, q1, t = Qudit(0, 3), Qudit(1, 3), Qudit(2, 3)
+        ops = decompose_controlled_controlled_u(q0, q1, t, target, (1, 2))
+        u = circuit_unitary(ops, [q0, q1, t])
+        ref = ControlledGate(target, (3, 3), (1, 2)).unitary()
+        assert allclose_up_to_global_phase(u, ref)
+
+    def test_mixed_dims_qubit_first_control(self):
+        q0, q1, t = Qudit(0, 2), Qudit(1, 3), Qudit(2, 3)
+        ops = decompose_controlled_controlled_u(q0, q1, t, X01, (1, 2))
+        u = circuit_unitary(ops, [q0, q1, t])
+        ref = ControlledGate(X01, (2, 3), (1, 2)).unitary()
+        assert allclose_up_to_global_phase(u, ref)
+
+    def test_mixed_dims_qubit_second_control_swaps_roles(self):
+        q0, q1, t = Qudit(0, 3), Qudit(1, 2), Qudit(2, 3)
+        ops = decompose_controlled_controlled_u(q0, q1, t, X01, (2, 1))
+        u = circuit_unitary(ops, [q0, q1, t])
+        ref = ControlledGate(X01, (3, 2), (2, 1)).unitary()
+        assert allclose_up_to_global_phase(u, ref)
+
+    def test_seven_two_qudit_gates(self):
+        q0, q1, t = Qudit(0, 3), Qudit(1, 3), Qudit(2, 3)
+        ops = decompose_controlled_controlled_u(q0, q1, t, X_PLUS_1, (1, 1))
+        assert len(ops) == 7
+        assert all(op.num_qudits == 2 for op in ops)
+
+    def test_qubit_controls_with_qutrit_target_use_barenco(self):
+        # Both controls are qubits, so the Barenco 5-gate path applies;
+        # its exponent algebra is target-dimension agnostic.
+        q0, q1, t = Qudit(0, 2), Qudit(1, 2), Qudit(2, 3)
+        ops = decompose_controlled_controlled_u(q0, q1, t, X01, (1, 1))
+        u = circuit_unitary(ops, [q0, q1, t])
+        ref = ControlledGate(X01, (2, 2), (1, 1)).unitary()
+        assert allclose_up_to_global_phase(u, ref)
+
+    def test_qubit_controls_reject_value_two(self):
+        q0, q1, t = Qudit(0, 2), Qudit(1, 2), Qudit(2, 2)
+        with pytest.raises(DecompositionError):
+            decompose_controlled_controlled_u(q0, q1, t, X, (1, 2))
+
+
+class TestDispatch:
+    def test_small_ops_pass_through(self):
+        t = Qudit(0, 3)
+        op = X01.on(t)
+        assert decompose_operation(op) == [op]
+
+    def test_three_qutrit_gate_lowered(self):
+        gate = ControlledGate(X_PLUS_1, (3, 3), (1, 1))
+        wires = [Qudit(0, 3), Qudit(1, 3), Qudit(2, 3)]
+        lowered = decompose_operation(gate.on(*wires))
+        assert all(op.num_qudits <= 2 for op in lowered)
+
+    def test_wider_gates_rejected(self):
+        gate = ControlledGate(X, (2, 2, 2))
+        wires = [Qudit(i, 2) for i in range(4)]
+        with pytest.raises(DecompositionError):
+            decompose_operation(gate.on(*wires))
+
+    def test_decompose_all_flattens(self):
+        gate = ControlledGate(X_PLUS_1, (3, 3), (2, 2))
+        wires = [Qudit(0, 3), Qudit(1, 3), Qudit(2, 3)]
+        ops = decompose_all([gate.on(*wires), X01.on(wires[0])])
+        assert len(ops) == 8  # 7 lowered + 1 passthrough

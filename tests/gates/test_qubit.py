@@ -1,0 +1,140 @@
+"""Tests for the binary gate library."""
+
+import numpy as np
+import pytest
+
+from repro.gates.qubit import (
+    CNOT,
+    CZ,
+    H,
+    P,
+    RX,
+    RY,
+    RZ,
+    S,
+    S_DAG,
+    SQRT_X,
+    SQRT_X_DAG,
+    SWAP,
+    T,
+    T_DAG,
+    TOFFOLI,
+    X,
+    Y,
+    Z,
+    controlled_power_of_x,
+    power_of_x,
+)
+from repro.linalg import allclose_up_to_global_phase, is_unitary
+
+
+class TestPaulis:
+    def test_x_flips(self):
+        assert X.classical_action((0,)) == (1,)
+        assert X.classical_action((1,)) == (0,)
+
+    def test_xyz_anticommutation(self):
+        x, y, z = X.unitary(), Y.unitary(), Z.unitary()
+        assert np.allclose(x @ y + y @ x, 0)
+        assert np.allclose(x @ z + z @ x, 0)
+
+    def test_y_equals_ixz(self):
+        assert np.allclose(Y.unitary(), 1j * X.unitary() @ Z.unitary())
+
+    def test_paulis_square_to_identity(self):
+        for gate in (X, Y, Z):
+            u = gate.unitary()
+            assert np.allclose(u @ u, np.eye(2))
+
+
+class TestCliffordsAndPhases:
+    def test_hadamard_conjugates_x_to_z(self):
+        h = H.unitary()
+        assert np.allclose(h @ X.unitary() @ h, Z.unitary(), atol=1e-9)
+
+    def test_s_squares_to_z(self):
+        s = S.unitary()
+        assert np.allclose(s @ s, Z.unitary())
+
+    def test_t_squares_to_s(self):
+        t = T.unitary()
+        assert np.allclose(t @ t, S.unitary())
+
+    def test_daggers(self):
+        assert np.allclose(S.unitary() @ S_DAG.unitary(), np.eye(2))
+        assert np.allclose(T.unitary() @ T_DAG.unitary(), np.eye(2))
+
+    def test_p_gate_generalises_s_and_t(self):
+        assert np.allclose(P(np.pi / 2).unitary(), S.unitary())
+        assert np.allclose(P(np.pi / 4).unitary(), T.unitary())
+
+    def test_sqrt_x_squares_to_x(self):
+        v = SQRT_X.unitary()
+        assert np.allclose(v @ v, X.unitary())
+        assert np.allclose(
+            SQRT_X.unitary() @ SQRT_X_DAG.unitary(), np.eye(2)
+        )
+
+
+class TestRotations:
+    @pytest.mark.parametrize("theta", [0.1, np.pi / 3, np.pi, 2.7])
+    def test_rotations_are_unitary(self, theta):
+        for rot in (RX, RY, RZ):
+            assert is_unitary(rot(theta).unitary())
+
+    def test_rx_pi_is_x_up_to_phase(self):
+        assert allclose_up_to_global_phase(RX(np.pi).unitary(), X.unitary())
+
+    def test_rz_pi_is_z_up_to_phase(self):
+        assert allclose_up_to_global_phase(RZ(np.pi).unitary(), Z.unitary())
+
+    def test_rotation_composition(self):
+        assert np.allclose(
+            RY(0.3).unitary() @ RY(0.4).unitary(),
+            RY(0.7).unitary(),
+            atol=1e-9,
+        )
+
+
+class TestPowerOfX:
+    def test_power_one_is_x(self):
+        assert power_of_x(1) is X
+
+    def test_half_power_matches_sqrt(self):
+        assert allclose_up_to_global_phase(
+            power_of_x(0.5).unitary(), SQRT_X.unitary()
+        )
+
+    def test_small_angle_power_composes(self):
+        v = power_of_x(1 / 8).unitary()
+        acc = np.eye(2)
+        for _ in range(8):
+            acc = v @ acc
+        assert allclose_up_to_global_phase(acc, X.unitary())
+
+    def test_controlled_power_is_two_qubit(self):
+        gate = controlled_power_of_x(0.25)
+        assert gate.dims == (2, 2)
+        assert is_unitary(gate.unitary())
+
+
+class TestMultiQubit:
+    def test_cnot_truth_table(self):
+        assert CNOT.classical_action((0, 0)) == (0, 0)
+        assert CNOT.classical_action((0, 1)) == (0, 1)
+        assert CNOT.classical_action((1, 0)) == (1, 1)
+        assert CNOT.classical_action((1, 1)) == (1, 0)
+
+    def test_cz_is_diagonal(self):
+        assert np.allclose(CZ.unitary(), np.diag([1, 1, 1, -1]))
+
+    def test_toffoli_truth_table(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                for t in (0, 1):
+                    out = TOFFOLI.classical_action((a, b, t))
+                    assert out == (a, b, t ^ (a & b))
+
+    def test_swap(self):
+        assert SWAP.classical_action((0, 1)) == (1, 0)
+        assert SWAP.classical_action((1, 0)) == (0, 1)

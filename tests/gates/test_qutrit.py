@@ -1,0 +1,133 @@
+"""Tests for the ternary / qudit gate library (paper Sec. 2, Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.gates.qubit import H as QUBIT_H
+from repro.gates.qubit import X as QUBIT_X
+from repro.gates.qutrit import (
+    QUTRIT_H,
+    X01,
+    X02,
+    X12,
+    X_MINUS_1,
+    X_PLUS_1,
+    Z3,
+    clock_gate,
+    embedded_qubit_gate,
+    fourier_gate,
+    identity_gate,
+    level_swap,
+    phase_gate,
+    shift_gate,
+)
+from repro.linalg import is_unitary
+
+
+class TestTranspositions:
+    """The left-hand state diagram of Figure 3."""
+
+    def test_x01_swaps_0_1_fixes_2(self):
+        assert X01.classical_action((0,)) == (1,)
+        assert X01.classical_action((1,)) == (0,)
+        assert X01.classical_action((2,)) == (2,)
+
+    def test_x02_swaps_0_2_fixes_1(self):
+        assert X02.classical_action((0,)) == (2,)
+        assert X02.classical_action((2,)) == (0,)
+        assert X02.classical_action((1,)) == (1,)
+
+    def test_x12_swaps_1_2_fixes_0(self):
+        assert X12.classical_action((1,)) == (2,)
+        assert X12.classical_action((2,)) == (1,)
+        assert X12.classical_action((0,)) == (0,)
+
+    def test_transpositions_are_self_inverse(self):
+        for gate in (X01, X02, X12):
+            u = gate.unitary()
+            assert np.allclose(u @ u, np.eye(3))
+
+    def test_level_swap_rejects_equal_levels(self):
+        with pytest.raises(ValueError):
+            level_swap(3, 1, 1)
+
+
+class TestShifts:
+    """The right-hand state diagram of Figure 3."""
+
+    def test_plus_one_cycles(self):
+        assert X_PLUS_1.classical_action((0,)) == (1,)
+        assert X_PLUS_1.classical_action((1,)) == (2,)
+        assert X_PLUS_1.classical_action((2,)) == (0,)
+
+    def test_minus_one_is_inverse_of_plus_one(self):
+        u = X_PLUS_1.unitary() @ X_MINUS_1.unitary()
+        assert np.allclose(u, np.eye(3))
+
+    def test_plus_one_equals_x01_x12_product(self):
+        # The paper writes X+1 = X01 X12 (operator product: X12 acts first).
+        composed = X01.unitary() @ X12.unitary()
+        assert np.allclose(composed, X_PLUS_1.unitary())
+
+    def test_three_shifts_are_identity(self):
+        u = X_PLUS_1.unitary()
+        assert np.allclose(u @ u @ u, np.eye(3))
+
+    def test_shift_gate_general_d(self):
+        gate = shift_gate(5, 2)
+        assert gate.classical_action((4,)) == (1,)
+
+
+class TestClockAndFourier:
+    def test_z3_phases(self):
+        w = np.exp(2j * np.pi / 3)
+        assert np.allclose(Z3.unitary(), np.diag([1, w, w**2]))
+
+    def test_clock_power(self):
+        w = np.exp(2j * np.pi / 3)
+        assert np.allclose(
+            clock_gate(3, 2).unitary(), np.diag([1, w**2, w**4])
+        )
+
+    def test_qutrit_hadamard_is_unitary(self):
+        assert is_unitary(QUTRIT_H.unitary())
+
+    def test_fourier_diagonalises_shift(self):
+        # F^-1 Z F = X+1 (the discrete Fourier transform swaps shift/clock).
+        f = fourier_gate(3).unitary()
+        z = Z3.unitary()
+        x = X_PLUS_1.unitary()
+        assert np.allclose(f.conj().T @ z @ f, x, atol=1e-9)
+
+    def test_fourier_generalises_hadamard(self):
+        f2 = fourier_gate(2).unitary()
+        h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        assert np.allclose(f2, h)
+
+
+class TestEmbeddingAndPhases:
+    def test_embedded_x_is_x01(self):
+        embedded = embedded_qubit_gate(QUBIT_X, 3)
+        assert np.allclose(embedded.unitary(), X01.unitary())
+
+    def test_embedded_x_on_levels_1_2_is_x12(self):
+        embedded = embedded_qubit_gate(QUBIT_X, 3, levels=(1, 2))
+        assert np.allclose(embedded.unitary(), X12.unitary())
+
+    def test_embedded_h_fixes_level_2(self):
+        embedded = embedded_qubit_gate(QUBIT_H, 3).unitary()
+        assert np.isclose(embedded[2, 2], 1.0)
+        assert np.allclose(embedded[2, :2], 0.0)
+
+    def test_embedded_rejects_multiqubit(self):
+        from repro.gates.qubit import CNOT
+
+        with pytest.raises(ValueError):
+            embedded_qubit_gate(CNOT, 3)
+
+    def test_phase_gate_single_level(self):
+        gate = phase_gate(3, 2, np.pi)
+        assert np.allclose(gate.unitary(), np.diag([1, 1, -1]))
+
+    def test_identity_gate(self):
+        assert np.allclose(identity_gate(4).unitary(), np.eye(4))

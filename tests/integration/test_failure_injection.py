@@ -1,0 +1,141 @@
+"""Failure-injection tests: every guard rail fires on bad input.
+
+A library is adoptable when misuse fails loudly with a useful message
+instead of silently producing wrong physics; these tests drive each
+documented error path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import (
+    DecompositionError,
+    DimensionMismatchError,
+    NoiseModelError,
+    NotClassicalError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.gates.controlled import ControlledGate
+from repro.gates.matrix import MatrixGate
+from repro.gates.qubit import CNOT, H, X
+from repro.gates.qutrit import X01
+from repro.noise.kraus import KrausChannel, UnitaryMixtureChannel
+from repro.qudits import Qudit, qubits, qutrits
+from repro.sim.state import StateVector
+
+
+class TestGateMisuse:
+    def test_non_unitary_matrix_rejected(self):
+        with pytest.raises(ValueError, match="unitary"):
+            MatrixGate(np.array([[1, 0], [1, 1]]), (2,))
+
+    def test_matrix_wrong_shape_for_dims(self):
+        with pytest.raises(DimensionMismatchError):
+            MatrixGate(np.eye(2), (3,))
+
+    def test_gate_on_wrong_dimension_wire(self):
+        with pytest.raises(DimensionMismatchError):
+            X01.on(Qudit(0, 2))
+
+    def test_gate_on_wrong_wire_count(self):
+        a = Qudit(0, 2)
+        with pytest.raises(DimensionMismatchError):
+            CNOT.on(a)
+
+    def test_classical_action_of_hadamard(self):
+        with pytest.raises(NotClassicalError):
+            H.classical_action((0,))
+
+    def test_control_value_exceeds_dimension(self):
+        with pytest.raises(ValueError):
+            ControlledGate(X, (2,), (5,))
+
+
+class TestCircuitMisuse:
+    def test_overlapping_moment_rejected(self):
+        a, b = qubits(2)
+        circuit = Circuit()
+        with pytest.raises(SchedulingError):
+            circuit.append_moment([X.on(a), CNOT.on(a, b)])
+
+    def test_classical_map_with_nonclassical_gate(self):
+        a = qubits(1)[0]
+        circuit = Circuit([H.on(a)])
+        with pytest.raises(NotClassicalError):
+            circuit.classical_map({a: 0})
+
+    def test_oversized_dense_unitary_refused(self):
+        wires = qutrits(10)
+        circuit = Circuit([X01.on(w) for w in wires])
+        with pytest.raises(SimulationError):
+            circuit.unitary(wires)
+
+
+class TestSimulatorMisuse:
+    def test_state_dim_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            StateVector(qutrits(2), np.zeros(8))
+
+    def test_fidelity_across_registers(self):
+        a = StateVector.zero(qubits(2))
+        b = StateVector.zero(qubits(3))
+        with pytest.raises(SimulationError):
+            a.fidelity(b)
+
+    def test_renormalizing_annihilated_state(self):
+        a = Qudit(0, 2)
+        state = StateVector.zero([a])
+        state.apply_matrix(np.array([[0, 0], [0, 1]]), [a])
+        with pytest.raises(SimulationError):
+            state.renormalize()
+
+
+class TestNoiseMisuse:
+    def test_overweight_mixture_rejected(self):
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        with pytest.raises(NoiseModelError):
+            UnitaryMixtureChannel("bad", (2,), [(0.9, x), (0.2, x)])
+
+    def test_incomplete_kraus_set_rejected(self):
+        with pytest.raises(NoiseModelError):
+            KrausChannel("bad", (2,), [np.diag([1.0, 0.9])])
+
+    def test_negative_duration_rejected(self):
+        from repro.noise.damping import damping_lambdas
+
+        with pytest.raises(NoiseModelError):
+            damping_lambdas(-1e-9, 1e-3, 3)
+
+
+class TestConstructionMisuse:
+    def test_tree_rejects_qubit_controls(self):
+        from repro.toffoli.qutrit_tree import qutrit_multi_controlled_ops
+
+        with pytest.raises(DecompositionError):
+            qutrit_multi_controlled_ops(
+                qubits(2), [1, 1], Qudit(5, 3), X01
+            )
+
+    def test_qubit_baselines_reject_value_two(self):
+        from repro.toffoli.registry import build_toffoli
+
+        for name in ("qubit_one_dirty", "qubit_ancilla_free", "he_tree"):
+            with pytest.raises(DecompositionError):
+                build_toffoli(name, 3, control_values=(2, 1, 1))
+
+    def test_incrementer_rejects_qubit_register(self):
+        from repro.apps.incrementer import qutrit_incrementer_ops
+
+        with pytest.raises(DecompositionError):
+            qutrit_incrementer_ops(qubits(4))
+
+    def test_router_rejects_disconnected_device(self):
+        from repro.arch.routing import route_circuit
+        from repro.arch.topology import CouplingGraph
+
+        wires = qubits(2)
+        split = CouplingGraph(2, [], "no-edges")
+        with pytest.raises(SchedulingError):
+            route_circuit(Circuit([CNOT.on(*wires)]), split)

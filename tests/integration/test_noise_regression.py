@@ -1,0 +1,152 @@
+"""Regression tests pinning trajectory statistics to analytic expectations.
+
+These catch silent noise-model bugs that ordering-only tests would miss:
+the measured error rates must track the closed-form expectations from the
+channel parameters and circuit shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.gates.controlled import ControlledGate
+from repro.gates.qubit import CNOT, X
+from repro.gates.qutrit import X01, X_PLUS_1
+from repro.noise.model import NoiseModel
+from repro.qudits import qubits, qutrits
+from repro.sim.state import StateVector
+from repro.sim.trajectory import TrajectorySimulator
+
+
+class TestGateErrorRates:
+    def test_two_qubit_gate_error_rate_matches_15p2(self):
+        p2 = 2e-3
+        model = NoiseModel("m", 0.0, p2, 1e-7, 3e-7, t1=None)
+        a, b = qubits(2)
+        gates = 40
+        circuit = Circuit([CNOT.on(a, b) for _ in range(gates)])
+        sim = TrajectorySimulator(model, np.random.default_rng(0))
+        trials = 150
+        total_errors = sum(
+            sim.run_trajectory(circuit, StateVector.zero([a, b])).gate_errors
+            for _ in range(trials)
+        )
+        expected = gates * 15 * p2
+        measured = total_errors / trials
+        assert abs(measured - expected) < 0.35 * expected + 0.05
+
+    def test_two_qutrit_gate_error_rate_matches_80p2(self):
+        p2 = 2e-3
+        model = NoiseModel("m", 0.0, p2, 1e-7, 3e-7, t1=None)
+        a, b = qutrits(2)
+        gates = 40
+        op = ControlledGate(X_PLUS_1, (3,), (1,))
+        circuit = Circuit([op.on(a, b) for _ in range(gates)])
+        sim = TrajectorySimulator(model, np.random.default_rng(1))
+        trials = 150
+        total_errors = sum(
+            sim.run_trajectory(circuit, StateVector.zero([a, b])).gate_errors
+            for _ in range(trials)
+        )
+        expected = gates * 80 * p2
+        measured = total_errors / trials
+        assert abs(measured - expected) < 0.3 * expected + 0.05
+
+    def test_qutrit_to_qubit_error_ratio_is_80_over_15(self):
+        # The headline cost of qutrits: same per-channel p2, 80/15 more
+        # error channels.
+        p2 = 1.5e-3
+        model = NoiseModel("m", 0.0, p2, 1e-7, 3e-7, t1=None)
+        rng = np.random.default_rng(2)
+        gates = 30
+
+        def mean_errors(wires, op):
+            circuit = Circuit([op.on(*wires) for _ in range(gates)])
+            sim = TrajectorySimulator(model, rng)
+            return np.mean(
+                [
+                    sim.run_trajectory(
+                        circuit, StateVector.zero(list(wires))
+                    ).gate_errors
+                    for _ in range(120)
+                ]
+            )
+
+        qutrit_rate = mean_errors(qutrits(2), ControlledGate(X01, (3,), (1,)))
+        qubit_rate = mean_errors(qubits(2), CNOT)
+        assert 3.0 < qutrit_rate / qubit_rate < 9.0  # true ratio 80/15=5.3
+
+
+class TestIdleErrorRates:
+    def test_damping_rate_tracks_t1_exactly(self):
+        # A fully excited qubit idling across M single-qudit moments jumps
+        # with probability 1-exp(-M dt / T1).
+        from repro.gates.qutrit import identity_gate
+
+        t1 = 5e-5
+        dt = 1e-6
+        moments = 20
+        model = NoiseModel("m", 0.0, 0.0, dt, dt, t1=t1)
+        a, b = qubits(2)
+        # Excite a in moment 0; pad the schedule with identity gates on b
+        # so b never leaves the ground state (and so cannot jump).
+        circuit = Circuit([X.on(a)])
+        idle_pad = identity_gate(2)
+        for _ in range(moments - 1):
+            circuit.append_moment([idle_pad.on(b)])
+        sim = TrajectorySimulator(model, np.random.default_rng(3))
+        trials = 400
+        jumped = 0
+        for _ in range(trials):
+            initial = StateVector.computational_basis([a, b], (0, 0))
+            result = sim.run_trajectory(circuit, initial)
+            jumped += result.idle_jumps > 0
+        # Wire a is excited for all `moments` idle windows of length dt.
+        expected = 1 - np.exp(-moments * dt / t1)
+        measured = jumped / trials
+        assert abs(measured - expected) < 0.08
+
+    def test_level_two_damps_faster_than_level_one(self):
+        t1 = 1e-4
+        dt = 2e-6
+        model = NoiseModel("m", 0.0, 0.0, dt, dt, t1=t1)
+        wire_sets = qutrits(2)
+        a, b = wire_sets
+
+        def jump_fraction(level, seed):
+            circuit = Circuit([])
+            prep = X_PLUS_1 if level == 1 else None
+            ops = [X_PLUS_1.on(a)] * level + [X01.on(b)]
+            circuit = Circuit(ops)
+            for _ in range(15):
+                circuit.append_moment([X01.on(b)])
+            sim = TrajectorySimulator(model, np.random.default_rng(seed))
+            jumps = 0
+            trials = 250
+            for _ in range(trials):
+                initial = StateVector.zero([a, b])
+                if sim.run_trajectory(circuit, initial).idle_jumps > 0:
+                    jumps += 1
+            return jumps / trials
+
+        assert jump_fraction(2, 4) > jump_fraction(1, 4)
+
+
+class TestFidelityRegression:
+    def test_fidelity_matches_no_error_probability(self):
+        # With depolarizing only and a *small* total error budget, mean
+        # fidelity ~ P(no error): corrections from surviving overlap of
+        # errored trajectories are O(1/d^N) ~ 0.01 here.
+        p2 = 5e-4
+        model = NoiseModel("m", 0.0, p2, 1e-7, 3e-7, t1=None)
+        a, b = qutrits(2)
+        gates = 12
+        op = ControlledGate(X_PLUS_1, (3,), (1,))
+        circuit = Circuit([op.on(a, b) for _ in range(gates)])
+        sim = TrajectorySimulator(model, np.random.default_rng(5))
+        fidelities = []
+        for _ in range(200):
+            initial = sim.random_binary_input([a, b])
+            fidelities.append(sim.run_trajectory(circuit, initial).fidelity)
+        expected = (1 - 80 * p2) ** gates
+        assert abs(np.mean(fidelities) - expected) < 0.05

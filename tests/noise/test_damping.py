@@ -1,0 +1,106 @@
+"""Tests for amplitude damping and dephasing idle channels (A.1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NoiseModelError
+from repro.noise.damping import (
+    amplitude_damping_channel,
+    damping_lambdas,
+    dephasing_channel,
+)
+from repro.qudits import Qudit
+from repro.sim.state import StateVector
+
+
+class TestLambdas:
+    def test_eq9_form(self):
+        # lambda_m = 1 - exp(-m dt / T1).
+        dt, t1 = 3e-7, 1e-3
+        lams = damping_lambdas(dt, t1, 3)
+        assert np.isclose(lams[0], 1 - np.exp(-dt / t1))
+        assert np.isclose(lams[1], 1 - np.exp(-2 * dt / t1))
+
+    def test_level_two_decays_faster(self):
+        lams = damping_lambdas(1e-6, 1e-3, 3)
+        assert lams[1] > lams[0]
+
+    def test_zero_duration_is_lossless(self):
+        assert damping_lambdas(0.0, 1e-3, 3) == (0.0, 0.0)
+
+    def test_invalid_t1(self):
+        with pytest.raises(NoiseModelError):
+            damping_lambdas(1e-6, 0.0, 3)
+
+    def test_negative_duration(self):
+        with pytest.raises(NoiseModelError):
+            damping_lambdas(-1.0, 1e-3, 3)
+
+
+class TestDampingChannel:
+    def test_qubit_kraus_form_eq7(self):
+        lam = 0.2
+        channel = amplitude_damping_channel(2, (lam,))
+        k0, k1 = channel.operators
+        assert np.allclose(k0, np.diag([1, np.sqrt(1 - lam)]))
+        assert np.allclose(k1, [[0, np.sqrt(lam)], [0, 0]])
+
+    def test_qutrit_kraus_form_eq8(self):
+        channel = amplitude_damping_channel(3, (0.1, 0.3))
+        k0, k1, k2 = channel.operators
+        assert np.allclose(
+            k0, np.diag([1, np.sqrt(0.9), np.sqrt(0.7)])
+        )
+        assert np.isclose(k1[0, 1], np.sqrt(0.1))
+        assert np.isclose(k2[0, 2], np.sqrt(0.3))
+
+    def test_ground_state_unaffected(self, rng):
+        channel = amplitude_damping_channel(3, (0.5, 0.9))
+        wire = Qudit(0, 3)
+        state = StateVector.zero([wire])
+        branch = channel.apply_sampled(state, [wire], rng)
+        assert branch == 0
+        assert state.probability_of((0,)) == 1.0
+
+    def test_level2_jumps_to_ground(self, rng):
+        channel = amplitude_damping_channel(3, (0.0, 1.0))
+        wire = Qudit(0, 3)
+        state = StateVector.computational_basis([wire], (2,))
+        branch = channel.apply_sampled(state, [wire], rng)
+        assert branch == 2
+        assert np.isclose(state.probability_of((0,)), 1.0)
+
+    def test_lambda_count_validation(self):
+        with pytest.raises(NoiseModelError):
+            amplitude_damping_channel(3, (0.1,))
+
+    def test_lambda_range_validation(self):
+        with pytest.raises(NoiseModelError):
+            amplitude_damping_channel(2, (1.5,))
+
+
+class TestDephasing:
+    def test_clock_kicks_preserve_populations(self, rng):
+        channel = dephasing_channel(3, 0.3)
+        wire = Qudit(0, 3)
+        state = StateVector.computational_basis([wire], (1,))
+        channel.apply_sampled(state, [wire], rng)
+        assert np.isclose(state.probability_of((1,)), 1.0)
+
+    def test_dephasing_damages_coherence(self, rng):
+        from repro.gates.qutrit import QUTRIT_H
+
+        channel = dephasing_channel(3, 1.0 / 3.0)
+        wire = Qudit(0, 3)
+        reference = StateVector.zero([wire])
+        reference.apply_operation(QUTRIT_H.on(wire))
+        fidelities = []
+        for _ in range(300):
+            state = reference.copy()
+            channel.apply_sampled(state, [wire], rng)
+            fidelities.append(state.fidelity(reference))
+        assert np.mean(fidelities) < 0.9
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(NoiseModelError):
+            dephasing_channel(3, -0.1)

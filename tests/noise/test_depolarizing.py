@@ -1,0 +1,87 @@
+"""Tests for generalized-Pauli depolarizing channels (Appendix A.1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import is_unitary
+from repro.noise.depolarizing import (
+    gate_error_channel,
+    generalized_paulis,
+    single_qudit_depolarizing,
+    two_qudit_depolarizing,
+)
+
+
+class TestGeneralizedPaulis:
+    def test_qubit_count_is_three(self):
+        assert len(generalized_paulis(2)) == 3
+
+    def test_qutrit_count_is_eight(self):
+        # "For d = 3 there are 9 ... gate error channels" minus identity.
+        assert len(generalized_paulis(3)) == 8
+
+    def test_all_unitary(self):
+        for d in (2, 3, 4):
+            for p in generalized_paulis(d):
+                assert is_unitary(p)
+
+    def test_qubit_paulis_match_xz_products(self):
+        paulis = generalized_paulis(2)
+        x = np.array([[0, 1], [1, 0]])
+        z = np.diag([1, -1])
+        expected = [z, x, x @ z]
+        for got, want in zip(paulis, expected):
+            assert np.allclose(got, want)
+
+    def test_pauli_basis_completeness(self):
+        # Identity + the d^2-1 errors span all d x d matrices.
+        d = 3
+        mats = [np.eye(d)] + generalized_paulis(d)
+        flat = np.stack([m.reshape(-1) for m in mats])
+        assert np.linalg.matrix_rank(flat) == d * d
+
+
+class TestChannels:
+    def test_single_qudit_totals(self):
+        # Total error = (d^2 - 1) p: the paper's 3p1 / 8p1.
+        assert np.isclose(
+            single_qudit_depolarizing(2, 1e-4).error_probability, 3e-4
+        )
+        assert np.isclose(
+            single_qudit_depolarizing(3, 1e-4).error_probability, 8e-4
+        )
+
+    def test_two_qudit_totals(self):
+        # 15 p2 for qubits, 80 p2 for qutrits (eqs. 4 and 6).
+        assert np.isclose(
+            two_qudit_depolarizing(2, 2, 1e-5).error_probability, 15e-5
+        )
+        assert np.isclose(
+            two_qudit_depolarizing(3, 3, 1e-5).error_probability, 80e-5
+        )
+
+    def test_mixed_dimension_channel(self):
+        channel = two_qudit_depolarizing(3, 2, 1e-5)
+        assert channel.num_error_terms == 9 * 4 - 1
+        assert channel.dims == (3, 2)
+
+    def test_channels_are_cached(self):
+        a = single_qudit_depolarizing(3, 1e-4)
+        b = single_qudit_depolarizing(3, 1e-4)
+        assert a is b
+
+    def test_gate_error_dispatch(self):
+        assert gate_error_channel((3,), 1e-4, 1e-5).num_error_terms == 8
+        assert gate_error_channel((3, 3), 1e-4, 1e-5).num_error_terms == 80
+        with pytest.raises(ValueError):
+            gate_error_channel((2, 2, 2), 1e-4, 1e-5)
+
+    def test_reliability_ratio_statement(self):
+        # Two-qutrit gates are (1-80p2)/(1-15p2) times less reliable.
+        p2 = 1e-3
+        qutrit = two_qudit_depolarizing(3, 3, p2)
+        qubit = two_qudit_depolarizing(2, 2, p2)
+        ratio = (1 - qutrit.error_probability) / (
+            1 - qubit.error_probability
+        )
+        assert np.isclose(ratio, (1 - 80 * p2) / (1 - 15 * p2))

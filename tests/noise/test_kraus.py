@@ -1,0 +1,111 @@
+"""Tests for the channel framework."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NoiseModelError
+from repro.noise.kraus import KrausChannel, UnitaryMixtureChannel
+from repro.qudits import Qudit, qubits
+from repro.sim.state import StateVector
+
+X_MAT = np.array([[0, 1], [1, 0]], dtype=complex)
+Z_MAT = np.diag([1, -1]).astype(complex)
+
+
+class TestUnitaryMixture:
+    def test_error_probability_sums(self):
+        channel = UnitaryMixtureChannel(
+            "test", (2,), [(0.1, X_MAT), (0.05, Z_MAT)]
+        )
+        assert np.isclose(channel.error_probability, 0.15)
+        assert channel.num_error_terms == 2
+
+    def test_probabilities_above_one_rejected(self):
+        with pytest.raises(NoiseModelError):
+            UnitaryMixtureChannel("bad", (2,), [(0.7, X_MAT), (0.6, Z_MAT)])
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(NoiseModelError):
+            UnitaryMixtureChannel("bad", (2,), [(-0.1, X_MAT)])
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(NoiseModelError):
+            UnitaryMixtureChannel("bad", (2, 2), [(0.1, X_MAT)])
+
+    def test_sampling_statistics(self, rng):
+        channel = UnitaryMixtureChannel("test", (2,), [(0.3, X_MAT)])
+        fired = sum(
+            channel.sample(rng) is not None for _ in range(4000)
+        )
+        assert abs(fired / 4000 - 0.3) < 0.05
+
+    def test_zero_probability_never_fires(self, rng):
+        channel = UnitaryMixtureChannel("test", (2,), [(0.0, X_MAT)])
+        assert all(channel.sample(rng) is None for _ in range(100))
+
+    def test_apply_sampled_mutates_state(self, rng):
+        channel = UnitaryMixtureChannel("test", (2,), [(1.0, X_MAT)])
+        wire = Qudit(0, 2)
+        state = StateVector.zero([wire])
+        fired = channel.apply_sampled(state, [wire], rng)
+        assert fired
+        assert state.probability_of((1,)) == 1.0
+
+
+class TestKrausChannel:
+    def test_completeness_enforced(self):
+        bad = [np.diag([1.0, 0.5])]
+        with pytest.raises(NoiseModelError):
+            KrausChannel("bad", (2,), bad)
+
+    def test_damping_probabilities_track_excitation(self):
+        lam = 0.3
+        k0 = np.diag([1.0, np.sqrt(1 - lam)])
+        k1 = np.array([[0, np.sqrt(lam)], [0, 0]])
+        channel = KrausChannel("damp", (2,), [k0, k1])
+        wire = Qudit(0, 2)
+        ground = StateVector.zero([wire])
+        probs = channel.branch_probabilities(ground, [wire])
+        assert np.allclose(probs, [1.0, 0.0])
+        excited = StateVector.computational_basis([wire], (1,))
+        probs = channel.branch_probabilities(excited, [wire])
+        assert np.allclose(probs, [1 - lam, lam])
+
+    def test_apply_sampled_renormalises(self, rng):
+        lam = 0.5
+        k0 = np.diag([1.0, np.sqrt(1 - lam)])
+        k1 = np.array([[0, np.sqrt(lam)], [0, 0]])
+        channel = KrausChannel("damp", (2,), [k0, k1])
+        wire = Qudit(0, 2)
+        state = StateVector.computational_basis([wire], (1,))
+        channel.apply_sampled(state, [wire], rng)
+        assert np.isclose(state.norm(), 1.0)
+
+    def test_jump_statistics(self, rng):
+        lam = 0.4
+        k0 = np.diag([1.0, np.sqrt(1 - lam)])
+        k1 = np.array([[0, np.sqrt(lam)], [0, 0]])
+        channel = KrausChannel("damp", (2,), [k0, k1])
+        wire = Qudit(0, 2)
+        jumps = 0
+        for _ in range(2000):
+            state = StateVector.computational_basis([wire], (1,))
+            if channel.apply_sampled(state, [wire], rng) > 0:
+                jumps += 1
+        assert abs(jumps / 2000 - lam) < 0.05
+
+    def test_general_nondiagonal_path(self, rng):
+        # Kraus ops whose Gram matrices are not diagonal exercise the
+        # slow (apply-and-norm) branch.
+        h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        p0 = np.array([[1, 0], [0, 0]]) @ h
+        p1 = np.array([[0, 0], [0, 1]]) @ h
+        channel = KrausChannel("measure_x", (2,), [p0, p1])
+        wire = Qudit(0, 2)
+        state = StateVector.zero([wire])
+        probs = channel.branch_probabilities(state, [wire])
+        assert np.allclose(probs, [0.5, 0.5])
+
+    def test_needs_operators(self):
+        with pytest.raises(NoiseModelError):
+            KrausChannel("empty", (2,), [])

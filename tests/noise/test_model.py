@@ -1,0 +1,75 @@
+"""Tests for the generic parametrized noise model (Sec. 7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.moment import Moment
+from repro.gates.qubit import CNOT, X
+from repro.noise.model import NoiseModel
+from repro.qudits import qubits
+
+
+@pytest.fixture
+def model() -> NoiseModel:
+    return NoiseModel(
+        name="test",
+        p1=1e-4,
+        p2=1e-5,
+        gate_time_1q=1e-7,
+        gate_time_2q=3e-7,
+        t1=1e-3,
+    )
+
+
+class TestGateErrors:
+    def test_total_error_scales_with_dimension(self, model):
+        assert np.isclose(model.total_gate_error((2,)), 3e-4)
+        assert np.isclose(model.total_gate_error((3,)), 8e-4)
+        assert np.isclose(model.total_gate_error((2, 2)), 15e-5)
+        assert np.isclose(model.total_gate_error((3, 3)), 80e-5)
+
+    def test_reliability_ratio(self, model):
+        expected = (1 - 80 * model.p2) / (1 - 15 * model.p2)
+        assert np.isclose(model.reliability_ratio_two_qudit(), expected)
+
+    def test_gate_error_channel_dims(self, model):
+        assert model.gate_error((3, 2)).dims == (3, 2)
+
+
+class TestIdleErrors:
+    def test_idle_lambdas_use_t1(self, model):
+        lams = model.idle_lambdas(3, 3e-7)
+        assert np.isclose(lams[0], 1 - np.exp(-3e-7 / 1e-3))
+        assert np.isclose(lams[1], 1 - np.exp(-6e-7 / 1e-3))
+
+    def test_no_t1_means_no_damping(self):
+        clock = NoiseModel(
+            "clock", 1e-4, 1e-5, 1e-6, 2e-4, t1=None
+        )
+        assert clock.idle_lambdas(3, 1.0) == (0.0, 0.0)
+        assert clock.idle_channels(3, 1.0) == []
+
+    def test_damping_channel_produced(self, model):
+        channels = model.idle_channels(3, 3e-7)
+        assert len(channels) == 1
+
+    def test_dephasing_channel_added_for_bare_models(self):
+        bare = NoiseModel(
+            "bare", 1e-4, 1e-5, 1e-6, 2e-4, t1=None,
+            idle_dephasing_rate=0.05,
+        )
+        channels = bare.idle_channels(3, 1e-3)
+        assert len(channels) == 1
+        assert np.isclose(channels[0].error_probability, 2 * 0.05 * 1e-3)
+
+
+class TestDurations:
+    def test_moment_duration_depends_on_gate_width(self, model):
+        a, b = qubits(2)
+        assert model.moment_duration(Moment([X.on(a)])) == 1e-7
+        assert model.moment_duration(Moment([CNOT.on(a, b)])) == 3e-7
+
+    def test_circuit_duration_sums(self, model):
+        a, b = qubits(2)
+        moments = [Moment([X.on(a)]), Moment([CNOT.on(a, b)])]
+        assert np.isclose(model.circuit_duration(moments), 4e-7)

@@ -1,0 +1,115 @@
+"""Property-based tests for circuit scheduling invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import Circuit
+from repro.gates.controlled import ControlledGate
+from repro.gates.qutrit import X01, X02, X12, X_MINUS_1, X_PLUS_1
+from repro.qudits import qutrits
+
+SINGLE_GATES = [X01, X02, X12, X_PLUS_1, X_MINUS_1]
+
+
+@st.composite
+def random_permutation_circuits(draw, max_wires=4, max_ops=12):
+    num_wires = draw(st.integers(2, max_wires))
+    wires = qutrits(num_wires)
+    ops = []
+    for _ in range(draw(st.integers(1, max_ops))):
+        if draw(st.booleans()):
+            gate = draw(st.sampled_from(SINGLE_GATES))
+            ops.append(gate.on(draw(st.sampled_from(wires))))
+        else:
+            gate = ControlledGate(
+                draw(st.sampled_from(SINGLE_GATES)),
+                (3,),
+                (draw(st.integers(0, 2)),),
+            )
+            pair = draw(
+                st.lists(
+                    st.sampled_from(wires), min_size=2, max_size=2,
+                    unique=True,
+                )
+            )
+            ops.append(gate.on(*pair))
+    return Circuit(ops), wires
+
+
+class TestSchedulingInvariants:
+    @given(random_permutation_circuits())
+    @settings(max_examples=60)
+    def test_moments_have_disjoint_wires(self, circuit_and_wires):
+        circuit, _ = circuit_and_wires
+        for moment in circuit:
+            seen = set()
+            for op in moment:
+                assert seen.isdisjoint(op.qudits)
+                seen.update(op.qudits)
+
+    @given(random_permutation_circuits())
+    @settings(max_examples=60)
+    def test_depth_at_most_op_count(self, circuit_and_wires):
+        circuit, _ = circuit_and_wires
+        assert circuit.depth <= circuit.num_operations
+
+    @given(random_permutation_circuits())
+    @settings(max_examples=60)
+    def test_asap_moments_are_tight(self, circuit_and_wires):
+        # Every operation after moment 0 must be blocked by some operation
+        # in the previous moment (otherwise ASAP would have pulled it in).
+        circuit, _ = circuit_and_wires
+        for index in range(1, circuit.depth):
+            previous = circuit.moments[index - 1]
+            for op in circuit.moments[index]:
+                assert previous.operates_on(op.qudits)
+
+    @given(random_permutation_circuits())
+    @settings(max_examples=60)
+    def test_schedule_preserves_per_wire_order(self, circuit_and_wires):
+        # Rebuilding from all_operations() yields the same moment layout.
+        circuit, _ = circuit_and_wires
+        rebuilt = Circuit(list(circuit.all_operations()))
+        assert rebuilt.depth == circuit.depth
+        assert rebuilt.num_operations == circuit.num_operations
+
+
+class TestReversibilityInvariants:
+    @given(random_permutation_circuits())
+    @settings(max_examples=40)
+    def test_circuit_plus_inverse_is_identity_classically(
+        self, circuit_and_wires
+    ):
+        circuit, wires = circuit_and_wires
+        roundtrip = circuit + circuit.inverse()
+        for trial in range(5):
+            rng = np.random.default_rng(trial)
+            values = {w: int(rng.integers(0, 3)) for w in wires}
+            assert roundtrip.classical_map(values) == values
+
+    @given(random_permutation_circuits())
+    @settings(max_examples=40)
+    def test_classical_map_is_a_bijection(self, circuit_and_wires):
+        circuit, wires = circuit_and_wires
+        from itertools import product
+
+        outputs = set()
+        for values in product(range(3), repeat=len(wires)):
+            out = circuit.classical_map(dict(zip(wires, values)))
+            outputs.add(tuple(out[w] for w in wires))
+        assert len(outputs) == 3 ** len(wires)
+
+    @given(random_permutation_circuits())
+    @settings(max_examples=20)
+    def test_unitary_matches_classical_map(self, circuit_and_wires):
+        circuit, wires = circuit_and_wires
+        u = circuit.unitary(wires)
+        from repro.gates.base import index_to_values, values_to_index
+
+        dims = [3] * len(wires)
+        for col in range(min(10, 3 ** len(wires))):
+            values = index_to_values(col, dims)
+            out = circuit.classical_map(dict(zip(wires, values)))
+            row = values_to_index([out[w] for w in wires], dims)
+            assert np.isclose(np.abs(u[row, col]), 1.0)

@@ -1,0 +1,117 @@
+"""Property-based tests over the Generalized Toffoli constructions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.classical import ClassicalSimulator
+from repro.sim.statevector import StateVectorSimulator
+from repro.toffoli.qutrit_tree import build_qutrit_tree
+from repro.toffoli.registry import CONSTRUCTIONS, build_toffoli
+from repro.toffoli.spec import GeneralizedToffoli
+
+
+class TestQutritTreeProperties:
+    @given(
+        st.integers(1, 10),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_inputs_any_width(self, n, data):
+        # Classical check at 3-qutrit-gate granularity on random inputs.
+        inputs = tuple(
+            data.draw(st.integers(0, 1)) for _ in range(n + 1)
+        )
+        result = build_qutrit_tree(GeneralizedToffoli(n), decompose=False)
+        wires = result.controls + [result.target]
+        out = ClassicalSimulator().run_values(result.circuit, wires, inputs)
+        expected = list(inputs)
+        if all(v == 1 for v in inputs[:n]):
+            expected[n] ^= 1
+        assert out == tuple(expected)
+
+    @given(st.integers(2, 8), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_random_binary_activation_patterns(self, n, data):
+        values = tuple(
+            data.draw(st.integers(0, 1)) for _ in range(n)
+        )
+        inputs = tuple(
+            data.draw(st.integers(0, 1)) for _ in range(n + 1)
+        )
+        result = build_qutrit_tree(
+            GeneralizedToffoli(n, values), decompose=False
+        )
+        wires = result.controls + [result.target]
+        out = ClassicalSimulator().run_values(result.circuit, wires, inputs)
+        expected = list(inputs)
+        if inputs[:n] == values:
+            expected[n] ^= 1
+        assert out == tuple(expected)
+
+    @given(st.integers(1, 32))
+    @settings(max_examples=30, deadline=None)
+    def test_uncompute_mirrors_compute(self, n):
+        # Gate counts: an odd total (compute + apply + uncompute) with
+        # exactly one unmatched (apply) operation.
+        result = build_qutrit_tree(GeneralizedToffoli(n), decompose=False)
+        assert result.circuit.num_operations % 2 == 1
+
+    @given(st.integers(2, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_depth_is_2floor_log2_plus_1(self, n):
+        # At tree granularity, depth = 2 floor(log2 n) + 1 exactly: one
+        # moment per tree level each way plus the apply (Figure 5: 7 for
+        # N = 15).
+        result = build_qutrit_tree(GeneralizedToffoli(n), decompose=False)
+        expected = 2 * int(np.floor(np.log2(n))) + 1
+        assert result.circuit.depth == expected
+
+    @given(st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_gate_count_is_two_slots_plus_one(self, n):
+        # One elevation per slot each way plus the apply; each elevation
+        # consumes two subtree roots and one fresh control, so there are
+        # far fewer than n gates (Figure 5: 7 + 1 + 7 for N = 15).
+        from repro.toffoli.qutrit_tree import elevation_slots
+
+        result = build_qutrit_tree(GeneralizedToffoli(n), decompose=False)
+        expected = 2 * len(elevation_slots(n)) + 1
+        assert result.circuit.num_operations == expected
+
+
+class TestCrossConstructionProperties:
+    @given(
+        st.sampled_from(sorted(CONSTRUCTIONS)),
+        st.integers(2, 5),
+        st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_all_constructions_agree_on_random_inputs(
+        self, name, n, data
+    ):
+        inputs = tuple(
+            data.draw(st.integers(0, 1)) for _ in range(n + 1)
+        )
+        result = build_toffoli(name, n)
+        wires = result.all_wires
+        pad = len(wires) - (n + 1)
+        values = list(inputs) + [0] * pad
+        state = StateVectorSimulator().run_basis(
+            result.circuit, wires, values
+        )
+        expected = list(values)
+        if all(v == 1 for v in inputs[:n]):
+            expected[n] ^= 1
+        assert np.isclose(
+            state.probability_of(expected), 1.0, atol=1e-7
+        )
+
+    @given(st.sampled_from(sorted(CONSTRUCTIONS)), st.integers(2, 24))
+    @settings(max_examples=30, deadline=None)
+    def test_controls_and_target_wire_bookkeeping(self, name, n):
+        result = build_toffoli(name, n)
+        assert len(result.controls) == n
+        assert result.target not in result.controls
+        circuit_wires = set(result.circuit.all_qudits())
+        assert circuit_wires.issubset(set(result.all_wires))

@@ -1,0 +1,120 @@
+"""Property-based tests for gate algebra (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates.base import PermutationGate, index_to_values, values_to_index
+from repro.gates.controlled import ControlledGate
+from repro.gates.qutrit import clock_gate, level_swap, shift_gate
+from repro.linalg import is_unitary, matrix_root, random_unitary
+
+dims_strategy = st.lists(st.integers(2, 4), min_size=1, max_size=3)
+
+
+@st.composite
+def permutation_gates(draw):
+    dim = draw(st.integers(2, 6))
+    mapping = draw(st.permutations(range(dim)))
+    return PermutationGate(list(mapping), (dim,), "perm")
+
+
+class TestMixedRadixProperties:
+    @given(dims_strategy, st.data())
+    def test_encode_decode_roundtrip(self, dims, data):
+        total = int(np.prod(dims))
+        index = data.draw(st.integers(0, total - 1))
+        assert values_to_index(index_to_values(index, dims), dims) == index
+
+    @given(dims_strategy)
+    def test_zero_maps_to_zeros(self, dims):
+        assert index_to_values(0, dims) == (0,) * len(dims)
+
+
+class TestPermutationProperties:
+    @given(permutation_gates())
+    def test_permutation_unitary_is_unitary(self, gate):
+        assert is_unitary(gate.unitary())
+
+    @given(permutation_gates())
+    def test_inverse_composes_to_identity(self, gate):
+        dim = gate.dims[0]
+        inv = gate.inverse()
+        for v in range(dim):
+            assert inv.classical_action(gate.classical_action((v,))) == (v,)
+
+    @given(permutation_gates())
+    def test_classical_action_matches_unitary(self, gate):
+        u = gate.unitary()
+        dim = gate.dims[0]
+        for v in range(dim):
+            (w,) = gate.classical_action((v,))
+            assert np.isclose(u[w, v], 1.0)
+
+    @given(st.integers(2, 6), st.integers(1, 5))
+    def test_shift_gates_compose_modularly(self, dim, amount):
+        single = shift_gate(dim, 1).unitary()
+        accumulated = np.linalg.matrix_power(single, amount)
+        assert np.allclose(
+            accumulated, shift_gate(dim, amount % dim).unitary()
+        )
+
+    @given(st.integers(3, 6), st.data())
+    def test_level_swap_is_involution(self, dim, data):
+        a = data.draw(st.integers(0, dim - 1))
+        b = data.draw(st.integers(0, dim - 1).filter(lambda x: x != a))
+        u = level_swap(dim, a, b).unitary()
+        assert np.allclose(u @ u, np.eye(dim))
+
+
+class TestClockProperties:
+    @given(st.integers(2, 6))
+    def test_clock_has_unit_determinant_phases(self, dim):
+        u = clock_gate(dim).unitary()
+        assert np.allclose(np.abs(np.diagonal(u)), 1.0)
+
+    @given(st.integers(2, 6))
+    def test_clock_to_the_d_is_identity(self, dim):
+        u = clock_gate(dim).unitary()
+        assert np.allclose(np.linalg.matrix_power(u, dim), np.eye(dim))
+
+    @given(st.integers(2, 5))
+    def test_weyl_commutation(self, dim):
+        # Z X = w X Z (generalized Pauli commutation relation, with
+        # X|v> = |v+1> and Z|v> = w^v |v>).
+        x = shift_gate(dim, 1).unitary()
+        z = clock_gate(dim).unitary()
+        omega = np.exp(2j * np.pi / dim)
+        assert np.allclose(z @ x, omega * (x @ z))
+
+
+class TestMatrixRootProperties:
+    @given(st.integers(2, 5), st.integers(2, 4), st.integers(0, 1000))
+    @settings(max_examples=30)
+    def test_kth_root_composes(self, dim, k, seed):
+        u = random_unitary(dim, np.random.default_rng(seed))
+        root = matrix_root(u, 1.0 / k)
+        acc = np.eye(dim)
+        for _ in range(k):
+            acc = root @ acc
+        assert np.allclose(acc, u, atol=1e-7)
+
+
+class TestControlledProperties:
+    @given(permutation_gates(), st.integers(2, 4), st.data())
+    def test_controlled_identity_off_branch(self, sub, ctrl_dim, data):
+        value = data.draw(st.integers(0, ctrl_dim - 1))
+        gate = ControlledGate(sub, (ctrl_dim,), (value,))
+        for c in range(ctrl_dim):
+            for t in range(sub.dims[0]):
+                out = gate.classical_action((c, t))
+                if c == value:
+                    assert out == (c,) + sub.classical_action((t,))
+                else:
+                    assert out == (c, t)
+
+    @given(permutation_gates(), st.integers(2, 4), st.data())
+    def test_controlled_unitary_is_unitary(self, sub, ctrl_dim, data):
+        value = data.draw(st.integers(0, ctrl_dim - 1))
+        gate = ControlledGate(sub, (ctrl_dim,), (value,))
+        assert is_unitary(gate.unitary())

@@ -1,0 +1,113 @@
+"""Property-based tests for the incrementer and constant adders."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.arithmetic import add_constant_ops, controlled_add_constant_ops
+from repro.apps.incrementer import (
+    conditional_increment_ops,
+    qutrit_incrementer_circuit,
+)
+from repro.circuits.circuit import Circuit
+from repro.qudits import Qudit, qutrits
+from repro.sim.classical import ClassicalSimulator
+
+SIM = ClassicalSimulator()
+
+
+def _bits(value, width):
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def _value(bits):
+    return sum(b << i for i, b in enumerate(bits))
+
+
+class TestIncrementerProperties:
+    @given(st.integers(1, 12), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_increment_random_values(self, width, data):
+        value = data.draw(st.integers(0, (1 << width) - 1))
+        circuit, register = qutrit_incrementer_circuit(
+            width, decompose=False
+        )
+        out = SIM.run_values(circuit, register, _bits(value, width))
+        assert _value(out) == (value + 1) % (1 << width)
+        assert all(b <= 1 for b in out)
+
+    @given(st.integers(1, 10), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_increment_then_inverse_is_identity(self, width, data):
+        value = data.draw(st.integers(0, (1 << width) - 1))
+        circuit, register = qutrit_incrementer_circuit(
+            width, decompose=False
+        )
+        roundtrip = circuit + circuit.inverse()
+        out = SIM.run_values(roundtrip, register, _bits(value, width))
+        assert _value(out) == value
+
+    @given(st.integers(1, 8), st.integers(1, 40), st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_k_increments_add_k(self, width, k, data):
+        value = data.draw(st.integers(0, (1 << width) - 1))
+        circuit, register = qutrit_incrementer_circuit(
+            width, decompose=False
+        )
+        bits = _bits(value, width)
+        for _ in range(k):
+            bits = list(SIM.run_values(circuit, register, bits))
+        assert _value(bits) == (value + k) % (1 << width)
+
+
+class TestAdderProperties:
+    @given(st.integers(1, 10), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_add_constant_matches_modular_arithmetic(self, width, data):
+        value = data.draw(st.integers(0, (1 << width) - 1))
+        constant = data.draw(st.integers(0, (1 << width) - 1))
+        register = qutrits(width)
+        circuit = Circuit(
+            add_constant_ops(register, constant, decompose=False)
+        )
+        out = SIM.run_values(circuit, register, _bits(value, width))
+        assert _value(out) == (value + constant) % (1 << width)
+
+    @given(st.integers(2, 8), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_controlled_add_is_conditional(self, width, data):
+        value = data.draw(st.integers(0, (1 << width) - 1))
+        constant = data.draw(st.integers(1, (1 << width) - 1))
+        control_state = data.draw(st.integers(0, 2))
+        register = qutrits(width)
+        control = Qudit(width, 3)
+        circuit = Circuit(
+            controlled_add_constant_ops(
+                register, constant, control, 1, decompose=False
+            )
+        )
+        out = SIM.run_values(
+            circuit,
+            register + [control],
+            _bits(value, width) + [control_state],
+        )
+        expected = (
+            (value + constant) % (1 << width)
+            if control_state == 1
+            else value
+        )
+        assert _value(out[:width]) == expected
+
+    @given(st.integers(1, 8), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_conditional_increment_preserves_carry_wire(self, width, data):
+        value = data.draw(st.integers(0, (1 << width) - 1))
+        carry_state = data.draw(st.integers(0, 2))
+        register = qutrits(width)
+        carry = Qudit(width, 3)
+        circuit = Circuit(
+            conditional_increment_ops(register, carry, 2, decompose=False)
+        )
+        out = SIM.run_values(
+            circuit, register + [carry], _bits(value, width) + [carry_state]
+        )
+        assert out[width] == carry_state

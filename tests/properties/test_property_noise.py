@@ -1,0 +1,127 @@
+"""Property-based tests for noise channels and trajectory invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import Circuit
+from repro.gates.controlled import ControlledGate
+from repro.gates.qutrit import X01, X_PLUS_1
+from repro.noise.damping import amplitude_damping_channel, damping_lambdas
+from repro.noise.depolarizing import (
+    single_qudit_depolarizing,
+    two_qudit_depolarizing,
+)
+from repro.noise.model import NoiseModel
+from repro.qudits import Qudit, qutrits
+from repro.sim.state import StateVector
+from repro.sim.trajectory import TrajectorySimulator
+
+probabilities = st.floats(0.0, 1e-2)
+small_probabilities = st.floats(0.0, 1e-4)
+
+
+class TestChannelProperties:
+    @given(st.integers(2, 5), probabilities)
+    def test_single_qudit_error_budget(self, dim, p):
+        channel = single_qudit_depolarizing(dim, p)
+        assert np.isclose(
+            channel.error_probability, (dim * dim - 1) * p
+        )
+
+    @given(st.integers(2, 4), st.integers(2, 4), small_probabilities)
+    @settings(deadline=None)  # first call pays the channel-cache warmup
+    def test_two_qudit_error_budget(self, da, db, p):
+        channel = two_qudit_depolarizing(da, db, p)
+        assert np.isclose(
+            channel.error_probability, ((da * db) ** 2 - 1) * p
+        )
+
+    @given(
+        st.floats(1e-9, 1e-3),
+        st.floats(1e-5, 1e-1),
+        st.integers(2, 5),
+    )
+    def test_damping_lambdas_monotone_in_level(self, dt, t1, dim):
+        lams = damping_lambdas(dt, t1, dim)
+        assert all(0 <= lam <= 1 for lam in lams)
+        assert list(lams) == sorted(lams)
+
+    @given(st.floats(0.0, 0.99), st.floats(0.0, 0.99))
+    def test_damping_channel_trace_preserving(self, lam1, lam2):
+        channel = amplitude_damping_channel(3, (lam1, lam2))
+        total = sum(
+            op.conj().T @ op for op in channel.operators
+        )
+        assert np.allclose(total, np.eye(3), atol=1e-9)
+
+    @given(st.floats(0.0, 0.99), st.floats(0.0, 0.99), st.data())
+    @settings(max_examples=30)
+    def test_damping_branch_probabilities_normalised(
+        self, lam1, lam2, data
+    ):
+        channel = amplitude_damping_channel(3, (lam1, lam2))
+        wire = Qudit(0, 3)
+        level = data.draw(st.integers(0, 2))
+        state = StateVector.computational_basis([wire], (level,))
+        probs = channel.branch_probabilities(state, [wire])
+        assert np.isclose(probs.sum(), 1.0)
+
+
+class TestTrajectoryProperties:
+    @given(probabilities, probabilities, st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_trajectory_state_stays_normalised(self, p1, p2, seed):
+        model = NoiseModel("prop", p1, p2, 1e-7, 3e-7, t1=1e-4)
+        wires = qutrits(3)
+        circuit = Circuit(
+            [
+                X_PLUS_1.on(wires[0]),
+                ControlledGate(X01, (3,), (1,)).on(wires[0], wires[1]),
+                ControlledGate(X01, (3,), (1,)).on(wires[1], wires[2]),
+            ]
+        )
+        sim = TrajectorySimulator(model, np.random.default_rng(seed))
+        initial = StateVector.zero(wires)
+        result = sim.run_trajectory(circuit, initial)
+        assert 0.0 <= result.fidelity <= 1.0 + 1e-9
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_zero_noise_means_unit_fidelity(self, seed):
+        model = NoiseModel("clean", 0.0, 0.0, 1e-7, 3e-7, t1=None)
+        wires = qutrits(2)
+        circuit = Circuit(
+            [ControlledGate(X_PLUS_1, (3,), (1,)).on(wires[0], wires[1])]
+        )
+        sim = TrajectorySimulator(model, np.random.default_rng(seed))
+        initial = sim.random_binary_input(wires)
+        result = sim.run_trajectory(circuit, initial)
+        assert np.isclose(result.fidelity, 1.0, atol=1e-9)
+
+    @given(st.floats(1e-4, 1e-3))
+    @settings(max_examples=10, deadline=None)
+    def test_more_noise_lower_mean_fidelity(self, p):
+        wires = qutrits(2)
+        circuit = Circuit(
+            [
+                ControlledGate(X_PLUS_1, (3,), (1,)).on(wires[0], wires[1])
+                for _ in range(10)
+            ]
+        )
+
+        def mean_fidelity(p2):
+            model = NoiseModel("m", 0.0, p2, 1e-7, 3e-7, t1=None)
+            sim = TrajectorySimulator(
+                model, np.random.default_rng(7)
+            )
+            return np.mean(
+                [
+                    sim.run_trajectory(
+                        circuit, StateVector.zero(wires)
+                    ).fidelity
+                    for _ in range(40)
+                ]
+            )
+
+        assert mean_fidelity(10 * p) <= mean_fidelity(p) + 0.05

@@ -1,0 +1,92 @@
+"""Property-based tests for the SWAP router."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.routing import route_circuit
+from repro.arch.topology import all_to_all, grid_2d, line
+from repro.circuits.circuit import Circuit
+from repro.gates.controlled import ControlledGate
+from repro.gates.qutrit import X01, X02, X_PLUS_1
+from repro.qudits import qutrits
+from repro.sim.classical import ClassicalSimulator
+
+GATES = [X01, X02, X_PLUS_1]
+
+
+@st.composite
+def circuits_and_topologies(draw):
+    num_wires = draw(st.integers(2, 6))
+    wires = qutrits(num_wires)
+    ops = []
+    for _ in range(draw(st.integers(1, 10))):
+        gate = ControlledGate(
+            draw(st.sampled_from(GATES)), (3,), (draw(st.integers(0, 2)),)
+        )
+        pair = draw(
+            st.lists(
+                st.sampled_from(wires), min_size=2, max_size=2, unique=True
+            )
+        )
+        ops.append(gate.on(*pair))
+    kind = draw(st.sampled_from(["line", "grid", "full"]))
+    if kind == "line":
+        topology = line(num_wires)
+    elif kind == "full":
+        topology = all_to_all(num_wires)
+    else:
+        rows = draw(st.integers(1, 3))
+        cols = (num_wires + rows - 1) // rows
+        topology = grid_2d(rows, max(cols, 1))
+    return Circuit(ops), wires, topology
+
+
+class TestRoutingProperties:
+    @given(circuits_and_topologies(), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_routed_circuit_preserves_semantics(self, setup, seed):
+        circuit, wires, topology = setup
+        routed = route_circuit(circuit, topology, wires=wires)
+        sim = ClassicalSimulator()
+        rng = np.random.default_rng(seed)
+        values = {w: int(rng.integers(0, 2)) for w in wires}
+        expected = sim.run(circuit, values)
+        site_values = {site: 0 for site in routed.sites}
+        for wire, value in values.items():
+            site_values[
+                routed.sites[routed.initial_placement[wire]]
+            ] = value
+        out = sim.run(routed.circuit, site_values)
+        for wire in wires:
+            assert out[routed.output_site(wire)] == expected[wire]
+
+    @given(circuits_and_topologies())
+    @settings(max_examples=40, deadline=None)
+    def test_every_two_qudit_gate_lands_on_an_edge(self, setup):
+        circuit, wires, topology = setup
+        routed = route_circuit(circuit, topology, wires=wires)
+        for op in routed.circuit.all_operations():
+            if op.num_qudits == 2:
+                a, b = (w.index for w in op.qudits)
+                assert topology.are_adjacent(a, b)
+
+    @given(circuits_and_topologies())
+    @settings(max_examples=40, deadline=None)
+    def test_placements_stay_bijective(self, setup):
+        circuit, wires, topology = setup
+        routed = route_circuit(circuit, topology, wires=wires)
+        finals = list(routed.final_placement.values())
+        assert len(set(finals)) == len(finals)
+        initials = list(routed.initial_placement.values())
+        assert len(set(initials)) == len(initials)
+
+    @given(circuits_and_topologies())
+    @settings(max_examples=30, deadline=None)
+    def test_full_connectivity_is_free(self, setup):
+        circuit, wires, _ = setup
+        routed = route_circuit(
+            circuit, all_to_all(len(wires)), wires=wires
+        )
+        assert routed.swap_count == 0
+        assert routed.circuit.num_operations == circuit.num_operations

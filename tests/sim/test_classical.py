@@ -1,0 +1,75 @@
+"""Tests for the linear-time classical simulator (paper Sec. 6)."""
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import NotClassicalError
+from repro.gates.controlled import ControlledGate
+from repro.gates.qubit import CNOT, H, X
+from repro.gates.qutrit import X01, X_PLUS_1
+from repro.qudits import qubits, qutrits
+from repro.sim.classical import ClassicalSimulator
+
+
+class TestRun:
+    def test_simple_chain(self, classical_sim):
+        a, b = qubits(2)
+        circuit = Circuit([X.on(a), CNOT.on(a, b)])
+        assert classical_sim.run(circuit, {a: 0, b: 0}) == {a: 1, b: 1}
+
+    def test_run_values_positional(self, classical_sim):
+        a, b = qubits(2)
+        circuit = Circuit([CNOT.on(a, b)])
+        assert classical_sim.run_values(circuit, [a, b], (1, 1)) == (1, 0)
+
+    def test_qutrit_elevation_chain(self, classical_sim):
+        a, b = qutrits(2)
+        circuit = Circuit(
+            [
+                ControlledGate(X_PLUS_1, (3,), (1,)).on(a, b),
+                ControlledGate(X01, (3,), (2,)).on(b, a),
+            ]
+        )
+        # a=1 elevates b from 1 to 2; then b=2 flips a to 0.
+        assert classical_sim.run_values(circuit, [a, b], (1, 1)) == (0, 2)
+
+    def test_non_classical_gate_raises(self, classical_sim):
+        a = qubits(1)[0]
+        circuit = Circuit([H.on(a)])
+        with pytest.raises(NotClassicalError):
+            classical_sim.run(circuit, {a: 0})
+
+
+class TestTruthTable:
+    def test_cnot_truth_table(self, classical_sim):
+        a, b = qubits(2)
+        circuit = Circuit([CNOT.on(a, b)])
+        table = classical_sim.truth_table(circuit, [a, b])
+        assert table[(1, 0)] == (1, 1)
+        assert table[(0, 1)] == (0, 1)
+        assert len(table) == 4
+
+    def test_truth_table_with_level_restriction(self, classical_sim):
+        a, b = qutrits(2)
+        circuit = Circuit([ControlledGate(X_PLUS_1, (3,), (1,)).on(a, b)])
+        table = classical_sim.truth_table(
+            circuit, [a, b], input_levels={a: (0, 1), b: (0, 1)}
+        )
+        assert len(table) == 4
+        assert table[(1, 1)] == (1, 2)
+
+    def test_truth_table_full_levels_by_default(self, classical_sim):
+        a = qutrits(1)[0]
+        circuit = Circuit([X_PLUS_1.on(a)])
+        table = classical_sim.truth_table(circuit, [a])
+        assert len(table) == 3
+
+
+class TestClassicalityCheck:
+    def test_classical_circuit_detected(self, classical_sim):
+        a, b = qubits(2)
+        assert classical_sim.is_classical_circuit(Circuit([CNOT.on(a, b)]))
+
+    def test_non_classical_circuit_detected(self, classical_sim):
+        a = qubits(1)[0]
+        assert not classical_sim.is_classical_circuit(Circuit([H.on(a)]))

@@ -1,0 +1,65 @@
+"""Tests for mean-fidelity estimation (the Figure 11 harness)."""
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.gates.qubit import CNOT, H
+from repro.noise.model import NoiseModel
+from repro.qudits import qubits
+from repro.sim.fidelity import estimate_circuit_fidelity
+
+NOISELESS = NoiseModel("noiseless", 0.0, 0.0, 1e-7, 3e-7, t1=None)
+NOISY = NoiseModel("noisy", 5e-3, 2e-3, 1e-7, 3e-7, t1=None)
+
+
+def _ghz_circuit(width=3):
+    wires = qubits(width)
+    ops = [H.on(wires[0])]
+    ops.extend(CNOT.on(wires[i], wires[i + 1]) for i in range(width - 1))
+    return Circuit(ops)
+
+
+class TestEstimate:
+    def test_noiseless_estimate_is_unity(self):
+        estimate = estimate_circuit_fidelity(
+            _ghz_circuit(), NOISELESS, trials=5, seed=1
+        )
+        assert np.isclose(estimate.mean_fidelity, 1.0)
+        assert estimate.std_error < 1e-12
+        assert estimate.trials == 5
+
+    def test_noisy_estimate_below_unity(self):
+        estimate = estimate_circuit_fidelity(
+            _ghz_circuit(), NOISY, trials=60, seed=2
+        )
+        assert 0.5 < estimate.mean_fidelity < 0.999
+
+    def test_seed_reproducibility(self):
+        a = estimate_circuit_fidelity(_ghz_circuit(), NOISY, 20, seed=7)
+        b = estimate_circuit_fidelity(_ghz_circuit(), NOISY, 20, seed=7)
+        assert a.mean_fidelity == b.mean_fidelity
+
+    def test_different_seeds_differ(self):
+        a = estimate_circuit_fidelity(_ghz_circuit(), NOISY, 20, seed=7)
+        b = estimate_circuit_fidelity(_ghz_circuit(), NOISY, 20, seed=8)
+        assert a.mean_fidelity != b.mean_fidelity
+
+    def test_two_sigma_property(self):
+        estimate = estimate_circuit_fidelity(
+            _ghz_circuit(), NOISY, trials=30, seed=3
+        )
+        assert np.isclose(estimate.two_sigma, 2 * estimate.std_error)
+
+    def test_error_rates_tracked(self):
+        estimate = estimate_circuit_fidelity(
+            _ghz_circuit(), NOISY, trials=50, seed=4
+        )
+        assert estimate.mean_gate_errors > 0
+
+    def test_str_is_informative(self):
+        estimate = estimate_circuit_fidelity(
+            _ghz_circuit(), NOISELESS, trials=3, seed=5,
+            circuit_name="GHZ",
+        )
+        text = str(estimate)
+        assert "GHZ" in text and "noiseless" in text

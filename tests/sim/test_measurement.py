@@ -1,0 +1,92 @@
+"""Tests for measurement sampling."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.gates.qubit import CNOT, H
+from repro.qudits import qubits, qutrits
+from repro.sim.measurement import MeasurementResult, sample_state
+from repro.sim.state import StateVector
+from repro.sim.statevector import StateVectorSimulator
+
+
+class TestSampling:
+    def test_basis_state_is_deterministic(self, rng):
+        wires = qutrits(3)
+        state = StateVector.computational_basis(wires, (1, 2, 0))
+        result = sample_state(state, shots=50, rng=rng)
+        assert result.counts() == {(1, 2, 0): 50}
+
+    def test_bell_state_statistics(self, rng):
+        a, b = qubits(2)
+        state = StateVectorSimulator().run(
+            Circuit([H.on(a), CNOT.on(a, b)])
+        )
+        result = sample_state(state, shots=4000, rng=rng)
+        counts = result.counts()
+        assert set(counts) == {(0, 0), (1, 1)}
+        assert abs(counts[(0, 0)] / 4000 - 0.5) < 0.05
+
+    def test_marginal_wires(self, rng):
+        a, b = qubits(2)
+        state = StateVectorSimulator().run(
+            Circuit([H.on(a), CNOT.on(a, b)])
+        )
+        result = sample_state(state, shots=500, rng=rng, wires=[b])
+        assert result.samples.shape == (500, 1)
+        assert set(result.counts()) <= {(0,), (1,)}
+
+    def test_wire_order_respected(self, rng):
+        wires = qubits(2)
+        state = StateVector.computational_basis(wires, (1, 0))
+        result = sample_state(
+            state, shots=10, rng=rng, wires=[wires[1], wires[0]]
+        )
+        assert result.counts() == {(0, 1): 10}
+
+    def test_unknown_wire_rejected(self, rng):
+        wires = qubits(2)
+        state = StateVector.zero(wires)
+        with pytest.raises(ValueError):
+            sample_state(state, 1, rng, wires=qutrits(1))
+
+    def test_reproducible_given_seed(self):
+        a = qubits(1)[0]
+        state = StateVectorSimulator().run(Circuit([H.on(a)]))
+        r1 = sample_state(state, 100, np.random.default_rng(5))
+        r2 = sample_state(state, 100, np.random.default_rng(5))
+        assert np.array_equal(r1.samples, r2.samples)
+
+
+class TestResultAccessors:
+    def test_probability_of(self, rng):
+        wires = qubits(1)
+        state = StateVector.computational_basis(wires, (1,))
+        result = sample_state(state, 20, rng)
+        assert result.probability_of((1,)) == 1.0
+        assert result.probability_of((0,)) == 0.0
+
+    def test_most_common(self, rng):
+        a = qubits(1)[0]
+        state = StateVectorSimulator().run(Circuit([H.on(a)]))
+        result = sample_state(state, 1000, rng)
+        top = result.most_common(2)
+        assert len(top) == 2
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementResult(qubits(2), np.zeros((5, 3)))
+
+    def test_binary_readout_from_qutrit_circuit(self, rng):
+        # The paper's convention: outputs are binary, so sampling a tree
+        # output never shows level 2.
+        from repro.toffoli.registry import build_toffoli
+
+        result = build_toffoli("qutrit_tree", 3)
+        wires = result.controls + [result.target]
+        state = StateVectorSimulator().run_basis(
+            result.circuit, wires, (1, 1, 1, 0)
+        )
+        samples = sample_state(state, 200, rng)
+        assert samples.counts() == {(1, 1, 1, 1): 200}

@@ -1,0 +1,151 @@
+"""Tests for mixed-dimension state vectors."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.operation import GateOperation
+from repro.exceptions import DimensionMismatchError, SimulationError
+from repro.gates.controlled import ControlledGate
+from repro.gates.qubit import CNOT, H, X
+from repro.gates.qutrit import X01, X_PLUS_1
+from repro.qudits import Qudit, qubits, qudit_line, qutrits
+from repro.sim.state import StateVector
+
+
+class TestConstruction:
+    def test_basis_state(self):
+        wires = qutrits(2)
+        state = StateVector.computational_basis(wires, (1, 2))
+        assert state.probability_of((1, 2)) == 1.0
+        assert state.norm() == 1.0
+
+    def test_zero_state(self):
+        state = StateVector.zero(qubits(3))
+        assert state.probability_of((0, 0, 0)) == 1.0
+
+    def test_value_count_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            StateVector.computational_basis(qubits(2), (0,))
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            StateVector.computational_basis(qubits(1), (2,))
+
+    def test_flat_vector_reshaped(self):
+        wires = qubits(2)
+        state = StateVector(wires, np.array([1, 0, 0, 0], dtype=complex))
+        assert state.tensor.shape == (2, 2)
+
+    def test_mixed_dimensions(self):
+        wires = qudit_line([2, 3])
+        state = StateVector.zero(wires)
+        assert state.tensor.shape == (2, 3)
+
+
+class TestRandom:
+    def test_random_normalised(self, rng):
+        state = StateVector.random(qutrits(3), rng)
+        assert np.isclose(state.norm(), 1.0)
+
+    def test_random_binary_subspace(self, rng):
+        wires = qutrits(3)
+        caps = {w: 2 for w in wires}
+        state = StateVector.random(wires, rng, levels_per_wire=caps)
+        for wire in wires:
+            populations = state.level_populations(wire)
+            assert np.isclose(populations[2], 0.0)
+
+    def test_random_subspace_is_still_random(self, rng):
+        wires = qutrits(2)
+        caps = {w: 2 for w in wires}
+        a = StateVector.random(wires, rng, levels_per_wire=caps)
+        b = StateVector.random(wires, rng, levels_per_wire=caps)
+        assert a.fidelity(b) < 0.999
+
+
+class TestEvolution:
+    def test_apply_single_qudit_gate(self):
+        wires = qutrits(1)
+        state = StateVector.zero(wires)
+        state.apply_operation(X_PLUS_1.on(wires[0]))
+        assert state.probability_of((1,)) == 1.0
+
+    def test_apply_gate_to_middle_wire(self):
+        wires = qutrits(3)
+        state = StateVector.zero(wires)
+        state.apply_operation(X_PLUS_1.on(wires[1]))
+        assert state.probability_of((0, 1, 0)) == 1.0
+
+    def test_apply_two_qudit_gate_wire_order(self):
+        a, b = qubits(2)
+        state = StateVector.computational_basis([a, b], (1, 0))
+        state.apply_operation(CNOT.on(a, b))
+        assert state.probability_of((1, 1)) == 1.0
+        # Reversed roles: control b is 0, nothing happens.
+        state2 = StateVector.computational_basis([a, b], (1, 0))
+        state2.apply_operation(CNOT.on(b, a))
+        assert state2.probability_of((1, 0)) == 1.0
+
+    def test_apply_controlled_qutrit_gate(self):
+        a, b = qutrits(2)
+        state = StateVector.computational_basis([a, b], (2, 1))
+        state.apply_operation(ControlledGate(X01, (3,), (2,)).on(a, b))
+        assert state.probability_of((2, 0)) == 1.0
+
+    def test_superposition_amplitudes(self):
+        a = Qudit(0, 2)
+        state = StateVector.zero([a])
+        state.apply_operation(H.on(a))
+        assert np.isclose(state.probability_of((0,)), 0.5)
+        assert np.isclose(state.probability_of((1,)), 0.5)
+
+    def test_apply_matrix_non_unitary_then_renormalize(self):
+        a = Qudit(0, 2)
+        state = StateVector.zero([a])
+        state.apply_operation(H.on(a))
+        # Project onto |0> (a Kraus-style operation).
+        state.apply_matrix(np.array([[1, 0], [0, 0]]), [a])
+        norm = state.renormalize()
+        assert np.isclose(norm, 1 / np.sqrt(2))
+        assert np.isclose(state.probability_of((0,)), 1.0)
+
+    def test_renormalize_zero_state_raises(self):
+        a = Qudit(0, 2)
+        state = StateVector.zero([a])
+        state.apply_matrix(np.zeros((2, 2)), [a])
+        with pytest.raises(SimulationError):
+            state.renormalize()
+
+
+class TestObservables:
+    def test_level_populations(self):
+        wires = qutrits(2)
+        state = StateVector.computational_basis(wires, (2, 0))
+        assert np.allclose(state.level_populations(wires[0]), [0, 0, 1])
+        assert np.allclose(state.level_populations(wires[1]), [1, 0, 0])
+
+    def test_populations_of_superposition(self):
+        a, b = qubits(2)
+        state = StateVector.zero([a, b])
+        state.apply_operation(H.on(a))
+        assert np.allclose(state.level_populations(a), [0.5, 0.5])
+        assert np.allclose(state.level_populations(b), [1.0, 0.0])
+
+    def test_overlap_and_fidelity(self):
+        wires = qubits(1)
+        zero = StateVector.zero(wires)
+        one = StateVector.computational_basis(wires, (1,))
+        assert zero.fidelity(one) == 0.0
+        assert np.isclose(zero.fidelity(zero), 1.0)
+
+    def test_overlap_requires_same_wires(self):
+        with pytest.raises(SimulationError):
+            StateVector.zero(qubits(1)).overlap(StateVector.zero(qutrits(1)))
+
+    def test_copy_is_independent(self):
+        a = Qudit(0, 2)
+        state = StateVector.zero([a])
+        clone = state.copy()
+        clone.apply_operation(X.on(a))
+        assert state.probability_of((0,)) == 1.0
+        assert clone.probability_of((1,)) == 1.0

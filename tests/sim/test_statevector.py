@@ -1,0 +1,61 @@
+"""Tests for the noise-free state-vector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.gates.qubit import CNOT, H
+from repro.gates.qutrit import QUTRIT_H, X_PLUS_1
+from repro.qudits import Qudit, qubits, qutrits
+from repro.sim.state import StateVector
+from repro.sim.statevector import StateVectorSimulator
+
+
+class TestRun:
+    def test_bell_state(self, state_sim):
+        a, b = qubits(2)
+        circuit = Circuit([H.on(a), CNOT.on(a, b)])
+        state = state_sim.run(circuit)
+        assert np.isclose(state.probability_of((0, 0)), 0.5)
+        assert np.isclose(state.probability_of((1, 1)), 0.5)
+        assert np.isclose(state.probability_of((0, 1)), 0.0)
+
+    def test_run_from_custom_initial_state(self, state_sim):
+        a, b = qubits(2)
+        circuit = Circuit([CNOT.on(a, b)])
+        initial = StateVector.computational_basis([a, b], (1, 1))
+        state = state_sim.run(circuit, initial)
+        assert state.probability_of((1, 0)) == 1.0
+
+    def test_initial_state_is_not_mutated(self, state_sim):
+        a = Qudit(0, 2)
+        circuit = Circuit([H.on(a)])
+        initial = StateVector.zero([a])
+        state_sim.run(circuit, initial)
+        assert initial.probability_of((0,)) == 1.0
+
+    def test_run_basis_shortcut(self, state_sim):
+        a, b = qutrits(2)
+        circuit = Circuit([X_PLUS_1.on(b)])
+        state = state_sim.run_basis(circuit, [a, b], (1, 2))
+        assert state.probability_of((1, 0)) == 1.0
+
+    def test_wires_superset_of_circuit(self, state_sim):
+        a, b, c = qubits(3)
+        circuit = Circuit([CNOT.on(a, b)])
+        state = state_sim.run(circuit, wires=[a, b, c])
+        assert state.probability_of((0, 0, 0)) == 1.0
+
+    def test_missing_wires_rejected(self, state_sim):
+        a, b = qubits(2)
+        circuit = Circuit([CNOT.on(a, b)])
+        initial = StateVector.zero([a])
+        with pytest.raises(ValueError):
+            state_sim.run(circuit, initial)
+
+    def test_qutrit_fourier_uniform(self, state_sim):
+        a = qutrits(1)[0]
+        circuit = Circuit([QUTRIT_H.on(a)])
+        state = state_sim.run(circuit)
+        for level in range(3):
+            assert np.isclose(state.probability_of((level,)), 1 / 3)

@@ -1,0 +1,34 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_tables(self, capsys):
+        assert main(["tables", "--sizes", "4", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out and "Table 3" in out
+
+    def test_figures(self, capsys):
+        assert main(["figures", "--sizes", "4", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out and "Figure 10" in out
+        assert "QUTRIT" in out
+
+    def test_fidelity_small(self, capsys):
+        assert main(
+            ["fidelity", "--controls", "3", "--trials", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "DRESSED_QUTRIT" in out
+
+    def test_verify(self, capsys):
+        assert main(["verify", "--controls", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "qutrit_tree" in out and "verified" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

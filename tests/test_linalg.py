@@ -1,0 +1,120 @@
+"""Tests for the linear-algebra toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    allclose_up_to_global_phase,
+    fidelity,
+    is_permutation_matrix,
+    is_unitary,
+    kron_all,
+    matrix_root,
+    permutation_of,
+    random_state_vector,
+    random_unitary,
+)
+
+
+class TestPredicates:
+    def test_identity_is_unitary(self):
+        assert is_unitary(np.eye(5))
+
+    def test_scaled_identity_is_not_unitary(self):
+        assert not is_unitary(2 * np.eye(3))
+
+    def test_non_square_is_not_unitary(self):
+        assert not is_unitary(np.ones((2, 3)))
+
+    def test_hadamard_is_unitary(self):
+        h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        assert is_unitary(h)
+
+    def test_permutation_matrix_detection(self):
+        p = np.array([[0, 1, 0], [0, 0, 1], [1, 0, 0]], dtype=float)
+        assert is_permutation_matrix(p)
+        assert not is_permutation_matrix(p * 1j)
+
+    def test_permutation_of_shift(self):
+        p = np.array([[0, 0, 1], [1, 0, 0], [0, 1, 0]], dtype=float)
+        # column j has its 1 in row (j+1) mod 3
+        assert permutation_of(p) == [1, 2, 0]
+
+    def test_permutation_of_rejects_unitary_non_permutation(self):
+        h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        with pytest.raises(ValueError):
+            permutation_of(h)
+
+
+class TestGlobalPhase:
+    def test_equal_matrices_match(self):
+        m = np.diag([1, 1j])
+        assert allclose_up_to_global_phase(m, m)
+
+    def test_phase_multiple_matches(self):
+        m = random_unitary(4, np.random.default_rng(0))
+        assert allclose_up_to_global_phase(m, np.exp(0.7j) * m)
+
+    def test_different_matrices_do_not_match(self):
+        assert not allclose_up_to_global_phase(np.eye(2), np.diag([1, -1]))
+
+    def test_shape_mismatch(self):
+        assert not allclose_up_to_global_phase(np.eye(2), np.eye(3))
+
+
+class TestMatrixRoot:
+    def test_square_of_sqrt_x(self):
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        v = matrix_root(x, 0.5)
+        assert np.allclose(v @ v, x, atol=1e-9)
+
+    def test_cube_root_composes(self):
+        rng = np.random.default_rng(1)
+        u = random_unitary(3, rng)
+        r = matrix_root(u, 1 / 3)
+        assert np.allclose(r @ r @ r, u, atol=1e-8)
+
+    def test_root_is_unitary(self):
+        rng = np.random.default_rng(2)
+        u = random_unitary(4, rng)
+        assert is_unitary(matrix_root(u, 0.25), atol=1e-8)
+
+
+class TestRandomStates:
+    def test_random_state_is_normalised(self):
+        v = random_state_vector(100, np.random.default_rng(3))
+        assert np.isclose(np.linalg.norm(v), 1.0)
+
+    def test_random_states_differ(self):
+        rng = np.random.default_rng(4)
+        a = random_state_vector(8, rng)
+        b = random_state_vector(8, rng)
+        assert not np.allclose(a, b)
+
+    def test_mean_overlap_matches_haar(self):
+        # E|<a|b>|^2 = 1/d for independent Haar states.
+        rng = np.random.default_rng(5)
+        d = 16
+        overlaps = [
+            fidelity(random_state_vector(d, rng), random_state_vector(d, rng))
+            for _ in range(400)
+        ]
+        assert abs(np.mean(overlaps) - 1 / d) < 3 / d
+
+    def test_random_unitary_is_unitary(self):
+        assert is_unitary(random_unitary(6, np.random.default_rng(6)))
+
+
+class TestMisc:
+    def test_kron_all(self):
+        x = np.array([[0, 1], [1, 0]])
+        out = kron_all(x, np.eye(2))
+        assert out.shape == (4, 4)
+        assert np.allclose(out, np.kron(x, np.eye(2)))
+
+    def test_fidelity_of_orthogonal_states(self):
+        assert fidelity([1, 0], [0, 1]) == 0
+
+    def test_fidelity_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fidelity([1, 0], [1, 0, 0])

@@ -1,0 +1,77 @@
+"""Tests for qudit wire identifiers."""
+
+import pytest
+
+from repro.exceptions import DimensionMismatchError
+from repro.qudits import (
+    QUBIT_D,
+    QUTRIT_D,
+    Qudit,
+    check_distinct,
+    qubits,
+    qudit_line,
+    qutrits,
+    total_dimension,
+)
+
+
+class TestQudit:
+    def test_default_dimension_is_qutrit(self):
+        assert Qudit(0).dimension == QUTRIT_D
+
+    def test_equality_includes_dimension(self):
+        assert Qudit(3, 2) != Qudit(3, 3)
+        assert Qudit(3, 2) == Qudit(3, 2)
+
+    def test_hashable_and_usable_in_sets(self):
+        wires = {Qudit(0, 2), Qudit(0, 2), Qudit(0, 3)}
+        assert len(wires) == 2
+
+    def test_ordering_by_index(self):
+        assert sorted([Qudit(2, 2), Qudit(0, 2)])[0].index == 0
+
+    def test_rejects_dimension_below_two(self):
+        with pytest.raises(DimensionMismatchError):
+            Qudit(0, 1)
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            Qudit(-1, 2)
+
+    def test_levels_range(self):
+        assert list(Qudit(0, 3).levels) == [0, 1, 2]
+
+
+class TestFactories:
+    def test_qubits_dimensions_and_indices(self):
+        wires = qubits(3)
+        assert [w.dimension for w in wires] == [2, 2, 2]
+        assert [w.index for w in wires] == [0, 1, 2]
+
+    def test_qutrits_start_offset(self):
+        wires = qutrits(2, start=5)
+        assert [w.index for w in wires] == [5, 6]
+        assert all(w.dimension == QUTRIT_D for w in wires)
+
+    def test_qudit_line_mixed_dimensions(self):
+        wires = qudit_line([2, 3, 5])
+        assert [w.dimension for w in wires] == [2, 3, 5]
+
+    def test_qubit_constant(self):
+        assert QUBIT_D == 2
+
+
+class TestHelpers:
+    def test_check_distinct_accepts_unique(self):
+        check_distinct(qubits(4))
+
+    def test_check_distinct_rejects_duplicates(self):
+        wire = Qudit(0, 2)
+        with pytest.raises(ValueError):
+            check_distinct([wire, wire])
+
+    def test_total_dimension_is_product(self):
+        assert total_dimension(qudit_line([2, 3, 4])) == 24
+
+    def test_total_dimension_empty(self):
+        assert total_dimension([]) == 1

@@ -1,0 +1,93 @@
+"""Shared verification helpers for Generalized Toffoli constructions."""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.sim.state import StateVector
+from repro.sim.statevector import StateVectorSimulator
+from repro.toffoli.spec import ConstructionResult
+
+
+def verify_exhaustive(
+    result: ConstructionResult,
+    dirty_patterns: bool = True,
+) -> None:
+    """Assert a construction is correct on every binary input.
+
+    Controls and target sweep {0,1}; clean ancilla start at 0 and must end
+    at 0; borrowed ancilla sweep {0,1} and must be restored.  Uses dense
+    state-vector runs so non-classical intermediate gates are fine.
+    """
+    sim = StateVectorSimulator()
+    spec = result.spec
+    n = spec.num_controls
+    wires = result.all_wires
+    num_clean = len(result.clean_ancilla)
+    num_borrowed = len(result.borrowed_ancilla)
+    borrow_space = (
+        list(product([0, 1], repeat=num_borrowed))
+        if dirty_patterns
+        else [(0,) * num_borrowed]
+    )
+    for data in product([0, 1], repeat=n + 1):
+        for borrowed in borrow_space:
+            values = list(data) + [0] * num_clean + list(borrowed)
+            state = sim.run_basis(result.circuit, wires, values)
+            expected = list(values)
+            if spec.is_active(data[:n]):
+                expected[n] ^= 1
+            probability = state.probability_of(expected)
+            assert np.isclose(probability, 1.0, atol=1e-7), (
+                f"{result.name}: input {values} gave "
+                f"P[expected]={probability:.6f}"
+            )
+
+
+def verify_random_superposition(
+    result: ConstructionResult, seed: int = 1234
+) -> None:
+    """Assert phases are right: a random binary-subspace state must map to
+    the reference-permuted state with fidelity 1 (global phase excepted)."""
+    rng = np.random.default_rng(seed)
+    spec = result.spec
+    n = spec.num_controls
+    wires = result.all_wires
+    data_wires = wires[: n + 1]
+    caps = {w: 2 for w in data_wires}
+    # Ancilla start in |0>; borrowed dirty wires get |1> to be adversarial.
+    state = StateVector.random(data_wires, rng, levels_per_wire=caps)
+    tensor = state.tensor
+    full = StateVector.zero(wires)
+    index = [0] * len(wires)
+    for w in result.borrowed_ancilla:
+        index[wires.index(w)] = 1
+    # Embed the random data state into the full register.  The data
+    # tensor already spans each data wire's full dimension (its non-binary
+    # levels hold zero amplitude), so slice whole data axes.
+    full_tensor = np.zeros(full.tensor.shape, dtype=complex)
+    slicer = [slice(None)] * (n + 1) + [
+        slice(v, v + 1) for v in index[n + 1 :]
+    ]
+    full_tensor[tuple(slicer)] = tensor.reshape(
+        tensor.shape + (1,) * (len(wires) - n - 1)
+    )
+    actual = StateVector(wires, full_tensor.copy())
+    for op in result.circuit.all_operations():
+        actual.apply_operation(op)
+
+    # Reference: permute the data tensor's basis directly.
+    expected_tensor = np.zeros_like(full_tensor)
+    for data in product([0, 1], repeat=n + 1):
+        amplitude = full_tensor[data + tuple(index[n + 1 :])]
+        out = list(data)
+        if spec.is_active(data[:n]):
+            out[n] ^= 1
+        expected_tensor[tuple(out) + tuple(index[n + 1 :])] = amplitude
+    expected = StateVector(wires, expected_tensor)
+    fidelity = actual.fidelity(expected)
+    assert np.isclose(fidelity, 1.0, atol=1e-7), (
+        f"{result.name}: superposition fidelity {fidelity:.6f}"
+    )

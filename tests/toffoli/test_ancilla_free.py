@@ -1,0 +1,100 @@
+"""Tests for the zero-ancilla qubit cascade (the QUBIT baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import DecompositionError
+from repro.gates.controlled import ControlledGate
+from repro.gates.matrix import MatrixGate
+from repro.linalg import allclose_up_to_global_phase, random_unitary
+from repro.qudits import qubits
+from repro.toffoli.ancilla_free import (
+    build_ancilla_free_cascade,
+    multi_controlled_u_cascade,
+)
+from repro.toffoli.spec import GeneralizedToffoli
+
+from .helpers import verify_exhaustive, verify_random_superposition
+
+
+class TestCascadeCore:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    def test_multi_controlled_x_unitary(self, k):
+        wires = qubits(k + 1)
+        controls, target = wires[:k], wires[k]
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        ops = multi_controlled_u_cascade(controls, target, x, "X")
+        u = Circuit(ops).unitary(wires)
+        ref_gate = ControlledGate(
+            MatrixGate(x, (2,), "X"), (2,) * k
+        )
+        assert allclose_up_to_global_phase(u, ref_gate.unitary())
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_multi_controlled_random_u(self, k):
+        rng = np.random.default_rng(21)
+        u = random_unitary(2, rng)
+        wires = qubits(k + 1)
+        ops = multi_controlled_u_cascade(wires[:k], wires[k], u, "R")
+        got = Circuit(ops).unitary(wires)
+        ref = ControlledGate(MatrixGate(u, (2,), "R"), (2,) * k).unitary()
+        assert allclose_up_to_global_phase(got, ref)
+
+    def test_uses_only_circuit_wires(self):
+        wires = qubits(6)
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        ops = multi_controlled_u_cascade(wires[:5], wires[5], x, "X")
+        used = set()
+        for op in ops:
+            used.update(op.qudits)
+        assert used.issubset(set(wires))
+
+    def test_contains_small_angle_gates(self):
+        # The hallmark of the paper's Gidney baseline: X^(1/2^j) roots.
+        wires = qubits(7)
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        ops = multi_controlled_u_cascade(wires[:6], wires[6], x, "X")
+        names = {op.gate.name for op in ops}
+        assert any("sqrt(sqrt(" in name for name in names)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_exhaustive(self, n):
+        result = build_ancilla_free_cascade(GeneralizedToffoli(n))
+        verify_exhaustive(result)
+
+    @pytest.mark.parametrize("n", [3, 5])
+    def test_superposition_phases(self, n):
+        result = build_ancilla_free_cascade(GeneralizedToffoli(n))
+        verify_random_superposition(result)
+
+    def test_no_ancilla_at_all(self):
+        result = build_ancilla_free_cascade(GeneralizedToffoli(9))
+        assert result.ancilla_count == 0
+        assert len(result.all_wires) == 10
+
+    def test_zero_valued_controls(self):
+        result = build_ancilla_free_cascade(
+            GeneralizedToffoli(3, (0, 1, 1))
+        )
+        verify_exhaustive(result)
+
+    def test_rejects_qutrit_activation(self):
+        with pytest.raises(DecompositionError):
+            build_ancilla_free_cascade(GeneralizedToffoli(3, (1, 2, 1)))
+
+    def test_fully_two_qubit(self):
+        result = build_ancilla_free_cascade(GeneralizedToffoli(7))
+        assert result.circuit.max_gate_width() <= 2
+
+    def test_costs_more_than_one_dirty_version(self):
+        from repro.toffoli.dirty_ancilla import build_one_dirty_ancilla
+
+        free = build_ancilla_free_cascade(GeneralizedToffoli(10))
+        dirty = build_one_dirty_ancilla(GeneralizedToffoli(10))
+        assert (
+            free.circuit.two_qudit_gate_count
+            > dirty.circuit.two_qudit_gate_count
+        )

@@ -1,0 +1,133 @@
+"""Tests for dirty-ancilla ladders and the QUBIT+ANCILLA construction."""
+
+from itertools import product
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import DecompositionError
+from repro.qudits import qubits
+from repro.sim.classical import ClassicalSimulator
+from repro.toffoli.dirty_ancilla import (
+    build_one_dirty_ancilla,
+    mcx_auto,
+    mcx_dirty_ladder,
+    mcx_one_dirty,
+)
+from repro.toffoli.spec import GeneralizedToffoli
+
+from .helpers import verify_exhaustive, verify_random_superposition
+
+
+def _check_mcx(ops, controls, target, extras, sim=None):
+    """Exhaustively verify t ^= AND(controls) with extras restored."""
+    sim = sim or ClassicalSimulator()
+    circuit = Circuit(ops)
+    wires = controls + [target] + extras
+    for values in product([0, 1], repeat=len(wires)):
+        # Undecomposed Toffoli chains are classical.
+        out = sim.run_values(circuit, wires, values)
+        expected = list(values)
+        if all(v == 1 for v in values[: len(controls)]):
+            expected[len(controls)] ^= 1
+        assert out == tuple(expected), f"{values} -> {out}"
+
+
+class TestDirtyLadder:
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_ladder_correct_for_all_dirty_states(self, k):
+        wires = qubits(k + 1 + (k - 2))
+        controls, target = wires[:k], wires[k]
+        dirty = wires[k + 1 :]
+        ops = mcx_dirty_ladder(controls, target, dirty, decompose=False)
+        _check_mcx(ops, controls, target, dirty)
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_ladder_toffoli_count(self, k):
+        wires = qubits(2 * k - 1)
+        ops = mcx_dirty_ladder(
+            wires[:k], wires[k], wires[k + 1 :], decompose=False
+        )
+        assert len(ops) == 4 * (k - 2)
+
+    def test_small_cases_direct(self):
+        a, b, t = qubits(3)
+        assert len(mcx_dirty_ladder([a], t, [], decompose=False)) == 1
+        assert len(mcx_dirty_ladder([a, b], t, [], decompose=False)) == 1
+        assert len(mcx_dirty_ladder([], t, [], decompose=False)) == 1
+
+    def test_insufficient_dirty_rejected(self):
+        wires = qubits(6)
+        with pytest.raises(DecompositionError):
+            mcx_dirty_ladder(wires[:4], wires[4], [wires[5]])
+
+
+class TestOneDirty:
+    @pytest.mark.parametrize("k", [3, 4, 5, 6, 7])
+    def test_single_borrowed_bit(self, k):
+        wires = qubits(k + 2)
+        controls, target, borrowed = wires[:k], wires[k], wires[k + 1]
+        ops = mcx_one_dirty(controls, target, borrowed, decompose=False)
+        _check_mcx(ops, controls, target, [borrowed])
+
+    def test_linear_toffoli_count(self):
+        # ~8k Toffolis: the jump from k to 2k should be ~2x, not 4x.
+        def toffolis(k):
+            wires = qubits(k + 2)
+            return len(
+                mcx_one_dirty(
+                    wires[:k], wires[k], wires[k + 1], decompose=False
+                )
+            )
+
+        assert toffolis(32) / toffolis(16) < 2.4
+        assert toffolis(64) / toffolis(32) < 2.2
+
+    def test_mcx_auto_prefers_ladder(self):
+        wires = qubits(10)
+        ops_ladder = mcx_auto(
+            wires[:4], wires[4], wires[5:], decompose=False
+        )
+        ops_split = mcx_one_dirty(
+            wires[:4], wires[4], wires[5], decompose=False
+        )
+        assert len(ops_ladder) < len(ops_split)
+
+    def test_mcx_auto_no_dirty_raises(self):
+        wires = qubits(5)
+        with pytest.raises(DecompositionError):
+            mcx_auto(wires[:4], wires[4], [])
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_exhaustive(self, n):
+        result = build_one_dirty_ancilla(GeneralizedToffoli(n))
+        verify_exhaustive(result)
+
+    def test_superposition_phases(self):
+        result = build_one_dirty_ancilla(GeneralizedToffoli(4))
+        verify_random_superposition(result)
+
+    def test_zero_valued_controls(self):
+        result = build_one_dirty_ancilla(GeneralizedToffoli(3, (0, 1, 0)))
+        verify_exhaustive(result)
+
+    def test_rejects_qutrit_activation(self):
+        with pytest.raises(DecompositionError):
+            build_one_dirty_ancilla(GeneralizedToffoli(3, (2, 1, 1)))
+
+    def test_fully_decomposed_to_two_qubit(self):
+        result = build_one_dirty_ancilla(GeneralizedToffoli(8))
+        assert result.circuit.max_gate_width() <= 2
+
+    def test_linear_two_qudit_count(self):
+        def count(n):
+            return build_one_dirty_ancilla(
+                GeneralizedToffoli(n)
+            ).circuit.two_qudit_gate_count
+
+        # Within ~2.5x when N doubles (linear with offsets).
+        assert count(32) / count(16) < 2.5
+        # Constant sits in the paper's ~48N ballpark at larger N.
+        assert 30 <= count(64) / 64 <= 60

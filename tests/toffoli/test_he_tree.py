@@ -1,0 +1,53 @@
+"""Tests for He's log-depth clean-ancilla construction."""
+
+import pytest
+
+from repro.toffoli.he_tree import build_he_tree
+from repro.toffoli.spec import GeneralizedToffoli
+
+from .helpers import verify_exhaustive, verify_random_superposition
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_exhaustive(self, n):
+        result = build_he_tree(GeneralizedToffoli(n))
+        verify_exhaustive(result)
+
+    def test_superposition_phases(self):
+        result = build_he_tree(GeneralizedToffoli(4))
+        verify_random_superposition(result)
+
+    def test_zero_valued_controls(self):
+        result = build_he_tree(GeneralizedToffoli(3, (0, 0, 1)))
+        verify_exhaustive(result)
+
+    def test_ancilla_restored_to_zero(self, state_sim):
+        result = build_he_tree(GeneralizedToffoli(4))
+        wires = result.all_wires
+        values = [1] * 4 + [0] + [0] * len(result.clean_ancilla)
+        state = state_sim.run_basis(result.circuit, wires, values)
+        expected = [1, 1, 1, 1, 1] + [0] * len(result.clean_ancilla)
+        assert state.probability_of(expected) == pytest.approx(1.0)
+
+
+class TestResources:
+    def test_ancilla_count_is_n_minus_one(self):
+        for n in (4, 8, 16):
+            result = build_he_tree(GeneralizedToffoli(n))
+            assert len(result.clean_ancilla) == n - 1
+
+    def test_log_depth_at_toffoli_granularity(self):
+        shallow = build_he_tree(
+            GeneralizedToffoli(8), decompose=False
+        ).circuit.depth
+        deep = build_he_tree(
+            GeneralizedToffoli(64), decompose=False
+        ).circuit.depth
+        # 8x the controls should add ~6 moments (3 levels each way).
+        assert deep - shallow == 6
+
+    def test_tree_parallelism(self):
+        # First layer Toffolis all run in moment 0.
+        result = build_he_tree(GeneralizedToffoli(8), decompose=False)
+        assert len(result.circuit.moments[0]) == 4

@@ -1,0 +1,56 @@
+"""Tests for the Lanyon/Ralph-style high-dimensional-target construction."""
+
+from itertools import product
+
+import pytest
+
+from repro.exceptions import DecompositionError
+from repro.sim.classical import ClassicalSimulator
+from repro.toffoli.lanyon_target import build_lanyon_target
+from repro.toffoli.spec import GeneralizedToffoli
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_exhaustive_binary_inputs(self, n, classical_sim):
+        result = build_lanyon_target(GeneralizedToffoli(n))
+        wires = result.controls + [result.target]
+        for values in product([0, 1], repeat=n + 1):
+            out = classical_sim.run_values(result.circuit, wires, values)
+            expected = list(values)
+            if all(v == 1 for v in values[:n]):
+                expected[n] ^= 1
+            assert out == tuple(expected)
+
+    def test_zero_valued_controls(self, classical_sim):
+        result = build_lanyon_target(GeneralizedToffoli(3, (0, 1, 0)))
+        wires = result.controls + [result.target]
+        for values in product([0, 1], repeat=4):
+            out = classical_sim.run_values(result.circuit, wires, values)
+            expected = list(values)
+            if values[:3] == (0, 1, 0):
+                expected[3] ^= 1
+            assert out == tuple(expected)
+
+    def test_rejects_qutrit_activation(self):
+        with pytest.raises(DecompositionError):
+            build_lanyon_target(GeneralizedToffoli(2, (2, 1)))
+
+
+class TestResources:
+    def test_target_dimension_is_2n_plus_2(self):
+        for n in (2, 5, 9):
+            result = build_lanyon_target(GeneralizedToffoli(n))
+            assert result.target.dimension == 2 * n + 2
+
+    def test_linear_gate_count(self):
+        result = build_lanyon_target(GeneralizedToffoli(10))
+        assert result.circuit.two_qudit_gate_count == 2 * 10
+
+    def test_no_ancilla(self):
+        result = build_lanyon_target(GeneralizedToffoli(7))
+        assert result.ancilla_count == 0
+
+    def test_controls_are_qubits(self):
+        result = build_lanyon_target(GeneralizedToffoli(4))
+        assert all(w.dimension == 2 for w in result.controls)

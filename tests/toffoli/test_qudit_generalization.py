@@ -1,0 +1,106 @@
+"""Tests for the d > 3 generalization of the tree (paper's future work).
+
+The paper suggests larger-d information carriers may pay off under
+connectivity pressure; the tree itself only ever touches levels {0,1,2},
+so it runs unchanged on any d >= 3 — at a decomposition cost of 2d + 1
+two-qudit gates per tree gate (7 at d = 3).
+"""
+
+from itertools import product
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DecompositionError
+from repro.gates.controlled import ControlledGate
+from repro.gates.matrix import MatrixGate
+from repro.gates.decompositions import decompose_controlled_controlled_u
+from repro.gates.qutrit import level_swap, shift_gate
+from repro.linalg import allclose_up_to_global_phase, random_unitary
+from repro.circuits.circuit import Circuit
+from repro.qudits import Qudit
+from repro.sim.statevector import StateVectorSimulator
+from repro.toffoli.qutrit_tree import build_qutrit_tree
+from repro.toffoli.spec import GeneralizedToffoli
+
+
+class TestGeneralizedCascade:
+    @pytest.mark.parametrize("dim", [3, 4, 5])
+    def test_cc_u_correct_for_any_host_dimension(self, dim):
+        q0, q1, t = Qudit(0, dim), Qudit(1, dim), Qudit(2, dim)
+        target_gate = level_swap(dim, 0, 1)
+        for values in [(1, 1), (2, 2), (dim - 1, 1), (0, 2)]:
+            ops = decompose_controlled_controlled_u(
+                q0, q1, t, target_gate, values
+            )
+            u = Circuit(ops).unitary([q0, q1, t])
+            ref = ControlledGate(target_gate, (dim, dim), values).unitary()
+            assert allclose_up_to_global_phase(u, ref), (dim, values)
+
+    @pytest.mark.parametrize("dim", [3, 4, 5])
+    def test_gate_count_is_2d_plus_1(self, dim):
+        q0, q1, t = Qudit(0, dim), Qudit(1, dim), Qudit(2, dim)
+        ops = decompose_controlled_controlled_u(
+            q0, q1, t, shift_gate(dim, 1), (1, 1)
+        )
+        assert len(ops) == 2 * dim + 1
+
+    def test_random_target_on_d4_host(self):
+        rng = np.random.default_rng(17)
+        q0, q1 = Qudit(0, 4), Qudit(1, 4)
+        t = Qudit(2, 3)
+        target_gate = MatrixGate(random_unitary(3, rng), (3,), "R")
+        ops = decompose_controlled_controlled_u(
+            q0, q1, t, target_gate, (3, 2)
+        )
+        u = Circuit(ops).unitary([q0, q1, t])
+        ref = ControlledGate(target_gate, (4, 4), (3, 2)).unitary()
+        assert allclose_up_to_global_phase(u, ref)
+
+
+class TestQuditTree:
+    @pytest.mark.parametrize("dim", [4, 5])
+    def test_tree_exhaustive_at_higher_d(self, dim):
+        n = 3
+        result = build_qutrit_tree(GeneralizedToffoli(n), dimension=dim)
+        sim = StateVectorSimulator()
+        wires = result.controls + [result.target]
+        for values in product([0, 1], repeat=n + 1):
+            state = sim.run_basis(result.circuit, wires, values)
+            expected = list(values)
+            if all(v == 1 for v in values[:n]):
+                expected[n] ^= 1
+            assert np.isclose(
+                state.probability_of(expected), 1.0, atol=1e-7
+            )
+
+    def test_tree_classical_at_higher_d(self, classical_sim):
+        result = build_qutrit_tree(
+            GeneralizedToffoli(6), decompose=False, dimension=4
+        )
+        wires = result.controls + [result.target]
+        for values in product([0, 1], repeat=7):
+            out = classical_sim.run_values(result.circuit, wires, values)
+            expected = list(values)
+            if all(v == 1 for v in values[:6]):
+                expected[6] ^= 1
+            assert out == tuple(expected)
+
+    def test_cost_grows_with_dimension(self):
+        # 2d + 1 per tree gate: d = 5 costs more than d = 3, which is the
+        # paper's "d = 3 is optimal absent connectivity pressure" point.
+        n = 8
+        d3 = build_qutrit_tree(GeneralizedToffoli(n), dimension=3)
+        d5 = build_qutrit_tree(GeneralizedToffoli(n), dimension=5)
+        assert (
+            d5.circuit.two_qudit_gate_count
+            > d3.circuit.two_qudit_gate_count
+        )
+
+    def test_dimension_below_three_rejected(self):
+        with pytest.raises(DecompositionError):
+            build_qutrit_tree(GeneralizedToffoli(3), dimension=2)
+
+    def test_name_reflects_dimension(self):
+        result = build_qutrit_tree(GeneralizedToffoli(3), dimension=4)
+        assert result.name == "qudit_tree_d4"

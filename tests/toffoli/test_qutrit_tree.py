@@ -1,0 +1,201 @@
+"""Tests for the paper's qutrit tree construction (Sec. 4.2)."""
+
+from itertools import product
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import DecompositionError
+from repro.gates.qutrit import X01, X02, X_PLUS_1
+from repro.gates.qutrit import phase_gate
+from repro.qudits import Qudit, qutrits
+from repro.sim.classical import ClassicalSimulator
+from repro.sim.statevector import StateVectorSimulator
+from repro.toffoli.qutrit_tree import (
+    build_qutrit_tree,
+    elevation_slots,
+    qutrit_multi_controlled_ops,
+)
+from repro.toffoli.spec import GeneralizedToffoli
+
+from .helpers import verify_exhaustive, verify_random_superposition
+
+
+class TestElevationSlots:
+    def test_small_cases(self):
+        assert elevation_slots(1) == frozenset()
+        assert elevation_slots(2) == frozenset({1})
+        assert elevation_slots(3) == frozenset({1})
+
+    def test_position_zero_never_elevated(self):
+        for n in range(1, 40):
+            assert 0 not in elevation_slots(n)
+
+    def test_figure5_pattern_for_15_controls(self):
+        # Figure 5: q1, q3, q5, q7, q9, q11, q13 receive X+1.
+        assert elevation_slots(15) == frozenset({1, 3, 5, 7, 9, 11, 13})
+
+    def test_control_only_positions_lower_bound(self):
+        # At least a quarter of positions (plus position 0) stay
+        # control-only, so gates with a |2>-activated carry always fit.
+        for n in range(2, 60):
+            control_only = n - len(elevation_slots(n))
+            assert control_only >= max(1, (n + 1) // 4)
+
+
+class TestClassicalGranularity:
+    """Undecomposed circuits are permutations — the paper's fast path."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 7, 8])
+    def test_exhaustive_small_widths(self, n, classical_sim):
+        result = build_qutrit_tree(GeneralizedToffoli(n), decompose=False)
+        wires = result.controls + [result.target]
+        for values in product([0, 1], repeat=n + 1):
+            out = classical_sim.run_values(result.circuit, wires, values)
+            expected = list(values)
+            if all(v == 1 for v in values[:n]):
+                expected[n] ^= 1
+            assert out == tuple(expected)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("n", [9, 10, 11, 12, 13])
+    def test_exhaustive_paper_scale(self, n, classical_sim):
+        # The paper verified all classical inputs up to width 14
+        # (13 controls + target); the classical simulator makes this cheap.
+        result = build_qutrit_tree(GeneralizedToffoli(n), decompose=False)
+        wires = result.controls + [result.target]
+        for values in product([0, 1], repeat=n + 1):
+            out = classical_sim.run_values(result.circuit, wires, values)
+            expected = list(values)
+            if all(v == 1 for v in values[:n]):
+                expected[n] ^= 1
+            assert out == tuple(expected)
+
+    def test_controls_restored_even_mid_pattern(self, classical_sim):
+        result = build_qutrit_tree(GeneralizedToffoli(6), decompose=False)
+        wires = result.controls + [result.target]
+        out = classical_sim.run_values(result.circuit, wires, (1, 1, 0, 1, 1, 1, 0))
+        assert out == (1, 1, 0, 1, 1, 1, 0)
+
+
+class TestDecomposed:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_exhaustive_decomposed(self, n):
+        result = build_qutrit_tree(GeneralizedToffoli(n))
+        verify_exhaustive(result)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 6])
+    def test_superposition_phases(self, n):
+        result = build_qutrit_tree(GeneralizedToffoli(n))
+        verify_random_superposition(result)
+
+    def test_all_gates_at_most_two_qudits(self):
+        result = build_qutrit_tree(GeneralizedToffoli(9))
+        assert result.circuit.max_gate_width() <= 2
+
+
+class TestControlValues:
+    @pytest.mark.parametrize(
+        "values",
+        [(0, 1, 1), (1, 0, 1), (0, 0, 0), (1, 1, 0), (0, 1, 0, 1, 1)],
+    )
+    def test_binary_activation_patterns(self, values, classical_sim):
+        n = len(values)
+        result = build_qutrit_tree(
+            GeneralizedToffoli(n, tuple(values)), decompose=False
+        )
+        wires = result.controls + [result.target]
+        for inputs in product([0, 1], repeat=n + 1):
+            out = classical_sim.run_values(result.circuit, wires, inputs)
+            expected = list(inputs)
+            if tuple(inputs[:n]) == tuple(values):
+                expected[n] ^= 1
+            assert out == tuple(expected)
+
+    def test_two_valued_first_control(self, classical_sim):
+        # The incrementer's gates: first control activates on |2>.
+        controls = qutrits(3)
+        target = Qudit(3, 3)
+        ops = qutrit_multi_controlled_ops(
+            controls, [2, 1, 1], target, X01, decompose=False
+        )
+        circuit = Circuit(ops)
+        wires = controls + [target]
+        for first in (0, 1, 2):
+            for rest in product([0, 1], repeat=3):
+                values = (first,) + rest
+                out = classical_sim.run_values(circuit, wires, values)
+                expected = list(values)
+                if first == 2 and rest[0] == 1 and rest[1] == 1:
+                    expected[3] ^= 1
+                assert out == tuple(expected)
+
+    def test_too_many_two_valued_controls_rejected(self):
+        controls = qutrits(3)
+        target = Qudit(3, 3)
+        with pytest.raises(DecompositionError):
+            qutrit_multi_controlled_ops(
+                controls, [2, 2, 2], target, X01
+            )
+
+    def test_non_qutrit_control_rejected(self):
+        with pytest.raises(DecompositionError):
+            qutrit_multi_controlled_ops(
+                [Qudit(0, 2)], [1], Qudit(1, 3), X01
+            )
+
+    def test_target_gate_dimension_checked(self):
+        from repro.gates.qubit import X as QUBIT_X
+
+        with pytest.raises(DecompositionError):
+            build_qutrit_tree(GeneralizedToffoli(2), target_gate=QUBIT_X)
+
+
+class TestStructure:
+    def test_depth_is_logarithmic(self):
+        # At three-qutrit-gate granularity the tree has 2 ceil(log2) + 1
+        # levels; Figure 5's 15-control instance has 7 moments.
+        result = build_qutrit_tree(GeneralizedToffoli(15), decompose=False)
+        assert result.circuit.depth == 7
+
+    def test_gate_count_matches_figure5(self):
+        # 7 compute + 1 apply + 7 uncompute three-qutrit gates.
+        result = build_qutrit_tree(GeneralizedToffoli(15), decompose=False)
+        assert result.circuit.num_operations == 15
+
+    def test_no_ancilla_used(self):
+        result = build_qutrit_tree(GeneralizedToffoli(20))
+        assert result.ancilla_count == 0
+        assert len(result.all_wires) == 21
+
+    def test_depth_scales_logarithmically(self):
+        shallow = build_qutrit_tree(GeneralizedToffoli(16)).circuit.depth
+        deep = build_qutrit_tree(GeneralizedToffoli(64)).circuit.depth
+        # Quadrupling N should add ~2 tree levels, far less than 4x depth.
+        assert deep < 2 * shallow
+
+    def test_two_qudit_count_scales_linearly(self):
+        count_32 = build_qutrit_tree(
+            GeneralizedToffoli(32)
+        ).circuit.two_qudit_gate_count
+        count_64 = build_qutrit_tree(
+            GeneralizedToffoli(64)
+        ).circuit.two_qudit_gate_count
+        assert 1.7 < count_64 / count_32 < 2.3
+
+    def test_phase_target_gate(self, state_sim):
+        # Grover's oracle uses a phase target: check it composes.
+        controls = qutrits(2)
+        target = Qudit(2, 3)
+        ops = qutrit_multi_controlled_ops(
+            controls, [1, 1], target, phase_gate(3, 1, np.pi)
+        )
+        circuit = Circuit(ops)
+        state = state_sim.run_basis(circuit, controls + [target], (1, 1, 1))
+        amplitude = state.tensor[1, 1, 1]
+        assert np.isclose(amplitude, -1.0, atol=1e-7)
+
+    def test_zero_controls_apply_target_directly(self):
+        ops = qutrit_multi_controlled_ops([], [], Qudit(0, 3), X01)
+        assert len(ops) == 1

@@ -1,0 +1,77 @@
+"""Tests for the Generalized Toffoli spec."""
+
+import pytest
+
+from repro.exceptions import DecompositionError
+from repro.toffoli.spec import (
+    ConstructionResult,
+    GeneralizedToffoli,
+    require_min_controls,
+)
+from repro.toffoli.registry import build_toffoli
+
+
+class TestSpec:
+    def test_default_values_are_ones(self):
+        spec = GeneralizedToffoli(4)
+        assert spec.control_values == (1, 1, 1, 1)
+
+    def test_explicit_values(self):
+        spec = GeneralizedToffoli(3, (0, 1, 2))
+        assert spec.control_values == (0, 1, 2)
+
+    def test_value_count_checked(self):
+        with pytest.raises(ValueError):
+            GeneralizedToffoli(3, (1, 1))
+
+    def test_negative_controls_rejected(self):
+        with pytest.raises(ValueError):
+            GeneralizedToffoli(-1)
+
+    def test_num_inputs(self):
+        assert GeneralizedToffoli(13).num_inputs == 14
+
+    def test_is_active(self):
+        spec = GeneralizedToffoli(3, (1, 0, 1))
+        assert spec.is_active((1, 0, 1))
+        assert not spec.is_active((1, 1, 1))
+
+    def test_is_active_arity_checked(self):
+        with pytest.raises(ValueError):
+            GeneralizedToffoli(3).is_active((1, 1))
+
+    def test_reference_output_flips_when_active(self):
+        spec = GeneralizedToffoli(2)
+        controls, target = spec.reference_output((1, 1), 0)
+        assert controls == (1, 1) and target == 1
+
+    def test_reference_output_identity_when_inactive(self):
+        spec = GeneralizedToffoli(2)
+        _, target = spec.reference_output((1, 0), 0)
+        assert target == 0
+
+    def test_reference_output_custom_action(self):
+        spec = GeneralizedToffoli(1)
+        _, target = spec.reference_output((1,), 1, target_action=lambda b: b)
+        assert target == 1
+
+
+class TestResult:
+    def test_describe_mentions_resources(self):
+        result = build_toffoli("qutrit_tree", 4)
+        text = result.describe()
+        assert "depth" in text and "2q-gates" in text
+
+    def test_all_wires_order(self):
+        result = build_toffoli("he_tree", 4)
+        wires = result.all_wires
+        assert wires[: len(result.controls)] == result.controls
+        assert wires[len(result.controls)] == result.target
+
+    def test_ancilla_count(self):
+        result = build_toffoli("qubit_one_dirty", 5)
+        assert result.ancilla_count == 1
+
+    def test_require_min_controls(self):
+        with pytest.raises(DecompositionError):
+            require_min_controls(GeneralizedToffoli(1), 2, "x")

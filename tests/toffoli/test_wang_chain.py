@@ -1,0 +1,48 @@
+"""Tests for the Wang/Perkowski linear qutrit chain."""
+
+import pytest
+
+from repro.exceptions import DecompositionError
+from repro.toffoli.spec import GeneralizedToffoli
+from repro.toffoli.wang_chain import build_wang_chain
+
+from .helpers import verify_exhaustive, verify_random_superposition
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6])
+    def test_exhaustive(self, n):
+        result = build_wang_chain(GeneralizedToffoli(n))
+        verify_exhaustive(result)
+
+    def test_superposition_phases(self):
+        result = build_wang_chain(GeneralizedToffoli(4))
+        verify_random_superposition(result)
+
+    def test_mixed_binary_control_values(self):
+        result = build_wang_chain(GeneralizedToffoli(4, (0, 1, 0, 1)))
+        verify_exhaustive(result)
+
+    def test_first_control_cannot_activate_on_two(self):
+        with pytest.raises(DecompositionError):
+            build_wang_chain(GeneralizedToffoli(3, (2, 1, 1)))
+
+
+class TestResources:
+    def test_linear_depth(self):
+        d16 = build_wang_chain(GeneralizedToffoli(16)).circuit.depth
+        d32 = build_wang_chain(GeneralizedToffoli(32)).circuit.depth
+        assert 1.8 < d32 / d16 < 2.2
+
+    def test_no_ancilla(self):
+        result = build_wang_chain(GeneralizedToffoli(12))
+        assert result.ancilla_count == 0
+
+    def test_two_qudit_gate_count_is_2n_minus_1(self):
+        for n in (4, 9, 17):
+            result = build_wang_chain(GeneralizedToffoli(n))
+            assert result.circuit.two_qudit_gate_count == 2 * n - 1
+
+    def test_all_two_qudit(self):
+        result = build_wang_chain(GeneralizedToffoli(10))
+        assert result.circuit.max_gate_width() <= 2
