@@ -9,7 +9,6 @@ decomposition, and a noisy end-to-end run.
 
 from __future__ import annotations
 
-from repro import estimate_circuit_fidelity
 from repro.apps import GroverSearch
 from repro.noise import SC_T1_GATES
 
@@ -36,15 +35,13 @@ def main() -> None:
         f"({qubit_depth / qutrit_depth:.1f}x deeper)"
     )
 
-    estimate = estimate_circuit_fidelity(
-        search.build_circuit(),
-        SC_T1_GATES,
+    result = search.run(
+        backend="trajectory",
+        noise_model=SC_T1_GATES,
         trials=20,
         seed=3,
-        wires=search.wires,
-        circuit_name="grover-qutrit",
     )
-    print(f"\nnoisy end-to-end run: {estimate}")
+    print(f"\nnoisy end-to-end run: {result}")
 
 
 if __name__ == "__main__":

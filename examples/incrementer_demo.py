@@ -9,8 +9,12 @@ ancilla-free qubit ripple.
 
 from __future__ import annotations
 
-from repro import ClassicalSimulator
-from repro.apps import add_constant_ops, qutrit_incrementer_circuit
+from repro import execute
+from repro.apps import (
+    add_constant_ops,
+    increment_value,
+    qutrit_incrementer_circuit,
+)
 from repro.apps.incrementer import qubit_ripple_incrementer_ops
 from repro.circuits import Circuit
 from repro.qudits import qubits, qutrits
@@ -25,25 +29,27 @@ def register_bits(value: int, width: int) -> list[int]:
 
 
 def main() -> None:
-    sim = ClassicalSimulator()
     width = 6
 
     # -- counting ------------------------------------------------------
     circuit, register = qutrit_incrementer_circuit(width, decompose=False)
     print(f"width-{width} qutrit incrementer: depth {circuit.depth} "
           f"(at multi-controlled-gate granularity), no ancilla")
-    bits = register_bits(59, width)
+    value = 59
     print("counting from 59:", end=" ")
     for _ in range(8):
-        bits = list(sim.run_values(circuit, register, bits))
-        print(register_value(bits), end=" ")
+        value = increment_value(width, value)
+        print(value, end=" ")
     print("  (wraps mod 64)")
 
     # -- constant addition --------------------------------------------
     reg = qutrits(width, start=100)
     adder = Circuit(add_constant_ops(reg, 37, decompose=False))
-    out = sim.run_values(adder, reg, register_bits(10, width))
-    print(f"\nconstant adder: 10 + 37 mod 64 = {register_value(out)}")
+    out = execute(
+        adder, backend="classical", wires=reg,
+        initial=register_bits(10, width),
+    )
+    print(f"\nconstant adder: 10 + 37 mod 64 = {register_value(out.values)}")
 
     # -- depth comparison ----------------------------------------------
     print("\ndepth scaling, qutrit log^2 vs ancilla-free qubit ripple:")

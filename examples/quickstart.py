@@ -2,43 +2,47 @@
 
 Run:  python examples/quickstart.py
 
-Walks the library's core loop in under a minute:
-1. build the paper's log-depth ancilla-free qutrit construction,
-2. verify it classically (linear-time, all binary inputs),
+Walks the library's core loop through the one entry point, execute():
+1. run the paper's log-depth ancilla-free qutrit construction classically,
+2. verify all binary inputs (linear-time permutation propagation),
 3. compare its resources with the qubit baselines,
-4. estimate its fidelity under a near-term superconducting noise model.
+4. compile it through a pass pipeline,
+5. estimate its fidelity under a near-term superconducting noise model.
 """
 
 from __future__ import annotations
 
 from itertools import product
 
-from repro import ClassicalSimulator, build_toffoli, estimate_circuit_fidelity
+from repro import build_toffoli, execute, lowering_pipeline
 from repro.noise import SC
-from repro.toffoli.qutrit_tree import build_qutrit_tree
-from repro.toffoli.spec import GeneralizedToffoli
 
 
 def main() -> None:
     n = 7  # seven controls + one target
 
-    # -- 1. build ------------------------------------------------------
-    result = build_toffoli("qutrit_tree", n)
-    print("built:", result.describe())
+    # -- 1. one call: build + run --------------------------------------
+    # The classical backend propagates basis states in O(width) per gate
+    # (paper Sec. 6); constructions are built at permutation granularity.
+    result = execute(
+        "qutrit_tree",
+        num_controls=n,
+        backend="classical",
+        initial=(1,) * n + (0,),
+    )
+    print("all-ones input ->", result.values)
 
-    # -- 2. verify classically -----------------------------------------
-    # At three-qutrit-gate granularity the circuit is a basis permutation,
-    # so every classical input costs O(width) to check (paper Sec. 6).
-    plain = build_qutrit_tree(GeneralizedToffoli(n), decompose=False)
-    sim = ClassicalSimulator()
-    wires = plain.controls + [plain.target]
+    # -- 2. verify every binary input ----------------------------------
     failures = 0
     for values in product([0, 1], repeat=n + 1):
-        out = sim.run_values(plain.circuit, wires, values)
+        out = execute(
+            "qutrit_tree", num_controls=n, backend="classical",
+            initial=values,
+        )
         expected = list(values)
         if all(v == 1 for v in values[:n]):
             expected[n] ^= 1
-        failures += out != tuple(expected)
+        failures += out.values != tuple(expected)
     print(f"verified all {2 ** (n + 1)} binary inputs: {failures} failures")
 
     # -- 3. compare resources ------------------------------------------
@@ -46,14 +50,21 @@ def main() -> None:
     for name in ("qutrit_tree", "qubit_one_dirty", "qubit_ancilla_free"):
         print(" ", build_toffoli(name, n).describe())
 
-    # -- 4. noisy simulation -------------------------------------------
-    estimate = estimate_circuit_fidelity(
-        result.circuit,
-        SC,
+    # -- 4. compile through a pass pipeline ----------------------------
+    compiled = lowering_pipeline().compile(
+        build_toffoli("qutrit_tree", n, decompose=False).circuit
+    )
+    print("\ncompile pipeline report:")
+    print(compiled.report())
+
+    # -- 5. noisy simulation -------------------------------------------
+    estimate = execute(
+        "qutrit_tree",
+        num_controls=n,
+        backend="trajectory",
+        noise_model=SC,
         trials=40,
         seed=1,
-        wires=result.all_wires,
-        circuit_name="QUTRIT",
     )
     print(f"\nnoisy simulation under {SC.name}: {estimate}")
 

@@ -7,30 +7,88 @@ trapped-ion noise models, the paper's log-depth ancilla-free qutrit
 Generalized Toffoli plus all benchmarked baselines, and the applications
 built on top of it (incrementer, Grover search, quantum neuron).
 
+Everything runs through one facade: :func:`execute` builds (or accepts)
+a circuit, optionally compiles it through a :class:`CompilePipeline`,
+and executes it on any registered :class:`Backend`.
+
 Quickstart::
 
-    from repro import ClassicalSimulator, build_toffoli
+    from repro import execute
 
-    result = build_toffoli("qutrit_tree", num_controls=5)
-    sim = ClassicalSimulator()
-    wires = result.controls + [result.target]
-    print(sim.run_values(result.circuit, wires, (1, 1, 1, 1, 1, 0)))
+    # Classical check of the paper's log-depth qutrit construction.
+    result = execute("qutrit_tree", num_controls=5, backend="classical",
+                     initial=(1, 1, 1, 1, 1, 0))
+    print(result.values)        # -> (1, 1, 1, 1, 1, 1): target flipped
+
+    # Noisy fidelity sweep, sharded over worker processes.
+    from repro.noise import SC
+    points = execute("qutrit_tree", backend="trajectory", noise_model=SC,
+                     sweep={"num_controls": range(3, 8)},
+                     trials=100, seed=2019, parallel=True)
+    for point in points:
+        print(dict(point.params), point.mean_fidelity)
+
+The simulator engines remain available in :mod:`repro.sim` for direct
+use; the old top-level simulator exports still work but are deprecated
+in favour of :func:`execute`.
 """
 
 from .qudits import QUBIT_D, QUTRIT_D, Qudit, qubits, qudit_line, qutrits
 from .circuits import Circuit, GateOperation, Moment
-from .sim import (
-    ClassicalSimulator,
-    FidelityEstimate,
-    StateVector,
-    StateVectorSimulator,
-    TrajectorySimulator,
-    estimate_circuit_fidelity,
-)
+from .sim import StateVector
 from .noise import ALL_MODELS, NoiseModel
 from .toffoli import CONSTRUCTIONS, GeneralizedToffoli, build_toffoli
 
-__version__ = "1.0.0"
+# The execution layer wraps sim/noise/toffoli, so it must import last.
+from .execution import (
+    Backend,
+    CompilePipeline,
+    FidelityResult,
+    ResultCache,
+    RunResult,
+    available_backends,
+    execute,
+    hardware_pipeline,
+    lowering_pipeline,
+    qutrit_promotion_pipeline,
+    register_backend,
+    resolve_backend,
+)
+
+__version__ = "1.1.0"
+
+#: Deprecated top-level names -> (module path, attribute) they forward to.
+_DEPRECATED_EXPORTS = {
+    "ClassicalSimulator": ("repro.sim", "ClassicalSimulator"),
+    "StateVectorSimulator": ("repro.sim", "StateVectorSimulator"),
+    "TrajectorySimulator": ("repro.sim", "TrajectorySimulator"),
+    "FidelityEstimate": ("repro.sim", "FidelityEstimate"),
+    "estimate_circuit_fidelity": ("repro.sim", "estimate_circuit_fidelity"),
+}
+
+
+def __getattr__(name: str):
+    """Forward deprecated simulator entry points with a warning.
+
+    The classes themselves are not deprecated — import them from
+    :mod:`repro.sim`.  Only the *top-level* re-exports are shimmed, so
+    existing code keeps working while new code is steered to
+    :func:`execute`.
+    """
+    if name in _DEPRECATED_EXPORTS:
+        import importlib
+        import warnings
+
+        module_path, attribute = _DEPRECATED_EXPORTS[name]
+        warnings.warn(
+            f"'repro.{name}' is deprecated; use repro.execute() with a "
+            f"backend, or import {attribute} from {module_path}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(importlib.import_module(module_path), attribute)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
 
 __all__ = [
     "Qudit",
@@ -43,6 +101,18 @@ __all__ = [
     "Moment",
     "GateOperation",
     "StateVector",
+    "execute",
+    "Backend",
+    "RunResult",
+    "FidelityResult",
+    "CompilePipeline",
+    "lowering_pipeline",
+    "qutrit_promotion_pipeline",
+    "hardware_pipeline",
+    "ResultCache",
+    "register_backend",
+    "resolve_backend",
+    "available_backends",
     "ClassicalSimulator",
     "StateVectorSimulator",
     "TrajectorySimulator",

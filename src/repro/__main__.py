@@ -2,6 +2,10 @@
 
 Usage::
 
+    python -m repro run --construction qutrit_tree --controls 5 \\
+        --backend classical --input 1 1 1 1 1 0
+    python -m repro run --construction qutrit_tree --backend trajectory \\
+        --noise SC --sweep 3 7 --trials 50 --seed 2019 --parallel
     python -m repro tables            # Tables 1-3
     python -m repro figures           # Figures 9 and 10 (depth / counts)
     python -m repro fidelity          # scaled-down Figure 11
@@ -13,6 +17,69 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    from .execution import execute
+    from .noise.presets import ALL_MODELS
+
+    noise_model = None
+    if args.noise is not None:
+        if args.noise not in ALL_MODELS:
+            raise SystemExit(
+                f"unknown noise model {args.noise!r}; "
+                f"choose from {sorted(ALL_MODELS)}"
+            )
+        noise_model = ALL_MODELS[args.noise]
+    if args.backend in ("density", "trajectory") and noise_model is None:
+        raise SystemExit(
+            f"backend {args.backend!r} needs --noise "
+            f"(one of {sorted(ALL_MODELS)})"
+        )
+
+    common = dict(
+        backend=args.backend,
+        pipeline=args.pipeline,
+        noise_model=noise_model,
+        shots=args.shots,
+        trials=args.trials,
+        seed=args.seed,
+        parallel=args.parallel,
+        workers=args.workers,
+    )
+    if args.sweep is not None:
+        if args.input is not None:
+            raise SystemExit(
+                "--input applies to a single run; it cannot combine "
+                "with --sweep (wire counts differ per point)"
+            )
+        if args.controls is not None:
+            raise SystemExit(
+                "--controls conflicts with --sweep; the sweep sets "
+                "num_controls"
+            )
+        low, high = args.sweep
+        results = execute(
+            args.construction,
+            sweep={"num_controls": range(low, high + 1)},
+            **common,
+        )
+        for result in results:
+            print(result)
+    else:
+        controls = args.controls if args.controls is not None else 5
+        result = execute(
+            args.construction,
+            num_controls=controls,
+            initial=tuple(args.input) if args.input else None,
+            **common,
+        )
+        print(result)
+        if result.values is not None:
+            print("output values:", result.values)
+        if result.measurements is not None:
+            for outcome, count in result.measurements.most_common(5):
+                print(f"  {outcome}: {count}/{result.measurements.shots}")
 
 
 def _cmd_tables(args: argparse.Namespace) -> None:
@@ -105,6 +172,44 @@ def main(argv: list[str] | None = None) -> int:
         description="Reproduce the ISCA 2019 qutrit-circuits experiments.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="execute a construction on any backend"
+    )
+    run.add_argument(
+        "--construction", default="qutrit_tree",
+        help="registry name (see 'verify' output for the list)",
+    )
+    run.add_argument(
+        "--controls", type=int, default=None,
+        help="control count for a single run (default 5)",
+    )
+    run.add_argument(
+        "--backend", default="statevector",
+        choices=["classical", "statevector", "density", "trajectory"],
+    )
+    run.add_argument(
+        "--pipeline", default=None,
+        choices=["lowering", "qutrit-promotion", "hardware-line"],
+    )
+    run.add_argument(
+        "--noise", default=None,
+        help="noise model name (required by density/trajectory)",
+    )
+    run.add_argument(
+        "--input", type=int, nargs="+", default=None,
+        help="basis input values over the construction's wires",
+    )
+    run.add_argument("--shots", type=int, default=None)
+    run.add_argument("--trials", type=int, default=None)
+    run.add_argument("--seed", type=int, default=None)
+    run.add_argument(
+        "--sweep", type=int, nargs=2, metavar=("LOW", "HIGH"),
+        default=None, help="sweep num_controls over LOW..HIGH inclusive",
+    )
+    run.add_argument("--parallel", action="store_true")
+    run.add_argument("--workers", type=int, default=4)
+    run.set_defaults(func=_cmd_run)
 
     tables = sub.add_parser("tables", help="render Tables 1-3")
     tables.add_argument(

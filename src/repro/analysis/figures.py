@@ -10,14 +10,13 @@ values can be eyeballed against them in the bench output.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from ..noise.model import NoiseModel
-from ..sim.fidelity import FidelityEstimate, estimate_circuit_fidelity
-from ..toffoli.registry import build_toffoli
+from ..sim.fidelity import FidelityEstimate
 from .metrics import construction_metrics
 
 #: The three benchmark circuits of Figures 9-11, paper label -> registry name.
@@ -107,17 +106,19 @@ def fig11_fidelity_data(
     to a smaller width so the suite stays minutes-scale, with the full size
     behind an environment flag.
     """
+    from ..execution.facade import execute
+
     points = []
     for offset, (label, model) in enumerate(pairs):
-        result = build_toffoli(BENCHMARK_CIRCUITS[label], num_controls)
-        estimate = estimate_circuit_fidelity(
-            result.circuit,
-            model,
+        run = execute(
+            BENCHMARK_CIRCUITS[label],
+            num_controls=num_controls,
+            backend="trajectory",
+            noise_model=model,
             trials=trials,
             seed=seed + offset,
-            wires=result.all_wires,
-            circuit_name=label,
         )
+        estimate = replace(run.estimate, circuit_name=label)
         points.append(
             Fig11Point(
                 circuit_label=label,

@@ -2,6 +2,7 @@
 
 from .incrementer import (
     conditional_increment_ops,
+    increment_value,
     qubit_ripple_incrementer_ops,
     qutrit_incrementer_circuit,
     qutrit_incrementer_ops,
@@ -15,6 +16,7 @@ __all__ = [
     "qutrit_incrementer_circuit",
     "qubit_ripple_incrementer_ops",
     "conditional_increment_ops",
+    "increment_value",
     "GroverSearch",
     "QuantumNeuron",
     "add_constant_ops",

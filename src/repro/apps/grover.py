@@ -24,7 +24,6 @@ from ..gates.qubit import X as QUBIT_X
 from ..gates.qubit import Z as QUBIT_Z
 from ..gates.qutrit import embedded_qubit_gate, phase_gate
 from ..qudits import Qudit, qubits, qutrits
-from ..sim.statevector import StateVectorSimulator
 from ..toffoli.ancilla_free import multi_controlled_u_cascade
 from ..toffoli.qutrit_tree import qutrit_multi_controlled_ops
 
@@ -135,8 +134,25 @@ class GroverSearch:
 
     def success_probability(self, iterations: int | None = None) -> float:
         """Probability of measuring the marked item after the search."""
-        circuit = self.build_circuit(iterations)
-        sim = StateVectorSimulator()
-        state = sim.run(circuit, wires=self.wires)
-        pattern = _bits(self.marked, self.num_bits)
-        return state.probability_of(pattern)
+        from ..execution.facade import execute
+
+        result = execute(
+            self.build_circuit(iterations),
+            backend="statevector",
+            wires=self.wires,
+        )
+        return result.probability_of(_bits(self.marked, self.num_bits))
+
+    def run(self, iterations: int | None = None, **execute_kwargs):
+        """Execute the full search through the facade.
+
+        Forwards ``backend``, ``pipeline``, ``noise_model``, ``shots``,
+        ``seed``, ... to :func:`repro.execute`, so the same search can be
+        sampled, compiled to a topology, or run under noise.
+        """
+        from ..execution.facade import execute
+
+        execute_kwargs.setdefault("wires", self.wires)
+        return execute(
+            self.build_circuit(iterations), **execute_kwargs
+        )

@@ -127,6 +127,28 @@ def qutrit_incrementer_circuit(
     return circuit, register
 
 
+def increment_value(
+    width: int, value: int, decompose: bool = False, **execute_kwargs
+) -> int:
+    """Run ``(value + 1) mod 2**width`` through the execution facade.
+
+    Builds the ancilla-free qutrit incrementer and executes it on the
+    classical backend by default; ``execute_kwargs`` forwards backend,
+    pipeline, noise model, etc. to :func:`repro.execute`.
+    """
+    from ..execution.facade import execute
+
+    if not 0 <= value < (1 << width):
+        raise ValueError(f"value {value} out of range for {width} bits")
+    circuit, register = qutrit_incrementer_circuit(width, decompose)
+    bits = [(value >> k) & 1 for k in range(width)]  # LSB first
+    execute_kwargs.setdefault("backend", "classical")
+    result = execute(
+        circuit, wires=register, initial=bits, **execute_kwargs
+    )
+    return sum(bit << k for k, bit in enumerate(result.values))
+
+
 def qubit_ripple_incrementer_ops(
     register: Sequence[Qudit], decompose: bool = True
 ) -> list[GateOperation]:

@@ -32,7 +32,6 @@ from ..gates.qubit import X as QUBIT_X
 from ..gates.qubit import Z as QUBIT_Z
 from ..gates.qutrit import embedded_qubit_gate, phase_gate
 from ..qudits import QUTRIT_D, Qudit, qubits, qutrits
-from ..sim.statevector import StateVectorSimulator
 from ..toffoli.ancilla_free import multi_controlled_u_cascade
 from ..toffoli.qutrit_tree import qutrit_multi_controlled_ops
 
@@ -156,11 +155,21 @@ class QuantumNeuron:
 
     def activation_probability(self, input_signs: Sequence[int]) -> float:
         """P(output reads 1) for the given input pattern (simulated)."""
-        circuit = self.build_circuit(input_signs)
-        sim = StateVectorSimulator()
-        state = sim.run(circuit, wires=self.register + [self.output])
-        populations = state.level_populations(self.output)
+        result = self.run(input_signs)
+        populations = result.state.level_populations(self.output)
         return float(populations[1])
+
+    def run(self, input_signs: Sequence[int], **execute_kwargs):
+        """Evaluate the neuron through the facade.
+
+        Forwards ``backend``, ``pipeline``, ``noise_model``, ``shots``,
+        ``seed``, ... to :func:`repro.execute`.
+        """
+        from ..execution.facade import execute
+
+        execute_kwargs.setdefault("backend", "statevector")
+        execute_kwargs.setdefault("wires", self.register + [self.output])
+        return execute(self.build_circuit(input_signs), **execute_kwargs)
 
     def classical_activation(self, input_signs: Sequence[int]) -> float:
         """The ideal activation (w . i / m)^2 for cross-checking."""

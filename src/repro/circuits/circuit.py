@@ -9,7 +9,7 @@ critical path through the gate DAG, which is the paper's time-cost metric
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -39,6 +39,8 @@ class Circuit:
         self._last_use: dict[Qudit, int] = {}
         # Earliest moment new appends may occupy (raised by barrier()).
         self._barrier_floor = 0
+        # Every floor ever set, so composition can replay barriers.
+        self._barrier_history: list[int] = []
         self.append(operations)
 
     # ------------------------------------------------------------------
@@ -75,13 +77,74 @@ class Circuit:
     def barrier(self) -> "Circuit":
         """Prevent later appends from sliding into existing moments."""
         self._barrier_floor = len(self._moments)
+        if (
+            self._barrier_floor > 0
+            and self._barrier_floor not in self._barrier_history
+        ):
+            self._barrier_history.append(self._barrier_floor)
         return self
 
+    @property
+    def barrier_floors(self) -> tuple[int, ...]:
+        """Moment indices at which :meth:`barrier` fixed a floor."""
+        return tuple(self._barrier_history)
+
+    def _replay_onto(
+        self,
+        target: "Circuit",
+        transform: "Callable[[GateOperation], OpTree] | None" = None,
+    ) -> None:
+        """ASAP-append this circuit's operations onto ``target``, re-issuing
+        barrier floors so no operation slides past a barrier it respected
+        here.  ``transform`` optionally maps each operation to replacement
+        operations (the compile passes' hook)."""
+        floors = iter(self._barrier_history)
+        next_floor = next(floors, None)
+        for index, moment in enumerate(self._moments):
+            while next_floor is not None and next_floor <= index:
+                target.barrier()
+                next_floor = next(floors, None)
+            if transform is None:
+                target.append(moment.operations)
+            else:
+                for op in moment:
+                    target.append(transform(op))
+        while next_floor is not None:
+            target.barrier()
+            next_floor = next(floors, None)
+        if self._barrier_floor >= len(self._moments):
+            target.barrier()
+
+    def transformed(
+        self, transform: "Callable[[GateOperation], OpTree]"
+    ) -> "Circuit":
+        """Map ``transform`` over every operation, rescheduling ASAP with
+        this circuit's barrier floors replayed in place."""
+        result = Circuit()
+        self._replay_onto(result, transform)
+        return result
+
     def __add__(self, other: "Circuit") -> "Circuit":
+        if not isinstance(other, Circuit):
+            return NotImplemented
         joined = Circuit()
-        joined.append(self.all_operations())
-        joined.append(other.all_operations())
+        self._replay_onto(joined)
+        other._replay_onto(joined)
         return joined
+
+    def rescheduled(self, preserve_barriers: bool = True) -> "Circuit":
+        """Re-run ASAP scheduling over the circuit's operations.
+
+        With ``preserve_barriers`` (default) barrier floors are replayed, so
+        operations merge into earlier moments only up to the nearest barrier;
+        without it the circuit is packed as tightly as the gate DAG allows.
+        """
+        packed = Circuit()
+        if preserve_barriers:
+            self._replay_onto(packed)
+        else:
+            packed.append(self.all_operations())
+        return packed
 
     def inverse(self) -> "Circuit":
         """The inverse circuit (reversed moments of inverted gates)."""

@@ -1,0 +1,108 @@
+"""Keyed in-memory result cache for the execute() facade.
+
+Benchmark sweeps hit the same (circuit, backend, parameters) points
+repeatedly — Figures 9-11 all rebuild the same constructions — so
+:func:`repro.execute` can memoise results in-process.  Keys are derived
+from a structural circuit fingerprint plus every run parameter that
+affects the outcome; unseeded stochastic runs are never cached (their
+results are not reproducible, so a cache hit would change semantics).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from threading import Lock
+from typing import Hashable
+
+from ..circuits.circuit import Circuit
+from .results import RunResult
+
+
+def circuit_fingerprint(circuit: Circuit) -> str:
+    """A stable structural digest of a circuit.
+
+    Hashes the moment structure with each operation's gate name, gate
+    dimensions and wire bindings.  Gate names in this library encode
+    their parameters (e.g. ``P3[1](3.142)``), which makes the digest
+    faithful for every gate the package constructs; exotic same-named
+    gates with different matrices would collide, so custom gates should
+    carry distinguishing names.
+    """
+    digest = hashlib.sha256()
+    for moment in circuit:
+        digest.update(b"|")
+        for op in sorted(
+            moment.operations,
+            key=lambda o: tuple((w.index, w.dimension) for w in o.qudits),
+        ):
+            digest.update(op.gate.name.encode())
+            digest.update(repr(op.gate.dims).encode())
+            digest.update(
+                repr([(w.index, w.dimension) for w in op.qudits]).encode()
+            )
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """A bounded, thread-safe LRU cache of :class:`RunResult` records."""
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError("cache needs room for at least one entry")
+        self._max_entries = max_entries
+        self._entries: OrderedDict[Hashable, RunResult] = OrderedDict()
+        self._lock = Lock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> RunResult | None:
+        """The cached result for ``key``, refreshing its recency."""
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return result
+
+    def put(self, key: Hashable, result: RunResult) -> None:
+        """Store ``result``, evicting the least recently used overflow."""
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+
+#: Process-wide cache used by ``execute(..., cache=True)``.
+DEFAULT_CACHE = ResultCache()

@@ -1,0 +1,400 @@
+"""``execute()`` — the single entry point of the library.
+
+One call covers the paper's whole experimental loop: build (or accept) a
+circuit, push it through a :class:`CompilePipeline`, and run it on any
+registered :class:`Backend` — optionally over a parameter sweep, sharded
+across worker processes, with results memoised in an in-memory cache.
+
+The target may be:
+
+* a :class:`~repro.circuits.circuit.Circuit`,
+* a :class:`~repro.toffoli.spec.ConstructionResult`,
+* a registry name from :data:`repro.toffoli.CONSTRUCTIONS` (built with
+  the keyword arguments / sweep parameters, e.g. ``num_controls=5``),
+* any callable returning one of the above.
+
+Sweeps are mappings of parameter name to an iterable of values; the
+cartesian product is executed, and each returned result is tagged with
+its sweep point in ``result.params``.  Parameter names matching run
+options (``shots``, ``trials``, ``seed``, ``initial``) feed the backend;
+everything else feeds the circuit builder.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from itertools import product
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..circuits.circuit import Circuit
+from ..noise.model import NoiseModel
+from ..qudits import Qudit
+from ..sim.state import StateVector
+from ..toffoli.registry import build_toffoli
+from ..toffoli.spec import ConstructionResult
+from .backends import Backend, resolve_backend
+from .cache import DEFAULT_CACHE, ResultCache, circuit_fingerprint
+from .pipeline import (
+    CompilePipeline,
+    hardware_pipeline,
+    lowering_pipeline,
+    qutrit_promotion_pipeline,
+)
+from .results import FidelityResult, RunResult
+
+ExecuteTarget = (
+    Circuit
+    | ConstructionResult
+    | str
+    | Callable[..., "Circuit | ConstructionResult"]
+)
+
+#: Sweep parameter names routed to the backend run, not the builder.
+RUN_PARAMS = frozenset({"shots", "trials", "seed", "initial"})
+
+#: Named pipelines accepted as ``pipeline="..."``.
+NAMED_PIPELINES: dict[str, Callable[[], CompilePipeline]] = {
+    "lowering": lowering_pipeline,
+    "qutrit-promotion": qutrit_promotion_pipeline,
+    "hardware-line": lambda: hardware_pipeline(_line_topology),
+}
+
+
+def _line_topology(size: int):
+    from ..arch.topology import line
+
+    return line(size)
+
+#: Same seed-derivation constant as :mod:`repro.sim.parallel`, so facade
+#: shards reproduce the existing parallel estimator exactly.
+_SEED_STRIDE = 1_000_003
+
+
+def resolve_pipeline(
+    spec: "CompilePipeline | str | None",
+) -> CompilePipeline | None:
+    """Accept a pipeline instance, a registered name, or None."""
+    if spec is None or isinstance(spec, CompilePipeline):
+        return spec
+    if spec in NAMED_PIPELINES:
+        return NAMED_PIPELINES[spec]()
+    raise KeyError(
+        f"unknown pipeline {spec!r}; choose from "
+        f"{sorted(NAMED_PIPELINES)} or pass a CompilePipeline"
+    )
+
+
+def _builder_takes_decompose(name: str) -> bool:
+    """True if the named construction's builder has a decompose flag.
+
+    Builders without one (Wang chain, Lanyon target) already emit
+    permutation-level gates.
+    """
+    from inspect import signature
+
+    from ..toffoli.registry import CONSTRUCTIONS
+
+    if name not in CONSTRUCTIONS:
+        return False  # let build_toffoli raise its descriptive KeyError
+    return "decompose" in signature(CONSTRUCTIONS[name].builder).parameters
+
+
+def _build_target(
+    target: ExecuteTarget,
+    builder_params: Mapping,
+    prefer_undecomposed: bool = False,
+) -> tuple[Circuit, list[Qudit] | None]:
+    """Materialise the target circuit and its preferred wire order.
+
+    ``prefer_undecomposed`` is set for classical-only backends: named
+    constructions are built at permutation-gate granularity (the paper's
+    linear-time verification path) when the builder supports it and the
+    caller did not choose explicitly.
+    """
+    if isinstance(target, str):
+        params = dict(builder_params)
+        if (
+            prefer_undecomposed
+            and "decompose" not in params
+            and _builder_takes_decompose(target)
+        ):
+            params["decompose"] = False
+        built: object = build_toffoli(target, **params)
+    elif callable(target) and not isinstance(
+        target, (Circuit, ConstructionResult)
+    ):
+        built = target(**dict(builder_params))
+    else:
+        if builder_params:
+            raise TypeError(
+                "builder parameters "
+                f"{sorted(builder_params)} were given but the target is "
+                "already a concrete circuit"
+            )
+        built = target
+    if isinstance(built, ConstructionResult):
+        return built.circuit, built.all_wires
+    if isinstance(built, Circuit):
+        return built, None
+    raise TypeError(
+        f"cannot execute object of type {type(built).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One picklable unit of work for the process pool."""
+
+    circuit: Circuit
+    backend: str | Backend
+    noise_model: NoiseModel | None
+    wires: tuple[Qudit, ...] | None
+    initial: StateVector | tuple[int, ...] | None
+    shots: int | None
+    trials: int | None
+    seed: int | None
+    params: tuple[tuple[str, object], ...]
+    #: (point index, shard index) for deterministic reassembly.
+    point: int
+    shard: int
+
+
+def _run_task(task: _Task) -> RunResult:
+    backend = resolve_backend(task.backend, task.noise_model)
+    result = backend.run(
+        task.circuit,
+        wires=list(task.wires) if task.wires is not None else None,
+        initial=task.initial,
+        shots=task.shots,
+        trials=task.trials,
+        seed=task.seed,
+    )
+    return result.with_params(dict(task.params))
+
+
+def _cache_key(task: _Task, backend: Backend) -> tuple | None:
+    """A hashable cache key, or None when the run must not be cached."""
+    capabilities = backend.capabilities
+    stochastic = bool(
+        capabilities.supports_trials or task.shots
+    )
+    if stochastic and task.seed is None:
+        return None
+    if isinstance(task.initial, StateVector):
+        return None
+    # Backend instances may carry their own noise model (e.g. a
+    # TrajectoryBackend constructed directly); key on the model actually
+    # used, not just the execute() argument.
+    model = getattr(backend, "noise_model", None) or task.noise_model
+    noise = model.name if model is not None else None
+    return (
+        circuit_fingerprint(task.circuit),
+        backend.name,
+        noise,
+        task.wires,
+        task.initial,
+        task.shots,
+        task.trials,
+        task.seed,
+    )
+
+
+def execute(
+    target: ExecuteTarget,
+    *,
+    backend: str | Backend = "statevector",
+    pipeline: CompilePipeline | str | None = None,
+    noise_model: NoiseModel | None = None,
+    wires: Sequence[Qudit] | None = None,
+    initial: StateVector | Sequence[int] | None = None,
+    shots: int | None = None,
+    trials: int | None = None,
+    seed: int | None = None,
+    sweep: Mapping[str, Iterable] | None = None,
+    parallel: bool = False,
+    workers: int = 4,
+    cache: bool | ResultCache = False,
+    **build_kwargs,
+) -> RunResult | list[RunResult]:
+    """Compile and run a circuit (or a sweep of circuits) on a backend.
+
+    Returns one :class:`RunResult` without ``sweep``, else a list with
+    one result per sweep point (cartesian order).  With ``parallel=True``
+    sweep points run across a process pool; on the trajectory backend
+    each point's trials are additionally sharded and exactly merged, so
+    parallel results match serial runs in distribution for a fixed
+    ``seed``.  ``cache=True`` memoises deterministic results in the
+    process-wide :data:`~repro.execution.cache.DEFAULT_CACHE` (pass a
+    :class:`ResultCache` to use your own).
+    """
+    pipeline = resolve_pipeline(pipeline)
+    backend_spec = backend
+    probe = resolve_backend(backend_spec, noise_model)
+    # Note: an empty ResultCache is falsy (len 0), so test identity/type
+    # rather than truthiness.
+    cache_store: ResultCache | None
+    if isinstance(cache, ResultCache):
+        cache_store = cache
+    else:
+        cache_store = DEFAULT_CACHE if cache else None
+
+    # -- expand sweep points -------------------------------------------
+    if sweep:
+        names = list(sweep)
+        points = [
+            dict(zip(names, values))
+            for values in product(*(list(sweep[n]) for n in names))
+        ]
+    else:
+        points = [{}]
+
+    # -- build + compile every point up front --------------------------
+    tasks: list[_Task] = []
+    compile_notes: list[dict] = []
+    for index, point in enumerate(points):
+        run_overrides = {k: v for k, v in point.items() if k in RUN_PARAMS}
+        builder_params = dict(build_kwargs)
+        builder_params.update(
+            {k: v for k, v in point.items() if k not in RUN_PARAMS}
+        )
+        circuit, preferred_wires = _build_target(
+            target,
+            builder_params,
+            prefer_undecomposed=probe.capabilities.classical_circuits_only,
+        )
+
+        note: dict = {}
+        if pipeline is not None:
+            compiled = pipeline.compile(circuit)
+            circuit = compiled.circuit
+            note = {
+                "pipeline": pipeline.name,
+                "passes": compiled.pass_names,
+                "compiled_depth": compiled.depth,
+                "compiled_operations": compiled.num_operations,
+            }
+            # Routing re-hosts logical wires on physical sites, so any
+            # wire order inferred from the construction is stale.
+            if set(circuit.all_qudits()) != set(
+                preferred_wires or circuit.all_qudits()
+            ):
+                preferred_wires = None
+        compile_notes.append(note)
+
+        point_wires = wires if wires is not None else preferred_wires
+        point_seed = (
+            seed
+            if seed is None or not sweep
+            else seed * _SEED_STRIDE + index
+        )
+        point_seed = run_overrides.get("seed", point_seed)
+        point_initial = run_overrides.get("initial", initial)
+        if not isinstance(point_initial, (StateVector, type(None))):
+            point_initial = tuple(point_initial)
+        tasks.append(
+            _Task(
+                circuit=circuit,
+                backend=backend_spec,
+                noise_model=noise_model,
+                wires=tuple(point_wires) if point_wires is not None else None,
+                initial=point_initial,
+                shots=run_overrides.get("shots", shots),
+                trials=run_overrides.get("trials", trials),
+                seed=point_seed,
+                params=tuple(sorted(point.items())),
+                point=index,
+                shard=0,
+            )
+        )
+
+    # -- run ------------------------------------------------------------
+    results = _run_tasks(
+        tasks, probe, parallel=parallel, workers=workers, cache=cache_store
+    )
+    for index, note in enumerate(compile_notes):
+        if note:
+            results[index] = replace(
+                results[index],
+                metadata={**results[index].metadata, **note},
+            )
+    if not sweep:
+        return results[0]
+    return results
+
+
+def _shard_tasks(task: _Task, workers: int) -> list[_Task]:
+    """Split one trajectory task into per-worker shards (seeded)."""
+    from .backends import TrajectoryBackend
+
+    trials = (
+        task.trials
+        if task.trials is not None
+        else TrajectoryBackend.default_trials
+    )
+    if task.seed is None or workers <= 1 or trials < 2 * workers:
+        return [task]
+    base, extra = divmod(trials, workers)
+    return [
+        replace(
+            task,
+            trials=base + (1 if index < extra else 0),
+            seed=task.seed * _SEED_STRIDE + index,
+            shard=index,
+        )
+        for index in range(workers)
+    ]
+
+
+def _run_tasks(
+    tasks: list[_Task],
+    probe: Backend,
+    *,
+    parallel: bool,
+    workers: int,
+    cache: ResultCache | None,
+) -> list[RunResult]:
+    shards_trials = probe.capabilities.supports_trials
+    results: dict[int, RunResult] = {}
+    pending: list[_Task] = []
+    keys: dict[int, tuple] = {}
+
+    for task in tasks:
+        key = _cache_key(task, probe) if cache is not None else None
+        if key is not None:
+            keys[task.point] = key
+            hit = cache.get(key)
+            if hit is not None:
+                results[task.point] = hit.with_params(dict(task.params))
+                continue
+        pending.append(task)
+
+    if pending:
+        if parallel and shards_trials:
+            expanded = [
+                shard for task in pending for shard in _shard_tasks(task, workers)
+            ]
+        else:
+            expanded = pending
+        if parallel and (len(expanded) > 1):
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                raw = list(pool.map(_run_task, expanded))
+        else:
+            raw = [_run_task(task) for task in expanded]
+
+        by_point: dict[int, list[RunResult]] = {}
+        for task, result in zip(expanded, raw):
+            by_point.setdefault(task.point, []).append(result)
+        for task in pending:
+            group = by_point[task.point]
+            if len(group) == 1:
+                merged = group[0]
+            else:
+                merged = FidelityResult.merge(group)  # trajectory shards
+                merged = replace(merged, seed=task.seed)
+            results[task.point] = merged
+            key = keys.get(task.point)
+            if key is not None and cache is not None:
+                cache.put(key, merged)
+
+    return [results[index] for index in range(len(tasks))]

@@ -1,0 +1,265 @@
+"""Composable circuit-transform passes.
+
+Each pass maps a :class:`~repro.circuits.circuit.Circuit` to a new
+circuit, optionally reporting metadata (e.g. SWAP counts from routing).
+Passes replace the ad-hoc ``decompose=...`` flags and per-app lowering
+calls scattered through the constructions: a
+:class:`~repro.execution.pipeline.CompilePipeline` chains them in order,
+mirroring Cirq-style transformer stacks (cf. the CirqTrit
+``qubit_to_qutrit`` transformer this module's promotion pass follows).
+
+All structural passes preserve barrier semantics: operations are replayed
+through ASAP scheduling with the source circuit's barrier floors
+re-issued, so a ``barrier()`` placed upstream keeps separating phases
+downstream.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..arch.routing import route_circuit
+from ..arch.topology import CouplingGraph, all_to_all, line
+from ..circuits.circuit import Circuit
+from ..circuits.operation import GateOperation
+from ..exceptions import DecompositionError
+from ..gates.base import Gate, PermutationGate, index_to_values, values_to_index
+from ..gates.decompositions import decompose_operation
+from ..gates.matrix import MatrixGate
+from ..gates.qutrit import embedded_qubit_gate
+from ..qudits import QUBIT_D, Qudit
+
+
+class CompilePass(ABC):
+    """One circuit-to-circuit transformation step."""
+
+    @property
+    def name(self) -> str:
+        """Pass label used in pipeline reports."""
+        return type(self).__name__
+
+    @abstractmethod
+    def transform(self, circuit: Circuit) -> Circuit:
+        """Return the transformed circuit.
+
+        Passes with interesting bookkeeping additionally fill
+        :attr:`last_metadata` during the call.
+        """
+
+    #: Metadata from the most recent :meth:`transform` call.
+    last_metadata: Mapping = {}
+
+    def __call__(self, circuit: Circuit) -> Circuit:
+        return self.transform(circuit)
+
+
+def transform_operations(
+    circuit: Circuit,
+    fn: Callable[[GateOperation], Iterable[GateOperation]],
+) -> Circuit:
+    """Map ``fn`` over every operation, rescheduling ASAP.
+
+    Barrier floors of the source circuit are replayed in place, so the
+    result respects the same phase separations.  Thin alias for
+    :meth:`Circuit.transformed`, kept as the pass-facing name.
+    """
+    return circuit.transformed(fn)
+
+
+class DecomposeToWidth2(CompilePass):
+    """Lower every 3+-wire gate to 1- and 2-qudit gates.
+
+    Uses the library's decomposition rules (Barenco CC-U for qubit
+    controls, the root-of-U cascade on a qudit host otherwise) — the same
+    lowering the constructions used to trigger through ``decompose=True``
+    flags.
+    """
+
+    def transform(self, circuit: Circuit) -> Circuit:
+        before = circuit.num_operations
+        lowered = transform_operations(circuit, decompose_operation)
+        self.last_metadata = {
+            "ops_before": before,
+            "ops_after": lowered.num_operations,
+        }
+        return lowered
+
+
+def promote_gate(gate: Gate, new_dims: Sequence[int]) -> Gate:
+    """Embed ``gate`` into wires of (elementwise larger) ``new_dims``.
+
+    The gate acts identically on its original levels and as the identity
+    on every basis state touching an added level — the CirqTrit
+    ``SingleQubitGateToQutritGate`` / ``TwoQubitGateToQutritGate``
+    behaviour, generalised to any dimensions and arities.  Permutation
+    gates stay permutation gates so classical simulation keeps working.
+    """
+    new_dims = tuple(new_dims)
+    old_dims = gate.dims
+    if len(new_dims) != len(old_dims) or any(
+        n < o for n, o in zip(new_dims, old_dims)
+    ):
+        raise DecompositionError(
+            f"cannot promote {gate.name} from dims {old_dims} to {new_dims}"
+        )
+    if new_dims == old_dims:
+        return gate
+    if len(old_dims) == 1 and old_dims[0] == 2:
+        return embedded_qubit_gate(gate, new_dims[0])
+    new_total = 1
+    for d in new_dims:
+        new_total *= d
+
+    def in_subspace(values: tuple[int, ...]) -> bool:
+        return all(v < d for v, d in zip(values, old_dims))
+
+    if gate.is_classical:
+        mapping = list(range(new_total))
+        for index in range(new_total):
+            values = index_to_values(index, new_dims)
+            if in_subspace(values):
+                image = gate.classical_action(values)
+                mapping[index] = values_to_index(image, new_dims)
+        return PermutationGate(
+            mapping, new_dims, f"{gate.name}@{new_dims}"
+        )
+
+    matrix = np.eye(new_total, dtype=complex)
+    unitary = gate.unitary()
+    old_total = unitary.shape[0]
+    embed = [
+        values_to_index(index_to_values(k, old_dims), new_dims)
+        for k in range(old_total)
+    ]
+    for row in range(old_total):
+        for col in range(old_total):
+            matrix[embed[row], embed[col]] = unitary[row, col]
+    return MatrixGate(matrix, new_dims, name=f"{gate.name}@{new_dims}")
+
+
+class PromoteQubitsToQutrits(CompilePass):
+    """Re-host qubit wires on higher-dimensional wires (default: qutrits).
+
+    Every d=2 wire becomes a d=``dim`` wire with the same index; every
+    gate is embedded to act on the original two levels and fix the new
+    ones.  This is the entry ticket to the paper's qutrit constructions:
+    binary circuits keep their semantics while gaining |2> as workspace.
+    """
+
+    def __init__(self, dim: int = 3) -> None:
+        if dim < 3:
+            raise ValueError("promotion target dimension must be >= 3")
+        self._dim = dim
+
+    def transform(self, circuit: Circuit) -> Circuit:
+        mapping: dict[Qudit, Qudit] = {}
+        occupied = set(circuit.all_qudits())
+        for wire in circuit.all_qudits():
+            if wire.dimension != QUBIT_D:
+                continue
+            promoted = Qudit(wire.index, self._dim)
+            if promoted in occupied:
+                raise DecompositionError(
+                    f"cannot promote {wire}: wire {promoted} already exists"
+                )
+            mapping[wire] = promoted
+
+        def promote_op(op: GateOperation) -> list[GateOperation]:
+            if not any(w in mapping for w in op.qudits):
+                return [op]
+            new_wires = tuple(mapping.get(w, w) for w in op.qudits)
+            new_dims = tuple(w.dimension for w in new_wires)
+            return [promote_gate(op.gate, new_dims).on(*new_wires)]
+
+        promoted_circuit = transform_operations(circuit, promote_op)
+        self.last_metadata = {
+            "promoted_wires": len(mapping),
+            "target_dimension": self._dim,
+        }
+        return promoted_circuit
+
+
+class RouteToTopology(CompilePass):
+    """Insert SWAPs so two-qudit gates only touch coupled sites.
+
+    ``topology`` is either a fixed :class:`CouplingGraph` or a callable
+    ``size -> CouplingGraph`` (e.g. :func:`repro.arch.topology.line`)
+    sized to the circuit at transform time.  Requires width <= 2 —
+    schedule :class:`DecomposeToWidth2` first.
+    """
+
+    def __init__(
+        self,
+        topology: CouplingGraph | Callable[[int], CouplingGraph] = line,
+        placement: dict[Qudit, int] | None = None,
+    ) -> None:
+        self._topology = topology
+        self._placement = placement
+
+    def transform(self, circuit: Circuit) -> Circuit:
+        wires = circuit.all_qudits()
+        topology = (
+            self._topology(len(wires))
+            if callable(self._topology)
+            else self._topology
+        )
+        routed = route_circuit(
+            circuit, topology, placement=self._placement, wires=wires
+        )
+        self.last_metadata = {
+            "topology": routed.topology_name,
+            "swap_count": routed.swap_count,
+            "initial_placement": dict(routed.initial_placement),
+            "final_placement": dict(routed.final_placement),
+        }
+        return routed.circuit
+
+
+class ASAPReschedule(CompilePass):
+    """Re-pack operations as early as the gate DAG allows.
+
+    Drops barrier floors — the explicit "tighten everything" step used
+    before depth measurements.
+    """
+
+    def transform(self, circuit: Circuit) -> Circuit:
+        packed = circuit.rescheduled(preserve_barriers=False)
+        self.last_metadata = {
+            "depth_before": circuit.depth,
+            "depth_after": packed.depth,
+        }
+        return packed
+
+
+class MergeMoments(CompilePass):
+    """Barrier-preserving merge: pack moments up to each barrier floor.
+
+    The safe default finishing pass — the compression of
+    :class:`ASAPReschedule` without letting phases bleed across
+    ``barrier()`` calls.
+    """
+
+    def transform(self, circuit: Circuit) -> Circuit:
+        packed = circuit.rescheduled(preserve_barriers=True)
+        self.last_metadata = {
+            "depth_before": circuit.depth,
+            "depth_after": packed.depth,
+        }
+        return packed
+
+
+__all__ = [
+    "CompilePass",
+    "transform_operations",
+    "DecomposeToWidth2",
+    "PromoteQubitsToQutrits",
+    "promote_gate",
+    "RouteToTopology",
+    "ASAPReschedule",
+    "MergeMoments",
+    "all_to_all",
+    "line",
+]

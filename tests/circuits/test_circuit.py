@@ -55,6 +55,48 @@ class TestScheduling:
         circuit = Circuit([[X.on(a)], [[H.on(b)]]])
         assert circuit.num_operations == 2
 
+    def test_barrier_floors_recorded(self):
+        a, b = qubits(2)
+        circuit = Circuit([X.on(a)])
+        circuit.barrier()
+        circuit.append([X.on(b)])
+        assert circuit.barrier_floors == (1,)
+
+    def test_addition_preserves_left_barrier(self):
+        a, b = qubits(2)
+        c1 = Circuit([X.on(a)])
+        c1.barrier()
+        c2 = Circuit([X.on(b)])
+        combined = c1 + c2
+        # Without barrier replay X(b) would slide into moment 0.
+        assert combined.depth == 2
+        assert combined.moments[1].operates_on([b])
+
+    def test_addition_preserves_internal_barriers(self):
+        a, b = qubits(2)
+        c2 = Circuit([X.on(a)])
+        c2.barrier()
+        c2.append([X.on(b)])
+        combined = Circuit() + c2
+        assert combined.depth == 2
+        assert combined.barrier_floors == (1,)
+
+    def test_trailing_barrier_survives_addition(self):
+        a, b = qubits(2)
+        c1 = Circuit([X.on(a)])
+        c1.barrier()
+        combined = c1 + Circuit()
+        combined.append([X.on(b)])
+        assert combined.depth == 2
+
+    def test_rescheduled_packs_without_barriers(self):
+        a, b = qubits(2)
+        circuit = Circuit([X.on(a)])
+        circuit.barrier()
+        circuit.append([X.on(b)])
+        assert circuit.rescheduled().depth == 2
+        assert circuit.rescheduled(preserve_barriers=False).depth == 1
+
 
 class TestMetrics:
     def test_gate_counts(self):

@@ -1,0 +1,175 @@
+"""Tests for the compile passes and pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.topology import line
+from repro.circuits.circuit import Circuit
+from repro.exceptions import DecompositionError
+from repro.execution import (
+    ASAPReschedule,
+    CompilePipeline,
+    DecomposeToWidth2,
+    MergeMoments,
+    PromoteQubitsToQutrits,
+    RouteToTopology,
+    circuit_fingerprint,
+    execute,
+    lowering_pipeline,
+    promote_gate,
+    qutrit_promotion_pipeline,
+    transform_operations,
+)
+from repro.gates.base import PermutationGate
+from repro.gates.qubit import CNOT, H, X
+from repro.gates.qutrit import X01
+from repro.linalg import allclose_up_to_global_phase
+from repro.qudits import qubits, qutrits
+from repro.toffoli.registry import build_toffoli
+
+
+class TestDecomposeToWidth2:
+    def test_matches_inline_decomposition(self):
+        plain = build_toffoli("qutrit_tree", 5, decompose=False).circuit
+        inline = build_toffoli("qutrit_tree", 5).circuit
+        lowered = DecomposeToWidth2().transform(plain)
+        assert lowered.max_gate_width() == 2
+        assert circuit_fingerprint(lowered) == circuit_fingerprint(inline)
+
+    def test_reports_operation_counts(self):
+        plain = build_toffoli("qutrit_tree", 4, decompose=False).circuit
+        compile_pass = DecomposeToWidth2()
+        lowered = compile_pass.transform(plain)
+        assert compile_pass.last_metadata["ops_before"] == plain.num_operations
+        assert (
+            compile_pass.last_metadata["ops_after"]
+            == lowered.num_operations
+        )
+
+
+class TestPromoteQubitsToQutrits:
+    def test_wires_and_semantics_promoted(self):
+        a, b = qubits(2)
+        bell = Circuit([H.on(a), CNOT.on(a, b)])
+        promoted = PromoteQubitsToQutrits().transform(bell)
+        new_wires = promoted.all_qudits()
+        assert all(w.dimension == 3 for w in new_wires)
+        original = execute(bell, backend="statevector")
+        lifted = execute(promoted, backend="statevector")
+        # Same Bell statistics on the binary subspace.
+        for outcome in [(0, 0), (1, 1)]:
+            assert np.isclose(
+                lifted.probability_of(outcome),
+                original.probability_of(outcome),
+                atol=1e-9,
+            )
+        assert np.isclose(lifted.probability_of((2, 2)), 0.0, atol=1e-12)
+
+    def test_classical_gates_stay_classical(self):
+        a, b = qubits(2)
+        circuit = Circuit([X.on(a), CNOT.on(a, b)])
+        promoted = PromoteQubitsToQutrits().transform(circuit)
+        result = execute(promoted, backend="classical")
+        assert result.values == (1, 1)
+
+    def test_promote_gate_keeps_permutations(self):
+        lifted = promote_gate(CNOT, (3, 3))
+        assert isinstance(lifted, PermutationGate)
+        assert lifted.classical_action((1, 0)) == (1, 1)
+        assert lifted.classical_action((2, 1)) == (2, 1)  # |2> untouched
+
+    def test_promote_single_qubit_embeds(self):
+        lifted = promote_gate(X, (3,))
+        assert allclose_up_to_global_phase(
+            lifted.unitary(), X01.unitary()
+        )
+
+    def test_mixed_dimension_circuits_promote_only_qubits(self):
+        a = qubits(1)[0]
+        t = qutrits(1, start=5)[0]
+        circuit = Circuit([X.on(a), X01.on(t)])
+        promoted = PromoteQubitsToQutrits().transform(circuit)
+        assert {w.dimension for w in promoted.all_qudits()} == {3}
+
+    def test_index_collision_rejected(self):
+        a = qubits(1)[0]  # index 0, d=2
+        t = qutrits(1)[0]  # index 0, d=3 — promotion would collide
+        circuit = Circuit([X.on(a), X01.on(t)])
+        with pytest.raises(DecompositionError, match="already exists"):
+            PromoteQubitsToQutrits().transform(circuit)
+
+
+class TestRouteToTopology:
+    def test_routed_gates_respect_line_adjacency(self):
+        built = build_toffoli("qutrit_tree", 4)
+        route = RouteToTopology(line)
+        routed = route.transform(built.circuit)
+        topology = line(len(built.circuit.all_qudits()))
+        sites = {w.index for w in routed.all_qudits()}
+        assert sites <= set(range(topology.size))
+        for op in routed.all_operations():
+            if op.num_qudits == 2:
+                assert topology.are_adjacent(
+                    op.qudits[0].index, op.qudits[1].index
+                )
+        assert route.last_metadata["swap_count"] > 0
+
+    def test_all_to_all_needs_no_swaps(self):
+        from repro.arch.topology import all_to_all
+
+        built = build_toffoli("qutrit_tree", 3)
+        route = RouteToTopology(all_to_all)
+        routed = route.transform(built.circuit)
+        assert route.last_metadata["swap_count"] == 0
+        assert routed.num_operations == built.circuit.num_operations
+
+
+class TestScheduling:
+    def _barriered(self):
+        a, b = qubits(2)
+        circuit = Circuit([X.on(a)])
+        circuit.barrier()
+        circuit.append([X.on(b)])
+        return circuit
+
+    def test_merge_moments_preserves_barriers(self):
+        circuit = self._barriered()
+        merged = MergeMoments().transform(circuit)
+        assert merged.depth == 2
+
+    def test_asap_reschedule_drops_barriers(self):
+        circuit = self._barriered()
+        packed = ASAPReschedule().transform(circuit)
+        assert packed.depth == 1
+
+    def test_transform_operations_replays_barriers(self):
+        circuit = self._barriered()
+        identity = transform_operations(circuit, lambda op: [op])
+        assert identity.depth == 2
+        assert identity.barrier_floors == (1,)
+
+
+class TestPipelines:
+    def test_pipeline_trace(self):
+        plain = build_toffoli("qutrit_tree", 4, decompose=False).circuit
+        compiled = lowering_pipeline().compile(plain)
+        assert compiled.pass_names == ("DecomposeToWidth2", "MergeMoments")
+        assert len(compiled.pass_metadata) == 2
+        assert compiled.input_depth == plain.depth
+        assert "DecomposeToWidth2" in compiled.report()
+
+    def test_then_extends_immutably(self):
+        base = CompilePipeline([DecomposeToWidth2()])
+        extended = base.then(MergeMoments())
+        assert len(base) == 1
+        assert len(extended) == 2
+
+    def test_qutrit_promotion_pipeline_on_qubit_circuit(self):
+        a, b = qubits(2)
+        circuit = Circuit([X.on(a), CNOT.on(a, b)])
+        compiled = qutrit_promotion_pipeline().compile(circuit)
+        assert all(
+            w.dimension == 3 for w in compiled.circuit.all_qudits()
+        )

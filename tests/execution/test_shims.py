@@ -1,0 +1,58 @@
+"""The deprecated top-level simulator exports forward with a warning."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+import repro.sim
+
+
+DEPRECATED = [
+    "ClassicalSimulator",
+    "StateVectorSimulator",
+    "TrajectorySimulator",
+    "FidelityEstimate",
+    "estimate_circuit_fidelity",
+]
+
+
+@pytest.mark.parametrize("name", DEPRECATED)
+def test_shim_warns_and_forwards_identically(name):
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        shimmed = getattr(repro, name)
+    assert shimmed is getattr(repro.sim, name)
+
+
+def test_shimmed_simulator_still_works():
+    from repro.toffoli.registry import build_toffoli
+
+    with pytest.warns(DeprecationWarning):
+        simulator_cls = repro.ClassicalSimulator
+    built = build_toffoli("qutrit_tree", 3, decompose=False)
+    wires = built.controls + [built.target]
+    out = simulator_cls().run_values(built.circuit, wires, (1, 1, 1, 0))
+    assert out == (1, 1, 1, 1)
+
+
+def test_sim_module_imports_stay_warning_free():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        from repro.sim import ClassicalSimulator  # noqa: F401
+
+
+def test_new_api_importable_from_top_level():
+    from repro import (  # noqa: F401
+        Backend,
+        CompilePipeline,
+        FidelityResult,
+        RunResult,
+        execute,
+    )
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError, match="no attribute"):
+        repro.not_a_thing
