@@ -13,7 +13,6 @@ from __future__ import annotations
 import time
 
 import numpy as np
-import pytest
 
 from repro.linalg import random_state_vector
 from repro.qudits import qutrits

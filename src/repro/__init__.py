@@ -34,6 +34,7 @@ in favour of :func:`execute`.
 """
 
 from .qudits import QUBIT_D, QUTRIT_D, Qudit, qubits, qudit_line, qutrits
+from .gates import GATE_REGISTRY, GateRegistry, GateSpec
 from .circuits import Circuit, GateOperation, Moment
 from .sim import StateVector
 from .noise import ALL_MODELS, NoiseModel
@@ -100,6 +101,9 @@ __all__ = [
     "Circuit",
     "Moment",
     "GateOperation",
+    "GateSpec",
+    "GateRegistry",
+    "GATE_REGISTRY",
     "StateVector",
     "execute",
     "Backend",

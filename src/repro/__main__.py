@@ -11,12 +11,29 @@ Usage::
     python -m repro fidelity          # scaled-down Figure 11
     python -m repro fidelity --controls 13 --trials 1000   # paper size
     python -m repro verify            # exhaustive construction checks
+
+    # Circuits are serializable values: persist, inspect, and replay.
+    python -m repro circuit save --construction qutrit_tree --controls 5 \\
+        --pipeline lowering --out tree5.json
+    python -m repro circuit show tree5.json
+    python -m repro circuit load tree5.json --backend classical \\
+        --input 1 1 1 1 1 0
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _print_run_result(result) -> None:
+    """Shared result rendering for single runs (run / circuit load)."""
+    print(result)
+    if result.values is not None:
+        print("output values:", result.values)
+    if result.measurements is not None:
+        for outcome, count in result.measurements.most_common(5):
+            print(f"  {outcome}: {count}/{result.measurements.shots}")
 
 
 def _cmd_run(args: argparse.Namespace) -> None:
@@ -74,12 +91,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
             initial=tuple(args.input) if args.input else None,
             **common,
         )
-        print(result)
-        if result.values is not None:
-            print("output values:", result.values)
-        if result.measurements is not None:
-            for outcome, count in result.measurements.most_common(5):
-                print(f"  {outcome}: {count}/{result.measurements.shots}")
+        _print_run_result(result)
 
 
 def _cmd_tables(args: argparse.Namespace) -> None:
@@ -150,6 +162,102 @@ def _cmd_fidelity(args: argparse.Namespace) -> None:
         seed=args.seed,
     )
     print(render_fidelity_bars(points))
+
+
+def _read_circuit(path: str):
+    from pathlib import Path
+
+    from .circuits.circuit import Circuit
+    from .exceptions import SerializationError
+
+    try:
+        text = Path(path).read_text()
+    except OSError as error:
+        raise SystemExit(f"cannot read {path}: {error}")
+    try:
+        return Circuit.from_json(text)
+    except (SerializationError, KeyError) as error:
+        raise SystemExit(f"cannot load circuit from {path}: {error}")
+
+
+def _circuit_summary(circuit) -> str:
+    wires = circuit.all_qudits()
+    return (
+        f"depth={circuit.depth} operations={circuit.num_operations} "
+        f"two_qudit={circuit.two_qudit_gate_count} "
+        f"wires={len(wires)} "
+        f"dims={tuple(w.dimension for w in wires)}"
+    )
+
+
+def _cmd_circuit_save(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from inspect import signature
+
+    from .execution import resolve_pipeline
+    from .toffoli.registry import CONSTRUCTIONS, construction_circuit
+
+    build_kwargs = {}
+    if args.undecomposed:
+        info = CONSTRUCTIONS.get(args.construction)
+        if info is not None and (
+            "decompose" not in signature(info.builder).parameters
+        ):
+            raise SystemExit(
+                f"construction {args.construction!r} does not take "
+                "--undecomposed (it already emits permutation-level "
+                "gates)"
+            )
+        build_kwargs["decompose"] = False
+    circuit = construction_circuit(
+        args.construction, args.controls, **build_kwargs
+    )
+    pipeline = resolve_pipeline(args.pipeline)
+    if pipeline is not None:
+        circuit = pipeline.compile(circuit).circuit
+    text = circuit.to_json(indent=2 if args.pretty else None)
+    if args.out == "-":
+        print(text)
+    else:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}: {_circuit_summary(circuit)}")
+
+
+def _cmd_circuit_show(args: argparse.Namespace) -> None:
+    from .circuits.diagram import to_text_diagram
+
+    circuit = _read_circuit(args.file)
+    print(_circuit_summary(circuit))
+    if circuit.barrier_floors:
+        print(f"barriers at moments {circuit.barrier_floors}")
+    print()
+    print(to_text_diagram(circuit, max_moments=args.max_moments))
+
+
+def _cmd_circuit_load(args: argparse.Namespace) -> None:
+    from .execution import execute
+    from .noise.presets import ALL_MODELS
+
+    circuit = _read_circuit(args.file)
+    noise_model = None
+    if args.noise is not None:
+        if args.noise not in ALL_MODELS:
+            raise SystemExit(
+                f"unknown noise model {args.noise!r}; "
+                f"choose from {sorted(ALL_MODELS)}"
+            )
+        noise_model = ALL_MODELS[args.noise]
+    result = execute(
+        circuit,
+        backend=args.backend,
+        noise_model=noise_model,
+        initial=tuple(args.input) if args.input else None,
+        shots=args.shots,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    _print_run_result(result)
 
 
 def _cmd_verify(args: argparse.Namespace) -> None:
@@ -234,6 +342,71 @@ def main(argv: list[str] | None = None) -> int:
     )
     verify.add_argument("--controls", type=int, default=4)
     verify.set_defaults(func=_cmd_verify)
+
+    circuit = sub.add_parser(
+        "circuit", help="save / show / replay serialized circuits"
+    )
+    circuit_sub = circuit.add_subparsers(
+        dest="circuit_command", required=True
+    )
+
+    save = circuit_sub.add_parser(
+        "save", help="build a construction and write its JSON form"
+    )
+    save.add_argument(
+        "--construction", default="qutrit_tree",
+        help="registry name (see 'verify' output for the list)",
+    )
+    save.add_argument("--controls", type=int, default=5)
+    save.add_argument(
+        "--pipeline", default=None,
+        choices=["lowering", "qutrit-promotion", "hardware-line"],
+        help="compile before saving (same pipelines as 'run')",
+    )
+    save.add_argument(
+        "--out", default="-",
+        help="output path ('-' prints to stdout)",
+    )
+    save.add_argument(
+        "--pretty", action="store_true", help="indent the JSON output"
+    )
+    save.add_argument(
+        "--undecomposed", action="store_true",
+        help="keep permutation-level gates (classical replay; skips the "
+        "builder's width-2 lowering)",
+    )
+    save.set_defaults(func=_cmd_circuit_save)
+
+    show = circuit_sub.add_parser(
+        "show", help="print stats and a diagram of a saved circuit"
+    )
+    show.add_argument("file", help="path to a saved circuit JSON file")
+    show.add_argument(
+        "--max-moments", type=int, default=24,
+        help="truncate the diagram after this many moments",
+    )
+    show.set_defaults(func=_cmd_circuit_show)
+
+    load = circuit_sub.add_parser(
+        "load", help="load a saved circuit and execute it"
+    )
+    load.add_argument("file", help="path to a saved circuit JSON file")
+    load.add_argument(
+        "--backend", default="statevector",
+        choices=["classical", "statevector", "density", "trajectory"],
+    )
+    load.add_argument(
+        "--noise", default=None,
+        help="noise model name (required by density/trajectory)",
+    )
+    load.add_argument(
+        "--input", type=int, nargs="+", default=None,
+        help="basis input values over the circuit's wires",
+    )
+    load.add_argument("--shots", type=int, default=None)
+    load.add_argument("--trials", type=int, default=None)
+    load.add_argument("--seed", type=int, default=None)
+    load.set_defaults(func=_cmd_circuit_load)
 
     args = parser.parse_args(argv)
     args.func(args)

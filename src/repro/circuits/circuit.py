@@ -9,15 +9,20 @@ critical path through the gate DAG, which is the paper's time-cost metric
 
 from __future__ import annotations
 
+import json
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from ..exceptions import SchedulingError, SimulationError
+from ..exceptions import SchedulingError, SerializationError, SimulationError
 from ..gates.base import index_to_values
+from ..gates.spec import GateRegistry
 from ..qudits import Qudit, total_dimension
 from .moment import Moment
 from .operation import GateOperation
+
+#: Format tag written by :meth:`Circuit.to_dict`.
+SERIALIZATION_VERSION = 2
 
 OpTree = GateOperation | Iterable["OpTree"]
 
@@ -210,6 +215,102 @@ class Circuit:
             f"<Circuit depth={self.depth} ops={self.num_operations} "
             f"wires={len(self._last_use)}>"
         )
+
+    # ------------------------------------------------------------------
+    # Structural identity and serialization
+    # ------------------------------------------------------------------
+    #
+    # Circuits are values: two circuits are equal iff their scheduled
+    # moments are structurally equal (same gates on the same wires at the
+    # same time steps).  Barrier floors are construction state — they
+    # constrain *future* appends, not the operations already scheduled —
+    # so they are serialized for faithful round-trips but excluded from
+    # equality and hashing.
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return self._moments == other._moments
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        # Note: circuits are mutable builders; hash only settled circuits
+        # (e.g. cache keys computed after construction finishes).
+        return hash(tuple(self._moments))
+
+    def to_dict(self) -> dict:
+        """Plain-data form of the circuit (moments, barriers, version)."""
+        return {
+            "version": SERIALIZATION_VERSION,
+            "moments": [moment.to_dict() for moment in self._moments],
+            "barriers": list(self._barrier_history),
+            "barrier_floor": self._barrier_floor,
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping, registry: GateRegistry | None = None
+    ) -> "Circuit":
+        """Rebuild a circuit from :meth:`to_dict` data.
+
+        Moments are restored verbatim (no rescheduling), so
+        ``Circuit.from_dict(c.to_dict()) == c`` for every circuit; the
+        barrier state is restored too, so continued building behaves
+        like it would on the original.
+        """
+        version = data.get("version")
+        if version != SERIALIZATION_VERSION:
+            raise SerializationError(
+                f"unsupported circuit format version {version!r} "
+                f"(this library reads version {SERIALIZATION_VERSION})"
+            )
+        circuit = cls()
+        try:
+            for moment_data in data["moments"]:
+                circuit.append_moment(
+                    Moment.from_dict(moment_data, registry).operations
+                )
+        except (KeyError, ValueError, TypeError) as error:
+            raise SerializationError(
+                f"malformed circuit data: {error}"
+            ) from error
+        circuit._barrier_history = [
+            int(floor) for floor in data.get("barriers", [])
+        ]
+        circuit._barrier_floor = int(data.get("barrier_floor", 0))
+        return circuit
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """JSON text of :meth:`to_dict` (sorted keys; compact by default)."""
+        return json.dumps(
+            self.to_dict(),
+            sort_keys=True,
+            indent=indent,
+            separators=(",", ":") if indent is None else None,
+        )
+
+    @classmethod
+    def from_json(
+        cls, text: str, registry: GateRegistry | None = None
+    ) -> "Circuit":
+        """Rebuild a circuit from :meth:`to_json` text."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SerializationError(
+                f"invalid circuit JSON: {error}"
+            ) from error
+        if not isinstance(data, dict):
+            raise SerializationError(
+                f"circuit JSON must be an object, got "
+                f"{type(data).__name__}"
+            )
+        return cls.from_dict(data, registry)
 
     # ------------------------------------------------------------------
     # Dense semantics (small circuits only; tests and verification)

@@ -7,9 +7,10 @@ to *every* wire, scaled by the moment's duration.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Mapping
 
 from ..exceptions import SchedulingError
+from ..gates.spec import GateRegistry
 from ..qudits import Qudit
 from .operation import GateOperation
 
@@ -58,6 +59,32 @@ class Moment:
     def inverse(self) -> "Moment":
         """Moment of the inverses of all operations."""
         return Moment(op.inverse() for op in self._operations)
+
+    # -- serialization and structural identity ---------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data form: the operations in insertion order."""
+        return {"operations": [op.to_dict() for op in self._operations]}
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping, registry: GateRegistry | None = None
+    ) -> "Moment":
+        """Rebuild a moment from :meth:`to_dict` data."""
+        return cls(
+            GateOperation.from_dict(op, registry)
+            for op in data["operations"]
+        )
+
+    def __eq__(self, other: object) -> bool:
+        # Operations within a moment are simultaneous; order is
+        # presentation only, so compare as sets.
+        if not isinstance(other, Moment):
+            return NotImplemented
+        return frozenset(self._operations) == frozenset(other._operations)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._operations))
 
     def __iter__(self) -> Iterator[GateOperation]:
         return iter(self._operations)

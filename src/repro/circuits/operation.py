@@ -8,6 +8,7 @@ import numpy as np
 
 from ..exceptions import DimensionMismatchError
 from ..gates.base import Gate
+from ..gates.spec import GATE_REGISTRY, GateRegistry, GateSpec
 from ..qudits import Qudit, check_distinct
 
 
@@ -74,6 +75,25 @@ class GateOperation:
                 )
         return GateOperation(self._gate, new_wires)
 
+    # -- serialization and structural identity ---------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data form: the gate's spec plus ``[index, dim]`` wires."""
+        return {
+            "gate": self._gate.spec().to_dict(),
+            "wires": [[w.index, w.dimension] for w in self._qudits],
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping, registry: GateRegistry | None = None
+    ) -> "GateOperation":
+        """Rebuild an operation from :meth:`to_dict` data."""
+        registry = registry if registry is not None else GATE_REGISTRY
+        gate = registry.build(GateSpec.from_dict(data["gate"]))
+        wires = tuple(Qudit(index, dim) for index, dim in data["wires"])
+        return cls(gate, wires)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         wires = ", ".join(str(w) for w in self._qudits)
         return f"{self._gate.name}({wires})"
@@ -81,11 +101,7 @@ class GateOperation:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, GateOperation):
             return NotImplemented
-        return (
-            self._qudits == other._qudits
-            and self._gate.dims == other._gate.dims
-            and np.allclose(self._gate.unitary(), other._gate.unitary())
-        )
+        return self._qudits == other._qudits and self._gate == other._gate
 
     def __hash__(self) -> int:
-        return hash((type(self), self._qudits, self._gate.name))
+        return hash((self._qudits, self._gate))

@@ -35,3 +35,7 @@ class NoiseModelError(ReproError):
 
 class SimulationError(ReproError):
     """A simulator was driven with inputs it cannot process."""
+
+
+class SerializationError(ReproError):
+    """Circuit or gate data could not be serialized or deserialized."""

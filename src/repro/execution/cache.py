@@ -11,6 +11,7 @@ results are not reproducible, so a cache hit would change semantics).
 from __future__ import annotations
 
 import hashlib
+import json
 from collections import OrderedDict
 from dataclasses import dataclass
 from threading import Lock
@@ -21,27 +22,34 @@ from .results import RunResult
 
 
 def circuit_fingerprint(circuit: Circuit) -> str:
-    """A stable structural digest of a circuit.
+    """A content-addressed digest of a circuit's canonical form.
 
-    Hashes the moment structure with each operation's gate name, gate
-    dimensions and wire bindings.  Gate names in this library encode
-    their parameters (e.g. ``P3[1](3.142)``), which makes the digest
-    faithful for every gate the package constructs; exotic same-named
-    gates with different matrices would collide, so custom gates should
-    carry distinguishing names.
+    Hashes the moment structure with each operation's *canonical gate
+    spec* (see :meth:`~repro.gates.base.Gate.canonical_spec`) and wire
+    bindings.  The canonical spec carries the gate's full defining data
+    — permutation mapping, diagonal phases, or unitary matrix — so two
+    gates that merely share a display name can no longer collide, and
+    two circuits fingerprint equal exactly when they are structurally
+    equal (``Circuit.__eq__``).  Operations within a moment are sorted,
+    matching the order-insensitive moment equality.
     """
     digest = hashlib.sha256()
     for moment in circuit:
-        digest.update(b"|")
-        for op in sorted(
-            moment.operations,
-            key=lambda o: tuple((w.index, w.dimension) for w in o.qudits),
-        ):
-            digest.update(op.gate.name.encode())
-            digest.update(repr(op.gate.dims).encode())
-            digest.update(
-                repr([(w.index, w.dimension) for w in op.qudits]).encode()
+        cells = sorted(
+            json.dumps(
+                {
+                    "gate": op.gate.canonical_spec().to_dict(),
+                    "wires": [[w.index, w.dimension] for w in op.qudits],
+                },
+                sort_keys=True,
+                separators=(",", ":"),
             )
+            for op in moment.operations
+        )
+        digest.update(b"|")
+        for cell in cells:
+            digest.update(cell.encode())
+            digest.update(b";")
     return digest.hexdigest()
 
 

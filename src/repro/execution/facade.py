@@ -144,9 +144,18 @@ def _build_target(
 
 @dataclass(frozen=True)
 class _Task:
-    """One picklable unit of work for the process pool."""
+    """One unit of work, in-process or for the process pool.
 
-    circuit: Circuit
+    In-process runs execute ``circuit`` directly.  Before a task is
+    handed to a worker process, :func:`_serialized` swaps the object
+    for its canonical JSON form (``circuit_data``): workers rebuild the
+    circuit through the gate registry, so what crosses the process
+    boundary is the same wire format ``circuit save/load`` writes to
+    disk — not a pickled object graph — and it stays stable across
+    refactors of the gate classes.
+    """
+
+    circuit: Circuit | None
     backend: str | Backend
     noise_model: NoiseModel | None
     wires: tuple[Qudit, ...] | None
@@ -158,12 +167,30 @@ class _Task:
     #: (point index, shard index) for deterministic reassembly.
     point: int
     shard: int
+    #: Canonical circuit digest; filled only when caching is on.
+    fingerprint: str | None = None
+    #: Serialized form, filled by :func:`_serialized` for pool dispatch.
+    circuit_data: str | None = None
+
+
+def _serialized(task: _Task) -> _Task:
+    """The task with its circuit lowered to the serialized wire form."""
+    if task.circuit is None:
+        return task
+    return replace(
+        task, circuit=None, circuit_data=task.circuit.to_json()
+    )
 
 
 def _run_task(task: _Task) -> RunResult:
     backend = resolve_backend(task.backend, task.noise_model)
+    circuit = (
+        task.circuit
+        if task.circuit is not None
+        else Circuit.from_json(task.circuit_data)
+    )
     result = backend.run(
-        task.circuit,
+        circuit,
         wires=list(task.wires) if task.wires is not None else None,
         initial=task.initial,
         shots=task.shots,
@@ -183,13 +210,15 @@ def _cache_key(task: _Task, backend: Backend) -> tuple | None:
         return None
     if isinstance(task.initial, StateVector):
         return None
+    if task.fingerprint is None:
+        return None
     # Backend instances may carry their own noise model (e.g. a
     # TrajectoryBackend constructed directly); key on the model actually
     # used, not just the execute() argument.
     model = getattr(backend, "noise_model", None) or task.noise_model
     noise = model.name if model is not None else None
     return (
-        circuit_fingerprint(task.circuit),
+        task.fingerprint,
         backend.name,
         noise,
         task.wires,
@@ -226,7 +255,13 @@ def execute(
     parallel results match serial runs in distribution for a fixed
     ``seed``.  ``cache=True`` memoises deterministic results in the
     process-wide :data:`~repro.execution.cache.DEFAULT_CACHE` (pass a
-    :class:`ResultCache` to use your own).
+    :class:`ResultCache` to use your own); entries are keyed on the
+    circuit's canonical identity
+    (:func:`~repro.execution.cache.circuit_fingerprint`), so two
+    structurally equal circuits share a cache line no matter how they
+    were built.  Worker processes receive circuits as serialized specs
+    (:meth:`Circuit.to_json`) and rebuild them through the gate
+    registry.
     """
     pipeline = resolve_pipeline(pipeline)
     backend_spec = backend
@@ -295,6 +330,11 @@ def execute(
         tasks.append(
             _Task(
                 circuit=circuit,
+                fingerprint=(
+                    circuit_fingerprint(circuit)
+                    if cache_store is not None
+                    else None
+                ),
                 backend=backend_spec,
                 noise_model=noise_model,
                 wires=tuple(point_wires) if point_wires is not None else None,
@@ -371,14 +411,19 @@ def _run_tasks(
 
     if pending:
         if parallel and shards_trials:
+            # Serialize once per task; shards share the JSON string.
             expanded = [
-                shard for task in pending for shard in _shard_tasks(task, workers)
+                shard
+                for task in map(_serialized, pending)
+                for shard in _shard_tasks(task, workers)
             ]
         else:
             expanded = pending
         if parallel and (len(expanded) > 1):
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                raw = list(pool.map(_run_task, expanded))
+                raw = list(
+                    pool.map(_run_task, map(_serialized, expanded))
+                )
         else:
             raw = [_run_task(task) for task in expanded]
 

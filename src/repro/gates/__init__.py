@@ -7,6 +7,7 @@ any dimension, which the paper's circuit constructions rely on (|1>-, |2>-
 and |0>-activated controls).
 """
 
+from .spec import GATE_REGISTRY, GateRegistry, GateSpec
 from .base import Gate, PermutationGate, PhasedGate
 from .matrix import MatrixGate
 from .qubit import (
@@ -50,11 +51,15 @@ from .controlled import ControlledGate, controlled
 from .decompositions import (
     decompose_controlled_controlled_u,
     decompose_operation,
+    root_power_gate,
     toffoli_to_cnots,
     two_controlled_qubit_u,
 )
 
 __all__ = [
+    "GateSpec",
+    "GateRegistry",
+    "GATE_REGISTRY",
     "Gate",
     "MatrixGate",
     "PermutationGate",
@@ -99,6 +104,7 @@ __all__ = [
     # decompositions
     "decompose_controlled_controlled_u",
     "decompose_operation",
+    "root_power_gate",
     "toffoli_to_cnots",
     "two_controlled_qubit_u",
 ]

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..exceptions import DimensionMismatchError, NotClassicalError
 from ..linalg import is_permutation_matrix, is_unitary, permutation_of
+from .spec import GATE_REGISTRY, GateSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..circuits.operation import GateOperation
@@ -87,6 +88,82 @@ class Gate(ABC):
         return MatrixGate(
             self.unitary().conj().T, self.dims, name=f"{self.name}^-1"
         )
+
+    # -- structural identity and serialization --------------------------
+    #
+    # Every gate reports a serializable (name, params, dims) spec; the
+    # registry rebuilds the gate from it (``GATE_REGISTRY.build``).  The
+    # *canonical* spec additionally lowers semantic names to the gate's
+    # structural class form, giving circuits a content-addressed identity
+    # (same construction => same hash/fingerprint, different matrices =>
+    # different fingerprints even under one display name).
+
+    #: Semantic spec attached by registered factories (None = structural).
+    _spec_override: GateSpec | None = None
+    _canonical_cache: GateSpec | None = None
+
+    def spec(self) -> GateSpec:
+        """The serializable spec of this gate.
+
+        Round-trip contract: ``GATE_REGISTRY.build(gate.spec()) == gate``.
+        """
+        if self._spec_override is not None:
+            return self._spec_override
+        return self._structural_spec()
+
+    def canonical_spec(self) -> GateSpec:
+        """The structural (class-level) spec used for equality and hashing.
+
+        Semantic registry names are lowered to the underlying gate-class
+        form and display names are dropped, so a registered constant and
+        a hand-built equivalent (same class, same data) compare equal —
+        identity is content-addressed.  Display names still serialize
+        (via :meth:`spec`); they just don't define identity, which is
+        what makes e.g. ``X.inverse() == X`` hold for the self-inverse
+        permutation gates.
+        """
+        if self._canonical_cache is None:
+            object.__setattr__(
+                self, "_canonical_cache", self._canonical_spec()
+            )
+        return self._canonical_cache  # type: ignore[return-value]
+
+    def _structural_spec(self) -> GateSpec:
+        """Fallback structural spec: the full matrix plus display name.
+
+        Subclasses with more compact structure (permutations, diagonals,
+        controls) override this; anything else serializes as its unitary,
+        so no gate is unserializable.
+        """
+        matrix = self.unitary()
+        rows = tuple(tuple(complex(x) for x in row) for row in matrix)
+        return GateSpec("__matrix__", (self.name, rows), self.dims)
+
+    def _canonical_spec(self) -> GateSpec:
+        matrix = self.unitary()
+        rows = tuple(tuple(complex(x) for x in row) for row in matrix)
+        return GateSpec("__matrix__", (rows,), self.dims)
+
+    def _set_spec(self, spec: GateSpec) -> "Gate":
+        """Attach a semantic spec (factory-internal; returns ``self``)."""
+        object.__setattr__(self, "_spec_override", spec)
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Gate):
+            return NotImplemented
+        return self.canonical_spec() == other.canonical_spec()
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_spec())
 
     # -- classical (permutation) behaviour ------------------------------
 
@@ -190,6 +267,20 @@ class PermutationGate(Gate):
     def _permutation(self) -> list[int]:
         return self._mapping
 
+    def _structural_spec(self) -> GateSpec:
+        return GateSpec(
+            "__perm__",
+            (self._name, tuple(int(v) for v in self._mapping)),
+            self._dims,
+        )
+
+    def _canonical_spec(self) -> GateSpec:
+        return GateSpec(
+            "__perm__",
+            (tuple(int(v) for v in self._mapping),),
+            self._dims,
+        )
+
     def inverse(self) -> "PermutationGate":
         inverse_map = [0] * len(self._mapping)
         for src, dst in enumerate(self._mapping):
@@ -228,8 +319,39 @@ class PhasedGate(Gate):
     def unitary(self) -> np.ndarray:
         return np.diag(self._phases)
 
+    def _structural_spec(self) -> GateSpec:
+        return GateSpec(
+            "__phased__",
+            (self._name, tuple(complex(p) for p in self._phases)),
+            self._dims,
+        )
+
+    def _canonical_spec(self) -> GateSpec:
+        return GateSpec(
+            "__phased__",
+            (tuple(complex(p) for p in self._phases),),
+            self._dims,
+        )
+
     def inverse(self) -> "PhasedGate":
         return PhasedGate(self._phases.conj(), self._dims, f"{self.name}^-1")
+
+
+# -- structural constructors -------------------------------------------------
+
+
+def _build_perm(spec: GateSpec) -> PermutationGate:
+    name, mapping = spec.params
+    return PermutationGate(list(mapping), spec.dims, name)
+
+
+def _build_phased(spec: GateSpec) -> PhasedGate:
+    name, phases = spec.params
+    return PhasedGate(list(phases), spec.dims, name)
+
+
+GATE_REGISTRY.register("__perm__", _build_perm)
+GATE_REGISTRY.register("__phased__", _build_phased)
 
 
 def validated_unitary(matrix: np.ndarray, dims: Sequence[int]) -> np.ndarray:

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..exceptions import DimensionMismatchError, NotClassicalError
 from .base import Gate, index_to_values, values_to_index
+from .spec import GATE_REGISTRY, GateSpec
 
 
 class ControlledGate(Gate):
@@ -111,6 +112,23 @@ class ControlledGate(Gate):
             self._sub_gate.inverse(), self._control_dims, self._control_values
         )
 
+    def _structural_spec(self) -> GateSpec:
+        return GateSpec(
+            "__controlled__",
+            (self._sub_gate.spec(), self._control_values),
+            self.dims,
+        )
+
+    def _canonical_spec(self) -> GateSpec:
+        # Lower the sub-gate too, so e.g. CNOT equals a hand-built
+        # ControlledGate over an equivalent X regardless of which
+        # registered factory produced either sub-gate.
+        return GateSpec(
+            "__controlled__",
+            (self._sub_gate.canonical_spec(), self._control_values),
+            self.dims,
+        )
+
     # -- classical fast path ----------------------------------------------
     #
     # Controlled permutation gates dominate the paper's circuits; resolving
@@ -154,6 +172,18 @@ class ControlledGate(Gate):
             values = index_to_values(index, dims)
             perm.append(values_to_index(self.classical_action(values), dims))
         return perm
+
+
+def _build_controlled_spec(spec: GateSpec) -> ControlledGate:
+    sub_spec, control_values = spec.params
+    sub_gate = GATE_REGISTRY.build(sub_spec)
+    n_controls = len(spec.dims) - len(sub_gate.dims)
+    return ControlledGate(
+        sub_gate, spec.dims[:n_controls], tuple(control_values)
+    )
+
+
+GATE_REGISTRY.register("__controlled__", _build_controlled_spec)
 
 
 def controlled(

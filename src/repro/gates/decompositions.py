@@ -33,10 +33,40 @@ from .controlled import ControlledGate
 from .matrix import MatrixGate
 from .qubit import CNOT, H, T, T_DAG, X
 from .qutrit import shift_gate
+from .spec import GATE_REGISTRY, GateSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..circuits.operation import GateOperation
     from ..qudits import Qudit
+
+
+def root_power_gate(base: Gate, k: int, d: int, name: str) -> MatrixGate:
+    """``base ** (k/d)`` via the principal d-th root (negative k = dagger).
+
+    The matrix is ``matrix_root(U, 1/d) ** |k|``, conjugate-transposed
+    for negative ``k`` — the exact arithmetic the decompositions below
+    perform, captured as a registered spec (``U_root_pow``) so derived
+    gates rebuild bit-identically from serialized circuits.
+    """
+    root = matrix_root(base.unitary(), 1.0 / d)
+    matrix = np.linalg.matrix_power(root, abs(k))
+    if k < 0:
+        matrix = matrix.conj().T
+    gate = MatrixGate(matrix, base.dims, name=name)
+    gate._set_spec(
+        GateSpec(
+            "U_root_pow", (base.spec(), int(k), int(d), name), base.dims
+        )
+    )
+    return gate
+
+
+GATE_REGISTRY.register(
+    "U_root_pow",
+    lambda spec: root_power_gate(
+        GATE_REGISTRY.build(spec.params[0]), *spec.params[1:]
+    ),
+)
 
 
 def toffoli_to_cnots(
@@ -75,12 +105,8 @@ def two_controlled_qubit_u(
     ``CV(c1,t) . CX(c0,c1) . CV^-1(c1,t) . CX(c0,c1) . CV(c0,t)`` with
     V = sqrt(U).  Controls that activate on 0 are X-conjugated.
     """
-    u = sub_gate.unitary()
-    v = matrix_root(u, 0.5)
-    v_gate = MatrixGate(v, sub_gate.dims, name=f"sqrt({sub_gate.name})")
-    v_dag = MatrixGate(
-        v.conj().T, sub_gate.dims, name=f"sqrt({sub_gate.name})^-1"
-    )
+    v_gate = root_power_gate(sub_gate, 1, 2, f"sqrt({sub_gate.name})")
+    v_dag = root_power_gate(sub_gate, -1, 2, f"sqrt({sub_gate.name})^-1")
     cv1 = ControlledGate(v_gate, (2,))
     cv1_dag = ControlledGate(v_dag, (2,))
     ops: list["GateOperation"] = []
@@ -134,16 +160,14 @@ def decompose_controlled_controlled_u(
         a_val, b_val = b_val, a_val
 
     da, db = control_a.dimension, control_b.dimension
-    u = sub_gate.unitary()
-    root = matrix_root(u, 1.0 / db)
-    root_dag = root.conj().T
-    top = np.linalg.matrix_power(root, db - 1)
-    u_top = MatrixGate(
-        top, sub_gate.dims, f"{sub_gate.name}^({db - 1}/{db})"
+    u_top = root_power_gate(
+        sub_gate, db - 1, db, f"{sub_gate.name}^({db - 1}/{db})"
     )
-    u_root = MatrixGate(root, sub_gate.dims, f"{sub_gate.name}^(1/{db})")
-    u_root_dag = MatrixGate(
-        root_dag, sub_gate.dims, f"{sub_gate.name}^(-1/{db})"
+    u_root = root_power_gate(
+        sub_gate, 1, db, f"{sub_gate.name}^(1/{db})"
+    )
+    u_root_dag = root_power_gate(
+        sub_gate, -1, db, f"{sub_gate.name}^(-1/{db})"
     )
 
     shift = ControlledGate(shift_gate(db, 1), (da,), (a_val,))

@@ -7,6 +7,7 @@ from typing import Sequence
 import numpy as np
 
 from .base import Gate, validated_unitary
+from .spec import GATE_REGISTRY, GateSpec
 
 
 class MatrixGate(Gate):
@@ -42,3 +43,23 @@ class MatrixGate(Gate):
         return MatrixGate(
             self._matrix.conj().T, self._dims, name=f"{self._name}^-1"
         )
+
+    def _structural_spec(self) -> GateSpec:
+        rows = tuple(
+            tuple(complex(x) for x in row) for row in self._matrix
+        )
+        return GateSpec("__matrix__", (self._name, rows), self._dims)
+
+    def _canonical_spec(self) -> GateSpec:
+        rows = tuple(
+            tuple(complex(x) for x in row) for row in self._matrix
+        )
+        return GateSpec("__matrix__", (rows,), self._dims)
+
+
+def _build_matrix(spec: GateSpec) -> MatrixGate:
+    name, rows = spec.params
+    return MatrixGate(np.array(rows, dtype=complex), spec.dims, name=name)
+
+
+GATE_REGISTRY.register("__matrix__", _build_matrix)

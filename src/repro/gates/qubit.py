@@ -10,6 +10,7 @@ import numpy as np
 
 from .base import Gate, PermutationGate, PhasedGate
 from .matrix import MatrixGate
+from .spec import GATE_REGISTRY, GateSpec
 
 
 def _qubit_matrix_gate(matrix: np.ndarray, name: str) -> MatrixGate:
@@ -56,27 +57,41 @@ SQRT_X_DAG = _qubit_matrix_gate(
 
 def P(phi: float) -> PhasedGate:
     """Single-qubit phase gate diag(1, e^{i phi})."""
-    return PhasedGate([1, np.exp(1j * phi)], (2,), f"P({phi:.4g})")
+    phi = float(phi)
+    gate = PhasedGate([1, np.exp(1j * phi)], (2,), f"P({phi:.4g})")
+    gate._set_spec(GateSpec("P", (phi,), (2,)))
+    return gate
 
 
 def RX(theta: float) -> MatrixGate:
     """Rotation about X by ``theta``."""
+    theta = float(theta)
     c, s = np.cos(theta / 2), np.sin(theta / 2)
-    return _qubit_matrix_gate([[c, -1j * s], [-1j * s, c]], f"RX({theta:.4g})")
+    gate = _qubit_matrix_gate(
+        [[c, -1j * s], [-1j * s, c]], f"RX({theta:.4g})"
+    )
+    gate._set_spec(GateSpec("RX", (theta,), (2,)))
+    return gate
 
 
 def RY(theta: float) -> MatrixGate:
     """Rotation about Y by ``theta``."""
+    theta = float(theta)
     c, s = np.cos(theta / 2), np.sin(theta / 2)
-    return _qubit_matrix_gate([[c, -s], [s, c]], f"RY({theta:.4g})")
+    gate = _qubit_matrix_gate([[c, -s], [s, c]], f"RY({theta:.4g})")
+    gate._set_spec(GateSpec("RY", (theta,), (2,)))
+    return gate
 
 
 def RZ(theta: float) -> MatrixGate:
     """Rotation about Z by ``theta``."""
-    return _qubit_matrix_gate(
+    theta = float(theta)
+    gate = _qubit_matrix_gate(
         np.diag([np.exp(-1j * theta / 2), np.exp(1j * theta / 2)]),
         f"RZ({theta:.4g})",
     )
+    gate._set_spec(GateSpec("RZ", (theta,), (2,)))
+    return gate
 
 
 def power_of_x(exponent: float) -> Gate:
@@ -88,16 +103,21 @@ def power_of_x(exponent: float) -> Gate:
     """
     if exponent == 1:
         return X
+    exponent = float(exponent)
     h = H.unitary()
     phase = np.diag([1.0, np.exp(1j * np.pi * exponent)])
-    return MatrixGate(h @ phase @ h, (2,), name=f"X^{exponent:.6g}")
+    gate = MatrixGate(h @ phase @ h, (2,), name=f"X^{exponent:.6g}")
+    gate._set_spec(GateSpec("X_pow", (exponent,), (2,)))
+    return gate
 
 
 def controlled_power_of_x(exponent: float) -> Gate:
     """Singly-controlled X**exponent as a primitive two-qubit gate."""
     from .controlled import ControlledGate
 
-    return ControlledGate(power_of_x(exponent), control_dims=(2,))
+    gate = ControlledGate(power_of_x(exponent), control_dims=(2,))
+    gate._set_spec(GateSpec("CX_pow", (float(exponent),), (2, 2)))
+    return gate
 
 
 # ---------------------------------------------------------------------------
@@ -123,3 +143,43 @@ TOFFOLI = _build_controlled(X, 2)
 
 #: SWAP on two qubits.
 SWAP = PermutationGate([0, 2, 1, 3], (2, 2), "SWAP")
+
+
+# ---------------------------------------------------------------------------
+# Registry wiring: named constants round-trip by name, parameterized
+# factories by (name, params); see repro.gates.spec.
+# ---------------------------------------------------------------------------
+
+
+def _register_constant(name: str, gate: Gate) -> None:
+    gate._set_spec(GateSpec(name, (), gate.dims))
+    GATE_REGISTRY.register(name, lambda spec, gate=gate: gate)
+
+
+for _name, _gate in (
+    ("I2", IDENTITY2),
+    ("X", X),
+    ("Y", Y),
+    ("Z", Z),
+    ("H", H),
+    ("S", S),
+    ("S_DAG", S_DAG),
+    ("T", T),
+    ("T_DAG", T_DAG),
+    ("SQRT_X", SQRT_X),
+    ("SQRT_X_DAG", SQRT_X_DAG),
+    ("CNOT", CNOT),
+    ("CZ", CZ),
+    ("TOFFOLI", TOFFOLI),
+    ("SWAP", SWAP),
+):
+    _register_constant(_name, _gate)
+
+GATE_REGISTRY.register("P", lambda spec: P(*spec.params))
+GATE_REGISTRY.register("RX", lambda spec: RX(*spec.params))
+GATE_REGISTRY.register("RY", lambda spec: RY(*spec.params))
+GATE_REGISTRY.register("RZ", lambda spec: RZ(*spec.params))
+GATE_REGISTRY.register("X_pow", lambda spec: power_of_x(*spec.params))
+GATE_REGISTRY.register(
+    "CX_pow", lambda spec: controlled_power_of_x(*spec.params)
+)

@@ -14,11 +14,14 @@ import numpy as np
 
 from .base import Gate, PermutationGate, PhasedGate
 from .matrix import MatrixGate
+from .spec import GATE_REGISTRY, GateSpec
 
 
 def identity_gate(dim: int) -> PermutationGate:
     """Identity on a single d-level wire."""
-    return PermutationGate(list(range(dim)), (dim,), f"I{dim}")
+    gate = PermutationGate(list(range(dim)), (dim,), f"I{dim}")
+    gate._set_spec(GateSpec("identity", (), (dim,)))
+    return gate
 
 
 def level_swap(dim: int, level_a: int, level_b: int) -> PermutationGate:
@@ -32,7 +35,9 @@ def level_swap(dim: int, level_a: int, level_b: int) -> PermutationGate:
         raise ValueError(f"levels {level_a},{level_b} out of range for d={dim}")
     mapping = list(range(dim))
     mapping[level_a], mapping[level_b] = mapping[level_b], mapping[level_a]
-    return PermutationGate(mapping, (dim,), f"X{level_a}{level_b}(d{dim})")
+    gate = PermutationGate(mapping, (dim,), f"X{level_a}{level_b}(d{dim})")
+    gate._set_spec(GateSpec("level_swap", (level_a, level_b), (dim,)))
+    return gate
 
 
 def shift_gate(dim: int, amount: int = 1) -> PermutationGate:
@@ -46,14 +51,20 @@ def shift_gate(dim: int, amount: int = 1) -> PermutationGate:
         mapping[value] = (value + amount) % dim
     sign = "+" if amount <= dim // 2 else "-"
     shown = amount if sign == "+" else dim - amount
-    return PermutationGate(mapping, (dim,), f"X{sign}{shown}(d{dim})")
+    gate = PermutationGate(mapping, (dim,), f"X{sign}{shown}(d{dim})")
+    gate._set_spec(GateSpec("shift", (amount,), (dim,)))
+    return gate
 
 
 def clock_gate(dim: int, power: int = 1) -> PhasedGate:
     """The generalized Pauli Z: diag(1, w, w^2, ...) with w = e^{2 pi i/d}."""
     omega = np.exp(2j * np.pi / dim)
     phases = [omega ** (power * k) for k in range(dim)]
-    return PhasedGate(phases, (dim,), f"Z{dim}^{power}" if power != 1 else f"Z{dim}")
+    gate = PhasedGate(
+        phases, (dim,), f"Z{dim}^{power}" if power != 1 else f"Z{dim}"
+    )
+    gate._set_spec(GateSpec("clock", (int(power),), (dim,)))
+    return gate
 
 
 def fourier_gate(dim: int) -> MatrixGate:
@@ -62,14 +73,19 @@ def fourier_gate(dim: int) -> MatrixGate:
     matrix = np.array(
         [[omega ** (j * k) for k in range(dim)] for j in range(dim)]
     ) / np.sqrt(dim)
-    return MatrixGate(matrix, (dim,), name=f"F{dim}")
+    gate = MatrixGate(matrix, (dim,), name=f"F{dim}")
+    gate._set_spec(GateSpec("fourier", (), (dim,)))
+    return gate
 
 
 def phase_gate(dim: int, level: int, phi: float) -> PhasedGate:
     """Apply phase e^{i phi} to a single level of a d-level wire."""
+    phi = float(phi)
     phases = [1.0 + 0j] * dim
     phases[level] = np.exp(1j * phi)
-    return PhasedGate(phases, (dim,), f"P{dim}[{level}]({phi:.4g})")
+    gate = PhasedGate(phases, (dim,), f"P{dim}[{level}]({phi:.4g})")
+    gate._set_spec(GateSpec("phase", (int(level), phi), (dim,)))
+    return gate
 
 
 def embedded_qubit_gate(
@@ -90,9 +106,13 @@ def embedded_qubit_gate(
     matrix[a, b] = small[0, 1]
     matrix[b, a] = small[1, 0]
     matrix[b, b] = small[1, 1]
-    return MatrixGate(
+    gate = MatrixGate(
         matrix, (dim,), name=f"{qubit_gate.name}[{a}{b}](d{dim})"
     )
+    gate._set_spec(
+        GateSpec("embedded", (qubit_gate.spec(), int(a), int(b)), (dim,))
+    )
+    return gate
 
 
 # ---------------------------------------------------------------------------
@@ -122,3 +142,36 @@ QUTRIT_H = fourier_gate(3)
 
 #: Identity on one qutrit.
 IDENTITY3 = identity_gate(3)
+
+
+# ---------------------------------------------------------------------------
+# Registry wiring: specs carry (params, dims); dims hold the wire dimension.
+# ---------------------------------------------------------------------------
+
+GATE_REGISTRY.register(
+    "identity", lambda spec: identity_gate(spec.dims[0])
+)
+GATE_REGISTRY.register(
+    "level_swap", lambda spec: level_swap(spec.dims[0], *spec.params)
+)
+GATE_REGISTRY.register(
+    "shift", lambda spec: shift_gate(spec.dims[0], *spec.params)
+)
+GATE_REGISTRY.register(
+    "clock", lambda spec: clock_gate(spec.dims[0], *spec.params)
+)
+GATE_REGISTRY.register(
+    "fourier", lambda spec: fourier_gate(spec.dims[0])
+)
+GATE_REGISTRY.register(
+    "phase",
+    lambda spec: phase_gate(spec.dims[0], spec.params[0], spec.params[1]),
+)
+GATE_REGISTRY.register(
+    "embedded",
+    lambda spec: embedded_qubit_gate(
+        GATE_REGISTRY.build(spec.params[0]),
+        spec.dims[0],
+        (spec.params[1], spec.params[2]),
+    ),
+)

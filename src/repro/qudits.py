@@ -6,7 +6,7 @@ baseline operates its target as a d = N-level qudit.  A :class:`Qudit` is a
 lightweight, hashable identifier carrying a name/index and a dimension.
 
 Wires are identity objects: two qudits are the same wire iff their
-``(label, dimension)`` pair is equal.  Circuits key moments on these objects.
+``(index, dimension)`` pair is equal.  Circuits key moments on these objects.
 """
 
 from __future__ import annotations

@@ -81,18 +81,12 @@ class DensityMatrix:
         axes = [self._axis[w] for w in wires]
         n = len(self._dims)
         dims = self._dims
-        full = np.asarray(op_matrix, dtype=complex).reshape(
-            tuple(dims[a] for a in axes) * 2
-        )
         # Build the dense embedding via tensordot with identity on the rest.
         # For the small spaces this module allows, a reshape/einsum-free
         # construction through kron ordering is simplest: permute wires so
         # the active ones come first, kron with identity, permute back.
         order = axes + [k for k in range(n) if k not in axes]
         inverse = np.argsort(order)
-        active_dim = 1
-        for a in axes:
-            active_dim *= dims[a]
         rest_dim = 1
         for k in range(n):
             if k not in axes:

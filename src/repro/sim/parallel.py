@@ -24,7 +24,10 @@ from .fidelity import FidelityEstimate, estimate_circuit_fidelity
 
 @dataclass(frozen=True)
 class _Shard:
-    circuit: Circuit
+    #: Circuit serialized to its canonical JSON form (see
+    #: :meth:`~repro.circuits.circuit.Circuit.to_json`) — workers rebuild
+    #: it through the gate registry instead of unpickling object graphs.
+    circuit_data: str
     noise_model: NoiseModel
     trials: int
     seed: int
@@ -34,7 +37,7 @@ class _Shard:
 
 def _run_shard(shard: _Shard) -> FidelityEstimate:
     return estimate_circuit_fidelity(
-        shard.circuit,
+        Circuit.from_json(shard.circuit_data),
         shard.noise_model,
         trials=shard.trials,
         seed=shard.seed,
@@ -93,9 +96,10 @@ def estimate_circuit_fidelity_parallel(
             circuit, noise_model, trials, seed, list(wires), circuit_name
         )
     base, extra = divmod(trials, workers)
+    circuit_data = circuit.to_json()
     shards = [
         _Shard(
-            circuit=circuit,
+            circuit_data=circuit_data,
             noise_model=noise_model,
             trials=base + (1 if index < extra else 0),
             seed=seed * 1_000_003 + index,

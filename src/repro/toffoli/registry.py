@@ -110,3 +110,13 @@ def build_toffoli(
         control_values=control_values or (),
     )
     return CONSTRUCTIONS[name].builder(spec, **kwargs)
+
+
+def construction_circuit(name: str, num_controls: int, **kwargs):
+    """The bare circuit of a named construction.
+
+    Convenience for file-based workloads (``python -m repro circuit
+    save``) and anywhere only the serializable circuit value is wanted,
+    not the full :class:`ConstructionResult` bookkeeping.
+    """
+    return build_toffoli(name, num_controls, **kwargs).circuit

@@ -1,6 +1,5 @@
 """Tests for the figure data generators."""
 
-import numpy as np
 
 from repro.analysis.figures import (
     BENCHMARK_CIRCUITS,

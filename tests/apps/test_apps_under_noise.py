@@ -7,7 +7,6 @@ job under light near-term noise.
 """
 
 import numpy as np
-import pytest
 
 from repro.apps.grover import GroverSearch
 from repro.apps.incrementer import qutrit_incrementer_circuit

@@ -1,6 +1,5 @@
 """Tests for the qutrit incrementer (Sec. 5.3, Figure 7)."""
 
-from itertools import product
 
 import pytest
 
@@ -13,7 +12,6 @@ from repro.apps.incrementer import (
 from repro.circuits.circuit import Circuit
 from repro.exceptions import DecompositionError
 from repro.qudits import Qudit, qubits, qutrits
-from repro.sim.statevector import StateVectorSimulator
 
 
 def _as_int(bits):

@@ -92,7 +92,6 @@ class TestRouting:
         _route_and_check(circuit, wires, grid_2d(2, 3))
 
     def test_routed_tree_still_computes_toffoli(self):
-        result = build_qutrit_tree(GeneralizedToffoli(5), decompose=False)
         # The undecomposed tree has 3-wire gates: route the decomposed one.
         # Decomposed gates are non-classical, so check a statevector point.
         lowered = build_qutrit_tree(GeneralizedToffoli(5))
@@ -100,7 +99,6 @@ class TestRouting:
         from repro.sim.statevector import StateVectorSimulator
 
         sim = StateVectorSimulator()
-        wires = lowered.controls + [lowered.target]
         values = {site: 0 for site in routed.sites}
         for wire in lowered.controls:
             values[routed.sites[routed.initial_placement[wire]]] = 1

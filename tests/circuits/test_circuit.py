@@ -6,7 +6,7 @@ import pytest
 from repro.circuits.circuit import Circuit
 from repro.exceptions import SchedulingError, SimulationError
 from repro.gates.controlled import ControlledGate
-from repro.gates.qubit import CNOT, H, X, Z
+from repro.gates.qubit import CNOT, H, X
 from repro.gates.qutrit import X01, X_PLUS_1
 from repro.linalg import allclose_up_to_global_phase
 from repro.qudits import Qudit, qubits, qutrits

@@ -1,0 +1,192 @@
+"""Tests for GateSpec, the gate registry, and gate round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.gates import (
+    CNOT,
+    CZ,
+    GATE_REGISTRY,
+    SWAP,
+    TOFFOLI,
+    ControlledGate,
+    GateRegistry,
+    GateSpec,
+    H,
+    MatrixGate,
+    P,
+    PermutationGate,
+    PhasedGate,
+    RX,
+    RY,
+    RZ,
+    S,
+    S_DAG,
+    SQRT_X,
+    SQRT_X_DAG,
+    T,
+    T_DAG,
+    X,
+    Y,
+    Z,
+    clock_gate,
+    controlled,
+    controlled_power_of_x,
+    embedded_qubit_gate,
+    identity_gate,
+    level_swap,
+    root_power_gate,
+    shift_gate,
+)
+from repro.gates.qubit import IDENTITY2, power_of_x
+from repro.gates.qutrit import (
+    IDENTITY3,
+    QUTRIT_H,
+    X01,
+    X02,
+    X12,
+    X_MINUS_1,
+    X_PLUS_1,
+    Z3,
+    fourier_gate,
+    phase_gate,
+)
+
+#: Every gate constructible from the public API, named for test ids.
+GATE_CATALOG = {
+    "X": X,
+    "Y": Y,
+    "Z": Z,
+    "H": H,
+    "S": S,
+    "S_DAG": S_DAG,
+    "T": T,
+    "T_DAG": T_DAG,
+    "SQRT_X": SQRT_X,
+    "SQRT_X_DAG": SQRT_X_DAG,
+    "IDENTITY2": IDENTITY2,
+    "CNOT": CNOT,
+    "CZ": CZ,
+    "TOFFOLI": TOFFOLI,
+    "SWAP": SWAP,
+    "P": P(0.725),
+    "RX": RX(1.234),
+    "RY": RY(-0.5),
+    "RZ": RZ(np.pi / 7),
+    "X_pow": power_of_x(0.125),
+    "CX_pow": controlled_power_of_x(0.25),
+    "X01": X01,
+    "X02": X02,
+    "X12": X12,
+    "X_PLUS_1": X_PLUS_1,
+    "X_MINUS_1": X_MINUS_1,
+    "Z3": Z3,
+    "QUTRIT_H": QUTRIT_H,
+    "IDENTITY3": IDENTITY3,
+    "identity5": identity_gate(5),
+    "level_swap": level_swap(4, 1, 3),
+    "shift": shift_gate(5, 2),
+    "clock": clock_gate(3, 2),
+    "fourier": fourier_gate(4),
+    "phase": phase_gate(3, 2, 0.321),
+    "embedded": embedded_qubit_gate(H, 3, (0, 2)),
+    "embedded_param": embedded_qubit_gate(RX(0.77), 4, (1, 3)),
+    "controlled_val2": ControlledGate(X01, (3,), (2,)),
+    "controlled_nested": controlled(ControlledGate(X_PLUS_1, (3,), (0,))),
+    "root_power": root_power_gate(X, 2, 3, "X^(2/3)"),
+    "root_power_dag": root_power_gate(QUTRIT_H, -1, 3, "F3^(-1/3)"),
+    "matrix_fallback": MatrixGate(np.eye(4), (2, 2), name="custom"),
+    "perm_fallback": PermutationGate([2, 0, 1, 3], (2, 2), "cycle"),
+    "phased_fallback": PhasedGate([1, 1j, -1, -1j], (2, 2), "diag"),
+}
+
+
+@pytest.mark.parametrize("gate", GATE_CATALOG.values(), ids=GATE_CATALOG)
+class TestCatalogRoundTrip:
+    def test_spec_round_trip(self, gate):
+        rebuilt = GATE_REGISTRY.build(gate.spec())
+        assert rebuilt == gate
+        assert hash(rebuilt) == hash(gate)
+        assert np.allclose(rebuilt.unitary(), gate.unitary())
+
+    def test_json_round_trip(self, gate):
+        spec = GateSpec.from_json(gate.spec().to_json())
+        assert spec == gate.spec()
+        assert GATE_REGISTRY.build(spec) == gate
+
+    def test_dims_preserved(self, gate):
+        assert GATE_REGISTRY.build(gate.spec()).dims == gate.dims
+
+
+class TestGateSpec:
+    def test_value_semantics(self):
+        a = GateSpec("shift", (1,), (3,))
+        b = GateSpec("shift", (1,), (3,))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != GateSpec("shift", (2,), (3,))
+
+    def test_params_frozen_to_tuples(self):
+        spec = GateSpec("x", ([1, 2], 3.0), (2,))
+        assert spec.params == ((1, 2), 3.0)
+
+    def test_complex_params_round_trip(self):
+        spec = GateSpec("x", (1 + 2j, (0.5, -1j)), (2,))
+        assert GateSpec.from_json(spec.to_json()) == spec
+
+    def test_nested_spec_params_round_trip(self):
+        inner = GateSpec("X", (), (2,))
+        outer = GateSpec("__controlled__", (inner, (1,)), (2, 2))
+        assert GateSpec.from_json(outer.to_json()) == outer
+
+    def test_rejects_unserializable_params(self):
+        with pytest.raises(TypeError):
+            GateSpec("x", (object(),), (2,))
+
+
+class TestRegistry:
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="no gate constructor"):
+            GATE_REGISTRY.build(GateSpec("no_such_gate", (), (2,)))
+
+    def test_duplicate_registration_raises(self):
+        registry = GateRegistry()
+        registry.register("g", lambda spec: X)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("g", lambda spec: X)
+
+    def test_names_sorted(self):
+        names = list(GATE_REGISTRY.names())
+        assert names == sorted(names)
+        assert "X" in GATE_REGISTRY
+        assert "__matrix__" in GATE_REGISTRY
+
+
+class TestStructuralIdentity:
+    def test_hand_built_equals_registered_constant(self):
+        assert PermutationGate([1, 0], (2,), "X") == X
+        assert ControlledGate(X, (2,)) == CNOT
+
+    def test_same_name_different_matrix_differ(self):
+        a = MatrixGate(np.eye(2), (2,), name="G")
+        b = MatrixGate(np.diag([1, -1]), (2,), name="G")
+        assert a != b
+        assert a.canonical_spec() != b.canonical_spec()
+
+    def test_display_name_does_not_define_identity(self):
+        assert X.inverse() == X
+        assert MatrixGate(np.eye(2), (2,), "a") == MatrixGate(
+            np.eye(2), (2,), "b"
+        )
+
+    def test_controlled_identity_includes_values_and_dims(self):
+        base = ControlledGate(X01, (3,), (1,))
+        assert base != ControlledGate(X01, (3,), (2,))
+        assert base != ControlledGate(X01, (4,), (1,))
+
+    def test_serialization_keeps_display_name(self):
+        gate = MatrixGate(np.eye(2), (2,), name="my-name")
+        rebuilt = GATE_REGISTRY.build(
+            GateSpec.from_json(gate.spec().to_json())
+        )
+        assert rebuilt.name == "my-name"

@@ -1,7 +1,6 @@
 """End-to-end integration tests reproducing the paper's headline claims
 at reduced scale (full scale runs live in benchmarks/)."""
 
-import numpy as np
 import pytest
 
 from repro import build_toffoli, estimate_circuit_fidelity

@@ -6,7 +6,6 @@ channel parameters and circuit shape.
 """
 
 import numpy as np
-import pytest
 
 from repro.circuits.circuit import Circuit
 from repro.gates.controlled import ControlledGate
@@ -114,8 +113,6 @@ class TestIdleErrorRates:
         a, b = wire_sets
 
         def jump_fraction(level, seed):
-            circuit = Circuit([])
-            prep = X_PLUS_1 if level == 1 else None
             ops = [X_PLUS_1.on(a)] * level + [X01.on(b)]
             circuit = Circuit(ops)
             for _ in range(15):

@@ -5,7 +5,7 @@ import pytest
 
 from repro.exceptions import NoiseModelError
 from repro.noise.kraus import KrausChannel, UnitaryMixtureChannel
-from repro.qudits import Qudit, qubits
+from repro.qudits import Qudit
 from repro.sim.state import StateVector
 
 X_MAT = np.array([[0, 1], [1, 0]], dtype=complex)

@@ -1,0 +1,97 @@
+"""Property-based tests for spec/JSON round-trips and structural identity."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import Circuit
+from repro.gates import GATE_REGISTRY, GateSpec, P, RX, RZ, ControlledGate
+from repro.gates.base import PermutationGate
+from repro.gates.qutrit import clock_gate, phase_gate, shift_gate
+from repro.qudits import Qudit
+
+angles = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def registered_gates(draw):
+    """A gate drawn from the parameterized registered factories."""
+    kind = draw(st.integers(0, 5))
+    if kind == 0:
+        return RX(draw(angles))
+    if kind == 1:
+        return RZ(draw(angles))
+    if kind == 2:
+        return P(draw(angles))
+    dim = draw(st.integers(2, 5))
+    if kind == 3:
+        return shift_gate(dim, draw(st.integers(0, dim - 1)))
+    if kind == 4:
+        return clock_gate(dim, draw(st.integers(1, dim)))
+    level = draw(st.integers(0, dim - 1))
+    return phase_gate(dim, level, draw(angles))
+
+
+@st.composite
+def permutation_gates(draw):
+    dim = draw(st.integers(2, 6))
+    mapping = draw(st.permutations(range(dim)))
+    return PermutationGate(list(mapping), (dim,), "perm")
+
+
+class TestGateRoundTripProperties:
+    @settings(max_examples=50)
+    @given(registered_gates())
+    def test_registered_factories_round_trip(self, gate):
+        rebuilt = GATE_REGISTRY.build(
+            GateSpec.from_json(gate.spec().to_json())
+        )
+        assert rebuilt == gate
+        assert hash(rebuilt) == hash(gate)
+        assert np.array_equal(rebuilt.unitary(), gate.unitary())
+
+    @settings(max_examples=50)
+    @given(permutation_gates())
+    def test_structural_fallback_round_trips(self, gate):
+        rebuilt = GATE_REGISTRY.build(
+            GateSpec.from_json(gate.spec().to_json())
+        )
+        assert rebuilt == gate
+        assert np.array_equal(rebuilt.unitary(), gate.unitary())
+
+    @settings(max_examples=25)
+    @given(permutation_gates(), st.integers(2, 4), st.data())
+    def test_controlled_wrapping_round_trips(self, sub, ctrl_dim, data):
+        value = data.draw(st.integers(0, ctrl_dim - 1))
+        gate = ControlledGate(sub, (ctrl_dim,), (value,))
+        rebuilt = GATE_REGISTRY.build(
+            GateSpec.from_json(gate.spec().to_json())
+        )
+        assert rebuilt == gate
+
+
+class TestCircuitIdentityProperties:
+    @settings(max_examples=25)
+    @given(st.lists(registered_gates(), min_size=1, max_size=6))
+    def test_circuit_json_round_trip(self, gates):
+        circuit = Circuit(
+            gate.on(Qudit(i, gate.dims[0]))
+            for i, gate in enumerate(gates)
+        )
+        rebuilt = Circuit.from_json(circuit.to_json())
+        assert rebuilt == circuit
+        assert hash(rebuilt) == hash(circuit)
+
+    @settings(max_examples=25)
+    @given(st.lists(registered_gates(), min_size=1, max_size=6))
+    def test_equal_builds_are_interchangeable(self, gates):
+        def build():
+            return Circuit(
+                gate.on(Qudit(i, gate.dims[0]))
+                for i, gate in enumerate(gates)
+            )
+
+        assert build() == build()
+        assert hash(build()) == hash(build())

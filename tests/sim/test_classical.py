@@ -8,7 +8,6 @@ from repro.gates.controlled import ControlledGate
 from repro.gates.qubit import CNOT, H, X
 from repro.gates.qutrit import X01, X_PLUS_1
 from repro.qudits import qubits, qutrits
-from repro.sim.classical import ClassicalSimulator
 
 
 class TestRun:

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.circuits.operation import GateOperation
 from repro.exceptions import DimensionMismatchError, SimulationError
 from repro.gates.controlled import ControlledGate
 from repro.gates.qubit import CNOT, H, X

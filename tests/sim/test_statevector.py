@@ -8,7 +8,6 @@ from repro.gates.qubit import CNOT, H
 from repro.gates.qutrit import QUTRIT_H, X_PLUS_1
 from repro.qudits import Qudit, qubits, qutrits
 from repro.sim.state import StateVector
-from repro.sim.statevector import StateVectorSimulator
 
 
 class TestRun:

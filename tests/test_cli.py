@@ -32,3 +32,62 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCircuitCli:
+    def test_save_show_load_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "tree.json"
+        assert main(
+            [
+                "circuit", "save", "--construction", "qutrit_tree",
+                "--controls", "4", "--undecomposed", "--out", str(path),
+            ]
+        ) == 0
+        assert path.exists()
+        capsys.readouterr()
+
+        assert main(["circuit", "show", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "operations=" in out and "@1" in out
+
+        assert main(
+            [
+                "circuit", "load", str(path), "--backend", "classical",
+                "--input", "1", "1", "1", "1", "0",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "output values: (1, 1, 1, 1, 1)" in out
+
+    def test_save_to_stdout(self, capsys):
+        assert main(
+            [
+                "circuit", "save", "--construction", "wang_chain",
+                "--controls", "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert '"version":2' in out.replace(" ", "")
+
+    def test_saved_circuit_is_loadable_json(self, tmp_path, capsys):
+        from repro.circuits.circuit import Circuit
+        from repro.toffoli.registry import build_toffoli
+
+        path = tmp_path / "lowered.json"
+        assert main(
+            [
+                "circuit", "save", "--construction", "qutrit_tree",
+                "--controls", "4", "--pipeline", "lowering",
+                "--out", str(path), "--pretty",
+            ]
+        ) == 0
+        saved = Circuit.from_json(path.read_text())
+        assert saved == build_toffoli("qutrit_tree", 4).circuit
+
+    def test_load_rejects_bad_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SystemExit, match="cannot load"):
+            main(["circuit", "show", str(path)])
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["circuit", "show", str(tmp_path / "missing.json")])

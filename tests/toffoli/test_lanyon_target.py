@@ -5,7 +5,6 @@ from itertools import product
 import pytest
 
 from repro.exceptions import DecompositionError
-from repro.sim.classical import ClassicalSimulator
 from repro.toffoli.lanyon_target import build_lanyon_target
 from repro.toffoli.spec import GeneralizedToffoli
 

@@ -7,11 +7,9 @@ import pytest
 
 from repro.circuits.circuit import Circuit
 from repro.exceptions import DecompositionError
-from repro.gates.qutrit import X01, X02, X_PLUS_1
+from repro.gates.qutrit import X01
 from repro.gates.qutrit import phase_gate
 from repro.qudits import Qudit, qutrits
-from repro.sim.classical import ClassicalSimulator
-from repro.sim.statevector import StateVectorSimulator
 from repro.toffoli.qutrit_tree import (
     build_qutrit_tree,
     elevation_slots,
