@@ -11,6 +11,8 @@ Usage::
     python -m repro fidelity          # scaled-down Figure 11
     python -m repro fidelity --controls 13 --trials 1000   # paper size
     python -m repro verify            # exhaustive construction checks
+    python -m repro bench             # noise-engine timings -> BENCH_noise.json
+    python -m repro bench --smoke     # CI-sized variant
 
     # Circuits are serializable values: persist, inspect, and replay.
     python -m repro circuit save --construction qutrit_tree --controls 5 \\
@@ -61,6 +63,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
         shots=args.shots,
         trials=args.trials,
         seed=args.seed,
+        batch_size=args.batch_size,
         parallel=args.parallel,
         workers=args.workers,
     )
@@ -260,6 +263,16 @@ def _cmd_circuit_load(args: argparse.Namespace) -> None:
     _print_run_result(result)
 
 
+def _cmd_bench(args: argparse.Namespace) -> None:
+    from .analysis.bench import render_report, run_bench, write_report
+
+    report = run_bench(smoke=args.smoke, seed=args.seed)
+    print(render_report(report))
+    if args.out != "-":
+        path = write_report(report, args.out)
+        print(f"\nwrote {path}")
+
+
 def _cmd_verify(args: argparse.Namespace) -> None:
     from .toffoli.registry import CONSTRUCTIONS, build_toffoli
     from .toffoli.verification import verify_construction
@@ -312,6 +325,10 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--trials", type=int, default=None)
     run.add_argument("--seed", type=int, default=None)
     run.add_argument(
+        "--batch-size", type=int, default=None,
+        help="trajectory chunk size (default: auto; 1 = looped engine)",
+    )
+    run.add_argument(
         "--sweep", type=int, nargs=2, metavar=("LOW", "HIGH"),
         default=None, help="sweep num_controls over LOW..HIGH inclusive",
     )
@@ -336,6 +353,21 @@ def main(argv: list[str] | None = None) -> int:
     fidelity.add_argument("--trials", type=int, default=25)
     fidelity.add_argument("--seed", type=int, default=2019)
     fidelity.set_defaults(func=_cmd_fidelity)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the noise engines and write BENCH_noise.json",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="shrunken workloads for CI (seconds, not minutes)",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_noise.json",
+        help="output path ('-' skips writing)",
+    )
+    bench.add_argument("--seed", type=int, default=2019)
+    bench.set_defaults(func=_cmd_bench)
 
     verify = sub.add_parser(
         "verify", help="exhaustively verify every construction"

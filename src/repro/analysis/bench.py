@@ -1,0 +1,262 @@
+"""Noise-engine benchmarks: the paper's noisy workloads, timed and logged.
+
+``python -m repro bench`` runs three suites and writes the results to
+``BENCH_noise.json`` (the committed copy seeds the repo's performance
+trajectory; CI re-runs the smoke variant on every push):
+
+* **density** — exact density-matrix evolution of a qutrit Generalized
+  Toffoli under a noise preset, axis-local engine
+  (:class:`~repro.sim.density.DensityMatrixSimulator`) vs the preserved
+  v1 dense ``kron`` embedding
+  (:class:`~repro.sim.dense_reference.DenseDensityMatrixSimulator`),
+  with a parity check on the final operators;
+* **trajectory** — the Figure 11 estimator, batched stacked-tensor
+  engine (``batch_size=None``) vs the looped reference
+  (``batch_size=1``) on one circuit/model pair;
+* **workloads** — Table 2/3 style fidelity estimates (circuit construction
+  x noise model) through the default batched engine, so the JSON records
+  both wall-clock and the physics numbers they produce.
+
+All suites are seeded and deterministic in their *results*; timings are
+hardware-dependent (the JSON records the platform).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..noise.model import NoiseModel
+from ..noise.presets import (
+    BARE_QUTRIT,
+    DRESSED_QUTRIT,
+    SC,
+    SC_T1_GATES,
+    TI_QUBIT,
+)
+from ..sim.dense_reference import DenseDensityMatrixSimulator
+from ..sim.density import DensityMatrixSimulator
+from ..sim.fidelity import estimate_circuit_fidelity
+from ..sim.state import StateVector
+from ..toffoli.registry import construction_circuit
+
+#: Schema tag written into the JSON, so later PRs can evolve the format.
+SCHEMA = "repro-bench-noise/v1"
+
+
+def _best_of(repeats: int, task: Callable[[], object]) -> tuple[float, object]:
+    """Minimum wall-clock over ``repeats`` runs (and the last result)."""
+    best = float("inf")
+    result: object = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = task()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_density(
+    num_controls: int = 4,
+    model: NoiseModel = SC,
+    repeats: int = 2,
+    construction: str = "qutrit_tree",
+) -> dict:
+    """Axis-local vs dense-``kron`` density evolution on one circuit.
+
+    The default (``num_controls=4``) is the acceptance workload: a
+    5-wire qutrit Generalized Toffoli, 243-dimensional Hilbert space.
+    """
+    circuit = construction_circuit(construction, num_controls)
+    wires = circuit.all_qudits()
+    initial = StateVector.zero(wires)
+    new_sim = DensityMatrixSimulator(model)
+    old_sim = DenseDensityMatrixSimulator(model)
+    # Warm the kernel caches outside the timed region: steady-state cost
+    # is what execute() users see across sweeps and repeated runs.
+    new_sim.run(circuit, initial)
+    new_seconds, rho_new = _best_of(
+        repeats, lambda: new_sim.run(circuit, initial)
+    )
+    old_seconds, rho_old = _best_of(
+        repeats, lambda: old_sim.run(circuit, initial)
+    )
+    max_diff = float(np.abs(rho_new.matrix - rho_old.matrix).max())
+    return {
+        "workload": f"{construction}(N={num_controls}) density evolution",
+        "construction": construction,
+        "num_controls": num_controls,
+        "wires": len(wires),
+        "hilbert_dim": int(np.prod([w.dimension for w in wires])),
+        "noise_model": model.name,
+        "operations": circuit.num_operations,
+        "axis_local_seconds": new_seconds,
+        "dense_kron_seconds": old_seconds,
+        "speedup": old_seconds / new_seconds,
+        "parity_max_abs_diff": max_diff,
+    }
+
+
+def bench_trajectory(
+    num_controls: int = 4,
+    model: NoiseModel = SC,
+    trials: int = 200,
+    seed: int = 2019,
+    repeats: int = 1,
+    construction: str = "qutrit_tree",
+) -> dict:
+    """Batched vs looped trajectory estimation on one circuit/model."""
+    circuit = construction_circuit(construction, num_controls)
+
+    def run(batch_size: int | None):
+        return estimate_circuit_fidelity(
+            circuit, model, trials=trials, seed=seed,
+            batch_size=batch_size,
+        )
+
+    batched_seconds, batched = _best_of(repeats, lambda: run(None))
+    looped_seconds, looped = _best_of(repeats, lambda: run(1))
+    return {
+        "workload": (
+            f"{construction}(N={num_controls}) x {trials} trajectories"
+        ),
+        "construction": construction,
+        "num_controls": num_controls,
+        "noise_model": model.name,
+        "trials": trials,
+        "seed": seed,
+        "batched_seconds": batched_seconds,
+        "looped_seconds": looped_seconds,
+        "speedup": looped_seconds / batched_seconds,
+        "batched_mean_fidelity": batched.mean_fidelity,
+        "looped_mean_fidelity": looped.mean_fidelity,
+        # Agreement scale for the two engines' independent streams.
+        "combined_two_sigma": batched.two_sigma + looped.two_sigma,
+    }
+
+
+#: Figure 11 / Tables 2-3 style pairs: construction x noise model.
+WORKLOAD_PAIRS: tuple[tuple[str, NoiseModel], ...] = (
+    ("qubit_ancilla_free", SC),
+    ("qutrit_tree", SC),
+    ("qutrit_tree", SC_T1_GATES),
+    ("qutrit_tree", TI_QUBIT),
+    ("qutrit_tree", BARE_QUTRIT),
+    ("qutrit_tree", DRESSED_QUTRIT),
+)
+
+
+def bench_workloads(
+    num_controls: int = 4,
+    trials: int = 100,
+    seed: int = 2019,
+    pairs: tuple[tuple[str, NoiseModel], ...] = WORKLOAD_PAIRS,
+) -> list[dict]:
+    """Timed Table 2/3 style fidelity estimates on the batched engine."""
+    records = []
+    for construction, model in pairs:
+        circuit = construction_circuit(construction, num_controls)
+        start = time.perf_counter()
+        estimate = estimate_circuit_fidelity(
+            circuit, model, trials=trials, seed=seed,
+            circuit_name=construction,
+        )
+        seconds = time.perf_counter() - start
+        records.append(
+            {
+                "construction": construction,
+                "num_controls": num_controls,
+                "noise_model": model.name,
+                "trials": trials,
+                "seed": seed,
+                "seconds": seconds,
+                "mean_fidelity": estimate.mean_fidelity,
+                "two_sigma": estimate.two_sigma,
+                "mean_gate_errors": estimate.mean_gate_errors,
+                "mean_idle_jumps": estimate.mean_idle_jumps,
+            }
+        )
+    return records
+
+
+def run_bench(smoke: bool = False, seed: int = 2019) -> dict:
+    """Run every suite and return the JSON-ready report.
+
+    ``smoke`` shrinks the workloads (4 wires, fewer trials, single
+    timing repeat) so CI finishes in seconds; the full run uses the
+    5-wire acceptance workload.
+    """
+    if smoke:
+        density = bench_density(num_controls=3, repeats=1)
+        trajectory = bench_trajectory(
+            num_controls=3, trials=60, seed=seed, repeats=1
+        )
+        workloads = bench_workloads(
+            num_controls=3, trials=30, seed=seed,
+            pairs=(("qutrit_tree", SC), ("qutrit_tree", DRESSED_QUTRIT)),
+        )
+    else:
+        density = bench_density(num_controls=4, repeats=2)
+        trajectory = bench_trajectory(
+            num_controls=4, trials=300, seed=seed, repeats=1
+        )
+        workloads = bench_workloads(num_controls=4, trials=150, seed=seed)
+    return {
+        "schema": SCHEMA,
+        "generated_by": "python -m repro bench"
+        + (" --smoke" if smoke else ""),
+        "smoke": smoke,
+        "seed": seed,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "density": density,
+        "trajectory": trajectory,
+        "workloads": workloads,
+    }
+
+
+def render_report(report: dict) -> str:
+    """Human-readable summary of :func:`run_bench` output."""
+    density = report["density"]
+    trajectory = report["trajectory"]
+    lines = [
+        f"noise bench ({'smoke' if report['smoke'] else 'full'}, "
+        f"seed {report['seed']})",
+        "",
+        f"density   {density['workload']} under {density['noise_model']}:",
+        f"  axis-local {density['axis_local_seconds'] * 1000:8.1f} ms",
+        f"  dense kron {density['dense_kron_seconds'] * 1000:8.1f} ms",
+        f"  speedup    {density['speedup']:8.1f} x   "
+        f"(parity {density['parity_max_abs_diff']:.1e})",
+        "",
+        f"trajectory {trajectory['workload']} under "
+        f"{trajectory['noise_model']}:",
+        f"  batched    {trajectory['batched_seconds'] * 1000:8.1f} ms",
+        f"  looped     {trajectory['looped_seconds'] * 1000:8.1f} ms",
+        f"  speedup    {trajectory['speedup']:8.1f} x",
+        "",
+        "workloads (batched engine):",
+    ]
+    for record in report["workloads"]:
+        lines.append(
+            f"  {record['construction']:>14s} x {record['noise_model']:<14s}"
+            f" {record['mean_fidelity'] * 100:6.2f}% "
+            f"(+/- {record['two_sigma'] * 100:.2f}%)"
+            f" in {record['seconds'] * 1000:7.1f} ms"
+        )
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    """Serialize the report to ``path`` (pretty-printed, trailing NL)."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path

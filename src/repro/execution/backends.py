@@ -7,7 +7,9 @@ state vectors, exact density-matrix evolution, sampled noisy trajectories
 * ``name`` — registry identifier,
 * ``capabilities`` — a static record of what the backend can do,
 * ``run(circuit, *, wires, initial, shots, trials, seed)`` — one circuit
-  execution returning a :class:`~repro.execution.results.RunResult`.
+  execution returning a :class:`~repro.execution.results.RunResult`
+  (the trajectory backend additionally accepts ``batch_size``, its
+  stacked-trajectory chunking knob).
 
 The adapters wrap the existing engines in :mod:`repro.sim` (which remain
 the canonical implementations); this module only translates arguments and
@@ -233,14 +235,23 @@ class DensityMatrixBackend:
 
 
 class TrajectoryBackend:
-    """Sampled noisy trajectories — Algorithm 1, the Figure 11 harness."""
+    """Sampled noisy trajectories — Algorithm 1, the Figure 11 harness.
+
+    Trials run through the batched stacked-tensor engine by default
+    (``batch_size=None`` auto-sizes per chunk); construct with
+    ``batch_size=1`` — or pass it per run — to force the looped
+    reference engine.
+    """
 
     name = "trajectory"
     #: Trajectories per run when the caller does not say.
     default_trials = 100
 
-    def __init__(self, noise_model: NoiseModel) -> None:
+    def __init__(
+        self, noise_model: NoiseModel, batch_size: int | None = None
+    ) -> None:
         self._model = noise_model
+        self._batch_size = batch_size
 
     @property
     def capabilities(self) -> BackendCapabilities:
@@ -262,6 +273,7 @@ class TrajectoryBackend:
         shots: int | None = None,
         trials: int | None = None,
         seed: int | None = None,
+        batch_size: int | None = None,
     ) -> FidelityResult:
         if initial is not None:
             raise SimulationError(
@@ -278,6 +290,9 @@ class TrajectoryBackend:
             seed=seed,
             wires=wires,
             circuit_name="circuit",
+            batch_size=(
+                batch_size if batch_size is not None else self._batch_size
+            ),
         )
         return FidelityResult(
             backend=self.name,

@@ -171,6 +171,9 @@ class _Task:
     fingerprint: str | None = None
     #: Serialized form, filled by :func:`_serialized` for pool dispatch.
     circuit_data: str | None = None
+    #: Trajectory chunk size (None = auto); only trajectory-capable
+    #: backends receive it.
+    batch_size: int | None = None
 
 
 def _serialized(task: _Task) -> _Task:
@@ -189,14 +192,18 @@ def _run_task(task: _Task) -> RunResult:
         if task.circuit is not None
         else Circuit.from_json(task.circuit_data)
     )
-    result = backend.run(
-        circuit,
+    run_kwargs = dict(
         wires=list(task.wires) if task.wires is not None else None,
         initial=task.initial,
         shots=task.shots,
         trials=task.trials,
         seed=task.seed,
     )
+    # The batch knob only exists on trajectory-capable backends; keep
+    # the Backend protocol narrow for everyone else.
+    if task.batch_size is not None and backend.capabilities.supports_trials:
+        run_kwargs["batch_size"] = task.batch_size
+    result = backend.run(circuit, **run_kwargs)
     return result.with_params(dict(task.params))
 
 
@@ -226,6 +233,10 @@ def _cache_key(task: _Task, backend: Backend) -> tuple | None:
         task.shots,
         task.trials,
         task.seed,
+        # Chunking changes the trajectory RNG stream, so same-seed runs
+        # with different batch sizes are distinct results there; other
+        # backends never see the knob, so it must not split their keys.
+        task.batch_size if capabilities.supports_trials else None,
     )
 
 
@@ -240,6 +251,7 @@ def execute(
     shots: int | None = None,
     trials: int | None = None,
     seed: int | None = None,
+    batch_size: int | None = None,
     sweep: Mapping[str, Iterable] | None = None,
     parallel: bool = False,
     workers: int = 4,
@@ -253,7 +265,10 @@ def execute(
     sweep points run across a process pool; on the trajectory backend
     each point's trials are additionally sharded and exactly merged, so
     parallel results match serial runs in distribution for a fixed
-    ``seed``.  ``cache=True`` memoises deterministic results in the
+    ``seed``.  ``batch_size`` tunes the trajectory backend's
+    stacked-trajectory chunking (``None`` auto-sizes; ``1`` forces the
+    looped reference engine); other backends ignore it.
+    ``cache=True`` memoises deterministic results in the
     process-wide :data:`~repro.execution.cache.DEFAULT_CACHE` (pass a
     :class:`ResultCache` to use your own); entries are keyed on the
     circuit's canonical identity
@@ -342,6 +357,7 @@ def execute(
                 shots=run_overrides.get("shots", shots),
                 trials=run_overrides.get("trials", trials),
                 seed=point_seed,
+                batch_size=batch_size,
                 params=tuple(sorted(point.items())),
                 point=index,
                 shard=0,

@@ -62,7 +62,10 @@ def single_qudit_depolarizing(
     """Eq. 3 / eq. 5: each of the d^2 - 1 error terms fires with ``p_channel``."""
     terms = [(p_channel, op) for op in _pauli_tuple(dim)]
     return UnitaryMixtureChannel(
-        f"depolarizing(d={dim}, p={p_channel:g})", (dim,), terms
+        f"depolarizing(d={dim}, p={p_channel:g})",
+        (dim,),
+        terms,
+        symmetric_pauli=p_channel,
     )
 
 
@@ -84,10 +87,14 @@ def two_qudit_depolarizing(
             if i == 0 and j == 0:
                 continue
             terms.append((p_channel, np.kron(op_a, op_b)))
+    # The pairwise products form the complete joint generalized-Pauli
+    # set (minus identity), so the channel is symmetric over it and the
+    # twirl fast path applies with d = dim_a * dim_b.
     return UnitaryMixtureChannel(
         f"depolarizing2(d={dim_a}x{dim_b}, p={p_channel:g})",
         (dim_a, dim_b),
         terms,
+        symmetric_pauli=p_channel,
     )
 
 

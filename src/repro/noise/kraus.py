@@ -11,6 +11,19 @@ channel families cover everything the noise models need:
 * :class:`KrausChannel` — general operators {K_i}; the probability of branch
   i on state |psi> is ||K_i |psi>||^2 (amplitude damping, whose effect
   depends on the qudit's excitation — Sec. 6.1 item 2).
+
+Both families expose two application surfaces:
+
+* the original per-trajectory sampling (``apply_sampled``), used by the
+  looped :class:`~repro.sim.trajectory.TrajectorySimulator`;
+* vectorized accessors (``sample_indices``, ``gram_diagonal_matrix``,
+  ``operator``/``operator_diagonal``) that let the batched trajectory
+  engine draw one branch per stacked trajectory in a single numpy call.
+
+The exact density-matrix engine does not sample at all: it consumes the
+full Kraus decomposition through
+:func:`repro.sim.kernels.channel_kernel`, which lowers mixtures to
+explicit Kraus form via :attr:`UnitaryMixtureChannel.terms`.
 """
 
 from __future__ import annotations
@@ -32,9 +45,11 @@ class UnitaryMixtureChannel:
         name: str,
         dims: Sequence[int],
         terms: Sequence[tuple[float, np.ndarray]],
+        symmetric_pauli: float | None = None,
     ) -> None:
         self._name = name
         self._dims = tuple(dims)
+        self._symmetric_pauli = symmetric_pauli
         total_dim = 1
         for d in self._dims:
             total_dim *= d
@@ -87,6 +102,44 @@ class UnitaryMixtureChannel:
         """Number of non-identity branches (the paper's 'error channels')."""
         return len(self._ops)
 
+    @property
+    def symmetric_pauli_probability(self) -> float | None:
+        """Per-term probability when the channel is a full symmetric
+        Pauli (depolarizing) mixture, else ``None``.
+
+        Declared at construction by the depolarizing factories.  A
+        symmetric mixture over the complete generalized-Pauli set admits
+        the twirl identity ``sum_P P rho P^dag = d * I (x) Tr_A rho``,
+        which the density engine uses to apply the whole channel as one
+        partial trace instead of ``d^2 - 1`` operator conjugations.
+        """
+        return self._symmetric_pauli
+
+    @property
+    def terms(self) -> list[tuple[float, np.ndarray]]:
+        """``(probability, operator)`` pairs of the non-identity branches.
+
+        The public face of the channel's Kraus decomposition: the kernel
+        cache lowers these (with the implicit identity branch) to explicit
+        Kraus operators for the density engine.
+        """
+        return [
+            (float(p), op.copy())
+            for p, op in zip(self._probs, self._ops)
+        ]
+
+    def operator(self, index: int) -> np.ndarray:
+        """The ``index``-th non-identity branch operator (live view)."""
+        return self._ops[index]
+
+    def operator_diagonal(self, index: int) -> np.ndarray | None:
+        """Branch ``index``'s diagonal when the operator is diagonal.
+
+        ``None`` for non-diagonal branches; the batched engine uses this
+        to replace a tensordot with a broadcast multiply.
+        """
+        return self._diagonals[index]
+
     def sample_index(self, rng: np.random.Generator) -> int | None:
         """Draw a branch index; ``None`` means the identity (no error)."""
         u = rng.random()
@@ -95,6 +148,25 @@ class UnitaryMixtureChannel:
         u -= self._identity_prob
         index = int(np.searchsorted(self._cumulative, u, side="right"))
         return min(index, len(self._ops) - 1)
+
+    def sample_indices(
+        self, rng: np.random.Generator, count: int
+    ) -> np.ndarray:
+        """Vectorized :meth:`sample_index`: one draw per batch member.
+
+        Returns an ``intp`` array of length ``count`` where ``-1`` marks
+        the identity branch (no error) and any other value indexes into
+        the non-identity branches.  Branch probabilities are
+        state-independent, so one uniform draw per member suffices.
+        """
+        u = rng.random(count)
+        indices = np.full(count, -1, dtype=np.intp)
+        fired = u >= self._identity_prob
+        if fired.any() and len(self._ops):
+            shifted = u[fired] - self._identity_prob
+            drawn = np.searchsorted(self._cumulative, shifted, side="right")
+            indices[fired] = np.minimum(drawn, len(self._ops) - 1)
+        return indices
 
     def sample(self, rng: np.random.Generator) -> np.ndarray | None:
         """Draw one branch; ``None`` means the identity (no error)."""
@@ -166,6 +238,14 @@ class KrausChannel:
             else None
             for op in ops
         ]
+        # (num_ops, total_dim) stack of the diagonal Gram matrices, used
+        # by the batched engine to turn per-member populations into
+        # branch probabilities with one matmul.
+        self._gram_matrix = (
+            np.stack([np.asarray(d) for d in self._gram_diagonals])
+            if self._all_diagonal
+            else None
+        )
 
     @property
     def name(self) -> str:
@@ -181,6 +261,29 @@ class KrausChannel:
     def operators(self) -> list[np.ndarray]:
         """The Kraus operators (copies)."""
         return [op.copy() for op in self._ops]
+
+    @property
+    def num_operators(self) -> int:
+        """Number of Kraus operators (branch 0 is the no-jump branch)."""
+        return len(self._ops)
+
+    @property
+    def gram_diagonal_matrix(self) -> np.ndarray | None:
+        """``(num_ops, dim)`` stack of diagonal ``K_i^dag K_i`` entries.
+
+        ``None`` when some Gram matrix is non-diagonal; otherwise branch
+        probabilities for a whole batch follow from
+        ``populations @ gram_diagonal_matrix.T``.
+        """
+        return self._gram_matrix
+
+    def operator(self, index: int) -> np.ndarray:
+        """The ``index``-th Kraus operator (live view)."""
+        return self._ops[index]
+
+    def operator_diagonal(self, index: int) -> np.ndarray | None:
+        """Operator ``index``'s diagonal when it is diagonal, else None."""
+        return self._op_diagonals[index]
 
     def branch_probabilities(
         self,

@@ -14,6 +14,7 @@ A :class:`NoiseModel` bundles:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from ..circuits.moment import Moment
 from ..circuits.schedule import moment_duration
@@ -82,15 +83,15 @@ class NoiseModel:
     def idle_channels(
         self, dim: int, duration: float
     ) -> list[KrausChannel | UnitaryMixtureChannel]:
-        """Idle-error channels for one wire over one moment."""
-        channels: list[KrausChannel | UnitaryMixtureChannel] = []
-        if self.t1 is not None:
-            lambdas = damping_lambdas(duration, self.t1, dim)
-            channels.append(amplitude_damping_channel(dim, lambdas))
-        if self.idle_dephasing_rate > 0:
-            probability = min(1.0 / dim, self.idle_dephasing_rate * duration)
-            channels.append(dephasing_channel(dim, probability))
-        return channels
+        """Idle-error channels for one wire over one moment.
+
+        The channel *objects* are cached per ``(model, dim, duration)``
+        — the simulators call this for every wire of every moment, and
+        a circuit only ever has a handful of distinct moment durations —
+        but the returned list itself is fresh per call, so callers may
+        do as they like with it.
+        """
+        return list(_cached_idle_channels(self, dim, duration))
 
     def moment_duration(self, moment: Moment) -> float:
         """Wall-clock duration of a moment under this model's gate times."""
@@ -99,3 +100,26 @@ class NoiseModel:
     def circuit_duration(self, moments) -> float:
         """Total wall-clock duration of a circuit's moments."""
         return sum(self.moment_duration(m) for m in moments)
+
+
+@lru_cache(maxsize=None)
+def _cached_idle_channels(
+    model: NoiseModel, dim: int, duration: float
+) -> tuple[KrausChannel | UnitaryMixtureChannel, ...]:
+    """Build (once) the idle channels for one wire dimension and window.
+
+    Keyed on the frozen model itself, so distinct models never share an
+    entry; the channel factories below are themselves ``lru_cache``-d, so
+    the heavy lifting (operator construction, completeness checks) only
+    ever happens once per parameter set process-wide.
+    """
+    channels: list[KrausChannel | UnitaryMixtureChannel] = []
+    if model.t1 is not None:
+        lambdas = damping_lambdas(duration, model.t1, dim)
+        channels.append(amplitude_damping_channel(dim, lambdas))
+    if model.idle_dephasing_rate > 0:
+        probability = min(
+            1.0 / dim, model.idle_dephasing_rate * duration
+        )
+        channels.append(dephasing_channel(dim, probability))
+    return tuple(channels)

@@ -1,12 +1,32 @@
-"""Simulators: classical verification, state vector, noisy trajectories,
-exact density-matrix reference, measurement sampling."""
+"""Simulators: classical verification, state vector, noisy trajectories
+(looped and batched), exact density-matrix reference, measurement
+sampling, and the shared contraction-kernel caches.
+
+See ``docs/SIMULATORS.md`` for how the four engines relate and when to
+pick each.
+"""
 
 from .state import StateVector
 from .classical import ClassicalSimulator
 from .statevector import StateVectorSimulator
-from .trajectory import TrajectoryResult, TrajectorySimulator
-from .fidelity import FidelityEstimate, estimate_circuit_fidelity
-from .density import DensityMatrix, DensityMatrixSimulator
+from .trajectory import (
+    BatchedTrajectorySimulator,
+    TrajectoryResult,
+    TrajectorySimulator,
+)
+from .fidelity import (
+    FidelityEstimate,
+    estimate_circuit_fidelity,
+    resolve_batch_size,
+)
+from .density import DensityMatrix, DensityMatrixSimulator, DensityTensor
+from .dense_reference import DenseDensityMatrix, DenseDensityMatrixSimulator
+from .kernels import (
+    channel_kernel,
+    clear_kernel_caches,
+    gate_kernel,
+    kernel_cache_stats,
+)
 from .measurement import MeasurementResult, sample_state
 from .parallel import estimate_circuit_fidelity_parallel, merge_estimates
 
@@ -15,13 +35,22 @@ __all__ = [
     "ClassicalSimulator",
     "StateVectorSimulator",
     "TrajectorySimulator",
+    "BatchedTrajectorySimulator",
     "TrajectoryResult",
     "FidelityEstimate",
     "estimate_circuit_fidelity",
     "estimate_circuit_fidelity_parallel",
+    "resolve_batch_size",
     "merge_estimates",
     "DensityMatrix",
+    "DensityTensor",
     "DensityMatrixSimulator",
+    "DenseDensityMatrix",
+    "DenseDensityMatrixSimulator",
     "MeasurementResult",
     "sample_state",
+    "gate_kernel",
+    "channel_kernel",
+    "clear_kernel_caches",
+    "kernel_cache_stats",
 ]

@@ -1,0 +1,166 @@
+"""Precomputed contraction kernels for the axis-local simulation engines.
+
+The noise engine applies the same few operators thousands of times: every
+gate of a construction repeats across moments and trajectories, and every
+noise channel is drawn from a small cached family (depolarizing per
+dimension pair, amplitude damping per ``(dim, duration)``, dephasing).
+This module turns each of those operators into a *kernel* — the matrix
+pre-reshaped into tensor-leg form, with its conjugate — exactly once, and
+hands the cached kernel to every subsequent application.
+
+Tensor leg convention (shared with :class:`~repro.sim.state.StateVector`
+and :class:`~repro.sim.density.DensityTensor`):
+
+* an operator on wires of dimensions ``(d_0, ..., d_{k-1})`` is stored as
+  a tensor of shape ``(d_0, ..., d_{k-1}, d_0, ..., d_{k-1})`` — the
+  first ``k`` legs are *output* (row) legs, the last ``k`` are *input*
+  (column) legs;
+* ``np.tensordot(block, state, axes=(input_legs, touched_axes))``
+  contracts the input legs against the touched axes of a state tensor
+  and leaves the output legs at the front, which callers move back into
+  place with ``np.moveaxis``.
+
+Cache keys:
+
+* gate kernels are keyed on the gate's **canonical spec**
+  (:meth:`~repro.gates.base.Gate.spec` lowered to structural form — the
+  PR 2 content-addressed identity), so two structurally equal gates share
+  one kernel no matter how they were built;
+* channel kernels are keyed on the channel *instance*.  The channel
+  factories in :mod:`repro.noise` are ``lru_cache``-d singletons, so this
+  is equivalent to keying on the channel's parameters; hand-built
+  channels get their own entry (weakly referenced, so they can still be
+  collected).
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuits.operation import GateOperation
+from ..gates.spec import GateSpec
+from ..noise.kraus import KrausChannel, UnitaryMixtureChannel
+
+
+@dataclass(frozen=True)
+class GateKernel:
+    """One gate's unitary in contraction-ready tensor form."""
+
+    #: Wire dimensions, in gate order.
+    dims: tuple[int, ...]
+    #: The unitary reshaped to ``dims + dims`` (output legs first).
+    block: np.ndarray
+    #: ``block.conj()`` — contracted against density column legs.
+    conj_block: np.ndarray
+
+
+@dataclass(frozen=True)
+class ChannelKernel:
+    """One channel's Kraus operators in contraction-ready tensor form.
+
+    Unitary-mixture channels are lowered to explicit Kraus form here:
+    ``sqrt(1 - p_total) * I`` plus ``sqrt(p_i) * E_i`` for every branch
+    with non-zero probability.  The density engine then treats both
+    channel families uniformly as ``rho -> sum_i K_i rho K_i^dag``.
+    """
+
+    #: Wire dimensions, in channel order.
+    dims: tuple[int, ...]
+    #: Kraus operators reshaped to ``dims + dims`` (output legs first).
+    blocks: tuple[np.ndarray, ...]
+    #: Conjugated blocks, for the column-leg side of the contraction.
+    conj_blocks: tuple[np.ndarray, ...]
+
+
+#: canonical GateSpec -> GateKernel.  Process-wide; specs are immutable
+#: values, so entries never go stale.
+_GATE_KERNELS: dict[GateSpec, GateKernel] = {}
+
+#: channel instance -> ChannelKernel.  Weak keys: cached factory channels
+#: live for the process anyway, ad-hoc channels can be collected.
+_CHANNEL_KERNELS: "weakref.WeakKeyDictionary[object, ChannelKernel]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _as_block(matrix: np.ndarray, dims: tuple[int, ...]) -> np.ndarray:
+    block = np.ascontiguousarray(matrix, dtype=complex)
+    return block.reshape(dims + dims)
+
+
+def gate_kernel(op: GateOperation) -> GateKernel:
+    """The cached kernel for ``op``'s gate (built on first use).
+
+    Building the kernel also pays the gate's ``unitary()`` cost (which,
+    for decomposed/controlled gates, multiplies out the construction), so
+    repeated applications of a structurally identical gate never
+    recompute the matrix.
+    """
+    spec = op.gate.canonical_spec()
+    kernel = _GATE_KERNELS.get(spec)
+    if kernel is None:
+        dims = tuple(op.gate.dims)
+        block = _as_block(op.unitary(), dims)
+        kernel = GateKernel(dims, block, block.conj())
+        _GATE_KERNELS[spec] = kernel
+    return kernel
+
+
+def kraus_operators(
+    channel: KrausChannel | UnitaryMixtureChannel,
+) -> list[np.ndarray]:
+    """The channel's explicit Kraus operators (mixtures are lowered).
+
+    For a unitary mixture the lowering is ``sqrt(1 - p_total) * I``
+    plus ``sqrt(p_i) * E_i`` for every branch with non-zero
+    probability.  This is the single definition of that lowering — the
+    dense reference engine reuses it, so the two density paths can only
+    diverge in their *contraction*, which is what the parity tests pin.
+    """
+    if isinstance(channel, KrausChannel):
+        return channel.operators
+    dim = 1
+    for d in channel.dims:
+        dim *= d
+    identity_weight = 1.0 - channel.error_probability
+    operators = [
+        np.sqrt(identity_weight) * np.eye(dim, dtype=complex)
+    ]
+    for prob, op in channel.terms:
+        if prob > 0:
+            operators.append(np.sqrt(prob) * op)
+    return operators
+
+
+def channel_kernel(
+    channel: KrausChannel | UnitaryMixtureChannel,
+) -> ChannelKernel:
+    """The cached Kraus-block kernel for ``channel`` (built on first use)."""
+    kernel = _CHANNEL_KERNELS.get(channel)
+    if kernel is None:
+        dims = channel.dims
+        blocks = tuple(
+            _as_block(op, dims) for op in kraus_operators(channel)
+        )
+        kernel = ChannelKernel(
+            dims, blocks, tuple(b.conj() for b in blocks)
+        )
+        _CHANNEL_KERNELS[channel] = kernel
+    return kernel
+
+
+def clear_kernel_caches() -> None:
+    """Drop all cached kernels (tests and memory-sensitive callers)."""
+    _GATE_KERNELS.clear()
+    _CHANNEL_KERNELS.clear()
+
+
+def kernel_cache_stats() -> dict[str, int]:
+    """Entry counts of the process-wide kernel caches (diagnostics)."""
+    return {
+        "gate_kernels": len(_GATE_KERNELS),
+        "channel_kernels": len(_CHANNEL_KERNELS),
+    }

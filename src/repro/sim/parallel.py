@@ -33,6 +33,8 @@ class _Shard:
     seed: int
     wires: tuple[Qudit, ...]
     circuit_name: str
+    #: Trajectory chunk size inside the worker (None = auto-batch).
+    batch_size: int | None = None
 
 
 def _run_shard(shard: _Shard) -> FidelityEstimate:
@@ -43,6 +45,7 @@ def _run_shard(shard: _Shard) -> FidelityEstimate:
         seed=shard.seed,
         wires=list(shard.wires),
         circuit_name=shard.circuit_name,
+        batch_size=shard.batch_size,
     )
 
 
@@ -84,16 +87,19 @@ def estimate_circuit_fidelity_parallel(
     wires: Sequence[Qudit] | None = None,
     circuit_name: str = "circuit",
     workers: int = 4,
+    batch_size: int | None = None,
 ) -> FidelityEstimate:
     """Like :func:`estimate_circuit_fidelity`, sharded over processes.
 
-    Deterministic given ``seed`` and ``workers`` (each shard derives its
-    own seed).  Falls back to the serial path for tiny jobs.
+    Deterministic given ``seed``, ``workers`` and ``batch_size`` (each
+    shard derives its own seed and batches its own trials).  Falls back
+    to the serial path for tiny jobs.
     """
     wires = tuple(wires) if wires else tuple(circuit.all_qudits())
     if workers <= 1 or trials < 2 * workers:
         return estimate_circuit_fidelity(
-            circuit, noise_model, trials, seed, list(wires), circuit_name
+            circuit, noise_model, trials, seed, list(wires), circuit_name,
+            batch_size=batch_size,
         )
     base, extra = divmod(trials, workers)
     circuit_data = circuit.to_json()
@@ -105,6 +111,7 @@ def estimate_circuit_fidelity_parallel(
             seed=seed * 1_000_003 + index,
             wires=wires,
             circuit_name=circuit_name,
+            batch_size=batch_size,
         )
         for index in range(workers)
     ]

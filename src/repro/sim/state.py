@@ -4,6 +4,18 @@ The state of ``n`` wires with dimensions ``(d_0, ..., d_{n-1})`` is stored as
 a complex tensor of that shape.  Gates are applied by tensor contraction on
 the touched axes only (the einsum approach the paper adopts from Cirq,
 Sec. 6.2) — the d^N x d^N matrix of a gate or moment is never materialised.
+
+Tensor leg convention (shared across the simulation engines):
+
+* state tensor axis ``k`` is wire ``k`` of the wire list, so amplitude
+  ``tensor[v_0, ..., v_{n-1}]`` is the basis state ``|v_0 ... v_{n-1}>``
+  with the *first* wire most significant when flattened (C order);
+* an operator on ``k`` wires is reshaped to ``dims + dims`` — output
+  legs first, input legs last — and ``tensordot`` ties its input legs
+  to the touched state axes (see :mod:`repro.sim.kernels`);
+* the batched trajectory engine prepends one batch axis (shape
+  ``(B, d_0, ..., d_{n-1})``); the density engine appends a mirrored
+  set of column legs (shape ``dims + dims``).
 """
 
 from __future__ import annotations

@@ -1,0 +1,68 @@
+"""Bench harness: smoke run, JSON shape, and rendering."""
+
+import json
+
+import pytest
+
+from repro.analysis.bench import (
+    SCHEMA,
+    bench_density,
+    render_report,
+    run_bench,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return run_bench(smoke=True, seed=7)
+
+
+@pytest.mark.slow
+class TestRunBench:
+    def test_report_shape(self, smoke_report):
+        assert smoke_report["schema"] == SCHEMA
+        assert smoke_report["smoke"] is True
+        assert smoke_report["seed"] == 7
+        assert {"density", "trajectory", "workloads", "platform"} <= set(
+            smoke_report
+        )
+
+    def test_density_suite_records_speedup_and_parity(self, smoke_report):
+        density = smoke_report["density"]
+        assert density["axis_local_seconds"] > 0
+        assert density["dense_kron_seconds"] > 0
+        assert density["speedup"] > 1.0
+        assert density["parity_max_abs_diff"] < 1e-12
+
+    def test_trajectory_suite_engines_agree(self, smoke_report):
+        trajectory = smoke_report["trajectory"]
+        assert trajectory["batched_seconds"] > 0
+        assert trajectory["looped_seconds"] > 0
+        scale = max(trajectory["combined_two_sigma"] * 2, 0.05)
+        assert abs(
+            trajectory["batched_mean_fidelity"]
+            - trajectory["looped_mean_fidelity"]
+        ) < scale
+
+    def test_workloads_are_physical(self, smoke_report):
+        assert smoke_report["workloads"]
+        for record in smoke_report["workloads"]:
+            assert 0.0 <= record["mean_fidelity"] <= 1.0 + 1e-9
+            assert record["seconds"] > 0
+
+    def test_report_serializes_and_renders(self, smoke_report, tmp_path):
+        path = write_report(smoke_report, tmp_path / "BENCH_noise.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == SCHEMA
+        text = render_report(smoke_report)
+        assert "density" in text and "speedup" in text
+
+
+@pytest.mark.slow
+class TestBenchDensity:
+    def test_custom_workload_record(self):
+        record = bench_density(num_controls=2, repeats=1)
+        assert record["wires"] == 3
+        assert record["hilbert_dim"] == 27
+        assert record["parity_max_abs_diff"] < 1e-12

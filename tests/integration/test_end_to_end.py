@@ -29,9 +29,10 @@ class TestHeadlineOrdering:
 
     @pytest.mark.slow
     def test_fidelity_ordering_under_sc(self):
-        # Scaled-down Figure 11 (6 controls, few trials): the ordering
-        # QUTRIT > QUBIT+ANCILLA > QUBIT must already show.
-        n, trials = 6, 25
+        # Scaled-down Figure 11 (6 controls): the ordering
+        # QUTRIT > QUBIT+ANCILLA > QUBIT must show beyond the 2-sigma
+        # bars (~+/-6% at 150 batched trials; 25 were seed-fragile).
+        n, trials = 6, 150
         estimates = {}
         for label, name in (
             ("QUTRIT", "qutrit_tree"),

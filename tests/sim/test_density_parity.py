@@ -1,0 +1,143 @@
+"""Exact-agreement tests: axis-local density engine vs the v1 dense path.
+
+The noise engine v2 rebuild replaced the full-space ``kron`` embedding
+with axis-local leg contractions and a closed-form twirl for symmetric
+depolarizing channels.  These tests pin the rebuilt engine to the
+preserved reference implementation (:mod:`repro.sim.dense_reference`)
+to 1e-12 on mixed qubit/qutrit circuits under every named noise preset.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.gates.controlled import ControlledGate
+from repro.gates.qubit import H, X
+from repro.gates.qutrit import X01, X_PLUS_1
+from repro.noise.depolarizing import two_qudit_depolarizing
+from repro.noise.model import NoiseModel
+from repro.noise.presets import ALL_MODELS
+from repro.qudits import Qudit, qutrits
+from repro.sim.dense_reference import DenseDensityMatrixSimulator
+from repro.sim.density import DensityMatrixSimulator, DensityTensor
+from repro.sim.kernels import channel_kernel
+from repro.sim.state import StateVector
+
+TOLERANCE = 1e-12
+
+
+def _mixed_circuit():
+    """Qutrit/qubit/qutrit wires with 1- and 2-wire gates, incl. a gap."""
+    wires = [Qudit(0, 3), Qudit(1, 2), Qudit(2, 3)]
+    a, b, c = wires
+    circuit = Circuit(
+        [
+            X_PLUS_1.on(a),
+            H.on(b),
+            ControlledGate(X01, (3,), (2,)).on(a, c),
+            ControlledGate(X_PLUS_1, (2,), (1,)).on(b, c),
+            X.on(b),
+            ControlledGate(X_PLUS_1.inverse(), (3,), (1,)).on(c, a),
+        ]
+    )
+    return circuit, wires
+
+
+def _random_binary_input(wires, seed):
+    rng = np.random.default_rng(seed)
+    return StateVector.random(
+        wires, rng, levels_per_wire={w: 2 for w in wires}
+    )
+
+
+class TestPresetParity:
+    @pytest.mark.parametrize(
+        "name", sorted(ALL_MODELS), ids=sorted(ALL_MODELS)
+    )
+    def test_axis_local_matches_dense_embedding(self, name):
+        model = ALL_MODELS[name]
+        circuit, wires = _mixed_circuit()
+        initial = _random_binary_input(wires, seed=11)
+        rho_new = DensityMatrixSimulator(model).run(circuit, initial)
+        rho_old = DenseDensityMatrixSimulator(model).run(circuit, initial)
+        assert rho_new.wires == rho_old.wires
+        diff = np.abs(rho_new.matrix - rho_old.matrix).max()
+        assert diff < TOLERANCE, (name, diff)
+
+    @pytest.mark.parametrize(
+        "name", sorted(ALL_MODELS), ids=sorted(ALL_MODELS)
+    )
+    def test_mean_fidelity_parity(self, name):
+        model = ALL_MODELS[name]
+        circuit, wires = _mixed_circuit()
+        initial = _random_binary_input(wires, seed=12)
+        new = DensityMatrixSimulator(model).mean_fidelity(circuit, initial)
+        old = DenseDensityMatrixSimulator(model).mean_fidelity(
+            circuit, initial
+        )
+        assert abs(new - old) < TOLERANCE
+
+
+class TestAllQutritParity:
+    def test_qutrit_chain_under_mixed_noise(self):
+        model = NoiseModel("mixed", 1e-3, 5e-4, 1e-6, 3e-6, t1=1e-4)
+        wires = qutrits(3)
+        a, b, c = wires
+        circuit = Circuit(
+            [
+                ControlledGate(X_PLUS_1, (3,), (1,)).on(a, b),
+                ControlledGate(X01, (3,), (2,)).on(b, c),
+                X_PLUS_1.on(b),
+                ControlledGate(X_PLUS_1.inverse(), (3,), (1,)).on(a, c),
+            ]
+        )
+        initial = _random_binary_input(wires, seed=13)
+        rho_new = DensityMatrixSimulator(model).run(circuit, initial)
+        rho_old = DenseDensityMatrixSimulator(model).run(circuit, initial)
+        assert np.abs(rho_new.matrix - rho_old.matrix).max() < TOLERANCE
+
+
+class TestTwirlFastPath:
+    """The closed-form symmetric-Pauli path equals explicit Kraus summing."""
+
+    @pytest.mark.parametrize("dims", [(2, 2), (3, 3), (3, 2)])
+    def test_twirl_matches_kraus_channel_kernel(self, dims):
+        p = 1.7e-3
+        wires = [Qudit(k, d) for k, d in enumerate(dims)] + [Qudit(9, 3)]
+        rng = np.random.default_rng(17)
+        initial = StateVector.random(wires, rng)
+        channel = two_qudit_depolarizing(dims[0], dims[1], p)
+        assert channel.symmetric_pauli_probability == p
+
+        twirled = DensityTensor.from_state(initial)
+        twirled.apply_symmetric_depolarizing(p, wires[:2])
+        summed = DensityTensor.from_state(initial)
+        summed.apply_channel_kernel(channel_kernel(channel), wires[:2])
+        assert np.abs(twirled.matrix - summed.matrix).max() < TOLERANCE
+
+    def test_twirl_preserves_trace_and_hermiticity(self):
+        wires = qutrits(2)
+        initial = StateVector.random(wires, np.random.default_rng(3))
+        rho = DensityTensor.from_state(initial)
+        rho.apply_symmetric_depolarizing(1e-3, list(wires))
+        matrix = rho.matrix
+        assert np.isclose(rho.trace(), 1.0, atol=1e-12)
+        assert np.allclose(matrix, matrix.conj().T, atol=1e-12)
+
+
+class TestDensityTensorSurface:
+    def test_accepts_flat_matrix_and_tensor_forms(self):
+        wires = [Qudit(0, 2), Qudit(1, 3)]
+        state = StateVector.random(wires, np.random.default_rng(5))
+        flat = np.outer(state.vector, state.vector.conj())
+        from_flat = DensityTensor(wires, flat)
+        from_state = DensityTensor.from_state(state)
+        assert np.allclose(from_flat.matrix, from_state.matrix, atol=0)
+        assert from_flat.tensor.shape == (2, 3, 2, 3)
+
+    def test_matrix_view_round_trips_through_tensor(self):
+        wires = qutrits(2)
+        state = StateVector.random(wires, np.random.default_rng(6))
+        rho = DensityTensor.from_state(state)
+        rebuilt = DensityTensor(wires, rho.matrix.copy())
+        assert np.allclose(rebuilt.tensor, rho.tensor, atol=0)

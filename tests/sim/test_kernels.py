@@ -1,0 +1,99 @@
+"""Kernel caches: correctness of the lowered blocks and cache identity."""
+
+import numpy as np
+
+from repro.gates.matrix import MatrixGate
+from repro.gates.qubit import CNOT, H
+from repro.gates.qutrit import X_PLUS_1
+from repro.noise.damping import amplitude_damping_channel
+from repro.noise.depolarizing import (
+    single_qudit_depolarizing,
+    two_qudit_depolarizing,
+)
+from repro.qudits import qubits, qutrits
+from repro.sim.kernels import (
+    channel_kernel,
+    clear_kernel_caches,
+    gate_kernel,
+    kernel_cache_stats,
+)
+
+
+class TestGateKernels:
+    def test_block_is_reshaped_unitary(self):
+        a, b = qubits(2)
+        op = CNOT.on(a, b)
+        kernel = gate_kernel(op)
+        assert kernel.dims == (2, 2)
+        assert kernel.block.shape == (2, 2, 2, 2)
+        assert np.allclose(
+            kernel.block.reshape(4, 4), CNOT.unitary(), atol=0
+        )
+        assert np.allclose(kernel.conj_block, kernel.block.conj(), atol=0)
+
+    def test_structurally_equal_gates_share_one_entry(self):
+        clear_kernel_caches()
+        a, b = qubits(2), qutrits(1)[0]
+        gate_kernel(H.on(a[0]))
+        count = kernel_cache_stats()["gate_kernels"]
+        # Same gate on a different wire: no new kernel.
+        gate_kernel(H.on(a[1]))
+        assert kernel_cache_stats()["gate_kernels"] == count
+        # A hand-built matrix gate with the same matrix also matches the
+        # canonical (content-addressed) spec.
+        clone = MatrixGate(H.unitary(), (2,), name="h-clone")
+        gate_kernel(clone.on(a[0]))
+        assert kernel_cache_stats()["gate_kernels"] == count
+        # A genuinely different gate adds one.
+        gate_kernel(X_PLUS_1.on(b))
+        assert kernel_cache_stats()["gate_kernels"] == count + 1
+
+    def test_cached_block_matches_fresh_computation(self):
+        a, b = qutrits(2)
+        from repro.gates.controlled import ControlledGate
+
+        op = ControlledGate(X_PLUS_1, (3,), (1,)).on(a, b)
+        first = gate_kernel(op)
+        second = gate_kernel(op)
+        assert first is second
+        assert np.allclose(
+            first.block.reshape(9, 9), op.unitary(), atol=0
+        )
+
+
+class TestChannelKernels:
+    def test_kraus_channel_blocks(self):
+        channel = amplitude_damping_channel(3, (0.1, 0.2))
+        kernel = channel_kernel(channel)
+        assert kernel.dims == (3,)
+        assert len(kernel.blocks) == 3
+        stacked = [b.reshape(3, 3) for b in kernel.blocks]
+        completeness = sum(op.conj().T @ op for op in stacked)
+        assert np.allclose(completeness, np.eye(3), atol=1e-12)
+
+    def test_mixture_lowering_is_trace_preserving(self):
+        channel = single_qudit_depolarizing(3, 1e-3)
+        kernel = channel_kernel(channel)
+        # identity branch + 8 Paulis
+        assert len(kernel.blocks) == 9
+        stacked = [b.reshape(3, 3) for b in kernel.blocks]
+        completeness = sum(op.conj().T @ op for op in stacked)
+        assert np.allclose(completeness, np.eye(3), atol=1e-12)
+
+    def test_two_qudit_mixture_kernel_shape(self):
+        channel = two_qudit_depolarizing(3, 3, 1e-4)
+        kernel = channel_kernel(channel)
+        assert kernel.dims == (3, 3)
+        assert len(kernel.blocks) == 81  # identity + 80 error terms
+        assert kernel.blocks[0].shape == (3, 3, 3, 3)
+
+    def test_channel_kernel_cached_per_instance(self):
+        channel = amplitude_damping_channel(2, (0.25,))
+        assert channel_kernel(channel) is channel_kernel(channel)
+
+    def test_clear_resets_counts(self):
+        gate_kernel(H.on(qubits(1)[0]))
+        channel_kernel(single_qudit_depolarizing(2, 1e-3))
+        clear_kernel_caches()
+        stats = kernel_cache_stats()
+        assert stats == {"gate_kernels": 0, "channel_kernels": 0}
