@@ -11,7 +11,9 @@ Usage::
     python -m repro fidelity          # scaled-down Figure 11
     python -m repro fidelity --controls 13 --trials 1000   # paper size
     python -m repro verify            # exhaustive construction checks
-    python -m repro bench             # noise-engine timings -> BENCH_noise.json
+    python -m repro verify qutrit_tree -n 13 --undecomposed  # width-14 check
+    python -m repro bench             # engine timings -> BENCH_noise.json
+                                      #                 + BENCH_verify.json
     python -m repro bench --smoke     # CI-sized variant
 
     # Circuits are serializable values: persist, inspect, and replay.
@@ -264,21 +266,56 @@ def _cmd_circuit_load(args: argparse.Namespace) -> None:
 
 
 def _cmd_bench(args: argparse.Namespace) -> None:
-    from .analysis.bench import render_report, run_bench, write_report
+    from .analysis.bench import (
+        render_report,
+        render_verify_report,
+        run_bench,
+        run_verify_bench,
+        write_report,
+    )
 
     report = run_bench(smoke=args.smoke, seed=args.seed)
     print(render_report(report))
     if args.out != "-":
         path = write_report(report, args.out)
         print(f"\nwrote {path}")
+    verify_report = run_verify_bench(smoke=args.smoke)
+    print()
+    print(render_verify_report(verify_report))
+    if args.verify_out != "-":
+        path = write_report(verify_report, args.verify_out)
+        print(f"\nwrote {path}")
 
 
 def _cmd_verify(args: argparse.Namespace) -> None:
+    from inspect import signature
+
     from .toffoli.registry import CONSTRUCTIONS, build_toffoli
     from .toffoli.verification import verify_construction
 
-    for name in sorted(CONSTRUCTIONS):
-        result = build_toffoli(name, args.controls)
+    if args.construction is not None:
+        if args.construction not in CONSTRUCTIONS:
+            raise SystemExit(
+                f"unknown construction {args.construction!r}; "
+                f"choose from {sorted(CONSTRUCTIONS)}"
+            )
+        names = [args.construction]
+    else:
+        names = sorted(CONSTRUCTIONS)
+    for name in names:
+        build_kwargs = {}
+        if args.undecomposed:
+            builder = CONSTRUCTIONS[name].builder
+            if "decompose" not in signature(builder).parameters:
+                if args.construction is not None:
+                    raise SystemExit(
+                        f"construction {name!r} does not take "
+                        "--undecomposed (it already emits "
+                        "permutation-level gates)"
+                    )
+            else:
+                build_kwargs["decompose"] = False
+        result = build_toffoli(name, args.controls, **build_kwargs)
         checked = verify_construction(result)
         print(
             f"{name:20s} N={args.controls}: verified {checked} inputs "
@@ -356,7 +393,7 @@ def main(argv: list[str] | None = None) -> int:
 
     bench = sub.add_parser(
         "bench",
-        help="time the noise engines and write BENCH_noise.json",
+        help="time the engines; write BENCH_noise.json + BENCH_verify.json",
     )
     bench.add_argument(
         "--smoke", action="store_true",
@@ -364,15 +401,33 @@ def main(argv: list[str] | None = None) -> int:
     )
     bench.add_argument(
         "--out", default="BENCH_noise.json",
-        help="output path ('-' skips writing)",
+        help="noise-report path ('-' skips writing)",
+    )
+    bench.add_argument(
+        "--verify-out", default="BENCH_verify.json",
+        help="verification-report path ('-' skips writing)",
     )
     bench.add_argument("--seed", type=int, default=2019)
     bench.set_defaults(func=_cmd_bench)
 
     verify = sub.add_parser(
-        "verify", help="exhaustively verify every construction"
+        "verify",
+        help="exhaustively verify constructions (all, or one by name)",
     )
-    verify.add_argument("--controls", type=int, default=4)
+    verify.add_argument(
+        "construction", nargs="?", default=None,
+        help="registry name; omitted = every construction",
+    )
+    verify.add_argument(
+        "-n", "--controls", type=int, default=4,
+        help="control count to verify at (default 4)",
+    )
+    verify.add_argument(
+        "--undecomposed", action="store_true",
+        help="verify the permutation-level circuit (the paper's "
+        "linear-cost classical check; required for wide circuits — "
+        "decomposed circuits fall back to exponential state vectors)",
+    )
     verify.set_defaults(func=_cmd_verify)
 
     circuit = sub.add_parser(

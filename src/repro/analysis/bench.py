@@ -1,8 +1,9 @@
-"""Noise-engine benchmarks: the paper's noisy workloads, timed and logged.
+"""Engine benchmarks: the paper's workloads, timed and logged.
 
-``python -m repro bench`` runs three suites and writes the results to
-``BENCH_noise.json`` (the committed copy seeds the repo's performance
-trajectory; CI re-runs the smoke variant on every push):
+``python -m repro bench`` runs the noise suites and writes the results
+to ``BENCH_noise.json``, then runs the verification suite into
+``BENCH_verify.json`` (the committed copies seed the repo's performance
+trajectory; CI re-runs the smoke variants on every push):
 
 * **density** — exact density-matrix evolution of a qutrit Generalized
   Toffoli under a noise preset, axis-local engine
@@ -15,7 +16,13 @@ trajectory; CI re-runs the smoke variant on every push):
   (``batch_size=1``) on one circuit/model pair;
 * **workloads** — Table 2/3 style fidelity estimates (circuit construction
   x noise model) through the default batched engine, so the JSON records
-  both wall-clock and the physics numbers they produce.
+  both wall-clock and the physics numbers they produce;
+* **verification** (``BENCH_verify.json``) — exhaustive classical
+  verification, batched permutation-table engine
+  (:func:`~repro.toffoli.verification.verify_classical`) vs the looped
+  per-input reference, plus the paper's Sec. 6 headline workload: the
+  width-14 exhaustive check (qutrit tree, N=13 controls, all 2^14
+  classical inputs), timed end to end.
 
 All suites are seeded and deterministic in their *results*; timings are
 hardware-dependent (the JSON records the platform).
@@ -43,10 +50,17 @@ from ..sim.dense_reference import DenseDensityMatrixSimulator
 from ..sim.density import DensityMatrixSimulator
 from ..sim.fidelity import estimate_circuit_fidelity
 from ..sim.state import StateVector
-from ..toffoli.registry import construction_circuit
+from ..toffoli.registry import build_toffoli, construction_circuit
+from ..toffoli.verification import (
+    verify_classical,
+    verify_classical_looped,
+)
 
 #: Schema tag written into the JSON, so later PRs can evolve the format.
 SCHEMA = "repro-bench-noise/v1"
+
+#: Schema tag of the verification report (``BENCH_verify.json``).
+VERIFY_SCHEMA = "repro-bench-verify/v1"
 
 
 def _best_of(repeats: int, task: Callable[[], object]) -> tuple[float, object]:
@@ -181,6 +195,127 @@ def bench_workloads(
             }
         )
     return records
+
+
+def bench_verify_speedup(
+    num_controls: int = 8,
+    repeats: int = 3,
+    construction: str = "qutrit_tree",
+) -> dict:
+    """Batched vs looped exhaustive classical verification of one circuit.
+
+    The default (``num_controls=8``) is the acceptance workload: the
+    undecomposed qutrit tree, 2^9 classical inputs, checked through the
+    batched permutation-table engine and through the per-input looped
+    reference.  Both paths are warmed once before timing (the lowering
+    and permutation caches are process-wide steady state, exactly like
+    the noise suites' kernel warmup).
+    """
+    result = build_toffoli(construction, num_controls, decompose=False)
+    batched_count = verify_classical(result)
+    looped_count = verify_classical_looped(result)
+    batched_seconds, _ = _best_of(
+        repeats, lambda: verify_classical(result)
+    )
+    looped_seconds, _ = _best_of(
+        repeats, lambda: verify_classical_looped(result)
+    )
+    return {
+        "workload": (
+            f"{construction}(N={num_controls}) exhaustive verification"
+        ),
+        "construction": construction,
+        "num_controls": num_controls,
+        "width": len(result.all_wires),
+        "inputs": batched_count,
+        "operations": result.circuit.num_operations,
+        "batched_seconds": batched_seconds,
+        "looped_seconds": looped_seconds,
+        "speedup": looped_seconds / batched_seconds,
+        "decisions_agree": batched_count == looped_count,
+    }
+
+
+def bench_verify_width14(
+    num_controls: int = 13,
+    construction: str = "qutrit_tree",
+    repeats: int = 1,
+) -> dict:
+    """The paper's Sec. 6 headline: exhaustively verify a width-14 circuit.
+
+    The qutrit tree at ``N=13`` controls spans 14 wires; all ``2^14``
+    classical inputs run through the batched engine in one pass, and the
+    wall-clock is recorded — the claim the paper makes ("all classical
+    inputs up to width 14"), timed and committed.
+    """
+    result = build_toffoli(construction, num_controls, decompose=False)
+    checked = verify_classical(result)
+    seconds, _ = _best_of(repeats, lambda: verify_classical(result))
+    return {
+        "workload": (
+            f"{construction}(N={num_controls}) width-"
+            f"{len(result.all_wires)} exhaustive check"
+        ),
+        "construction": construction,
+        "num_controls": num_controls,
+        "width": len(result.all_wires),
+        "inputs": checked,
+        "operations": result.circuit.num_operations,
+        "seconds": seconds,
+        "completed": True,
+    }
+
+
+def run_verify_bench(smoke: bool = False) -> dict:
+    """Run the verification suite and return the JSON-ready report.
+
+    ``smoke`` shrinks the workloads (5-control speedup pair, width-10
+    exhaustive check) so CI finishes in well under a second; the full
+    run is the acceptance pair: the N=8 speedup and the paper's
+    width-14 (N=13) exhaustive check.
+    """
+    if smoke:
+        speedup = bench_verify_speedup(num_controls=5, repeats=2)
+        widest = bench_verify_width14(num_controls=9)
+    else:
+        speedup = bench_verify_speedup(num_controls=8, repeats=3)
+        widest = bench_verify_width14(num_controls=13)
+    return {
+        "schema": VERIFY_SCHEMA,
+        "generated_by": "python -m repro bench"
+        + (" --smoke" if smoke else ""),
+        "smoke": smoke,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "speedup": speedup,
+        "width14": widest,
+    }
+
+
+def render_verify_report(report: dict) -> str:
+    """Human-readable summary of :func:`run_verify_bench` output."""
+    speedup = report["speedup"]
+    widest = report["width14"]
+    return "\n".join(
+        [
+            f"verification bench "
+            f"({'smoke' if report['smoke'] else 'full'})",
+            "",
+            f"speedup    {speedup['workload']} "
+            f"({speedup['inputs']} inputs):",
+            f"  batched    {speedup['batched_seconds'] * 1000:8.2f} ms",
+            f"  looped     {speedup['looped_seconds'] * 1000:8.2f} ms",
+            f"  speedup    {speedup['speedup']:8.1f} x",
+            "",
+            f"exhaustive {widest['workload']}:",
+            f"  {widest['inputs']} inputs x {widest['operations']} ops "
+            f"in {widest['seconds'] * 1000:.1f} ms",
+        ]
+    )
 
 
 def run_bench(smoke: bool = False, seed: int = 2019) -> dict:

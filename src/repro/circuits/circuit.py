@@ -46,6 +46,10 @@ class Circuit:
         self._barrier_floor = 0
         # Every floor ever set, so composition can replay barriers.
         self._barrier_history: list[int] = []
+        # Gate-count tallies, maintained on append so the count
+        # properties are O(1) instead of re-walking all_operations().
+        self._num_operations = 0
+        self._num_multi_qudit = 0
         self.append(operations)
 
     # ------------------------------------------------------------------
@@ -67,6 +71,7 @@ class Circuit:
             self._moments[index] = self._moments[index].with_operation(op)
             for wire in op.qudits:
                 self._last_use[wire] = index
+            self._count_operation(op)
         return self
 
     def append_moment(self, operations: OpTree) -> "Circuit":
@@ -77,7 +82,14 @@ class Circuit:
         index = len(self._moments) - 1
         for wire in moment.qudits:
             self._last_use[wire] = index
+        for op in ops:
+            self._count_operation(op)
         return self
+
+    def _count_operation(self, op: GateOperation) -> None:
+        self._num_operations += 1
+        if op.is_multi_qudit:
+            self._num_multi_qudit += 1
 
     def barrier(self) -> "Circuit":
         """Prevent later appends from sliding into existing moments."""
@@ -183,20 +195,22 @@ class Circuit:
 
     @property
     def num_operations(self) -> int:
-        """Total gate count."""
-        return sum(len(m) for m in self._moments)
+        """Total gate count (tallied on append; O(1))."""
+        return self._num_operations
 
     @property
     def two_qudit_gate_count(self) -> int:
-        """Number of operations spanning 2+ wires (Figure 10's metric)."""
-        return sum(
-            1 for op in self.all_operations() if op.is_multi_qudit
-        )
+        """Number of operations spanning 2+ wires (Figure 10's metric).
+
+        Maintained incrementally on append, so sweeping resource counts
+        over large-N constructions never re-walks the moment list.
+        """
+        return self._num_multi_qudit
 
     @property
     def single_qudit_gate_count(self) -> int:
-        """Number of 1-wire operations."""
-        return self.num_operations - self.two_qudit_gate_count
+        """Number of 1-wire operations (tallied on append; O(1))."""
+        return self._num_operations - self._num_multi_qudit
 
     def max_gate_width(self) -> int:
         """Widest operation in the circuit (2 once fully decomposed)."""

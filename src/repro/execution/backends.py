@@ -28,7 +28,7 @@ from ..circuits.circuit import Circuit
 from ..exceptions import SimulationError
 from ..noise.model import NoiseModel
 from ..qudits import Qudit
-from ..sim.classical import ClassicalSimulator
+from ..sim.classical_batch import BatchedClassicalSimulator
 from ..sim.density import DensityMatrixSimulator
 from ..sim.fidelity import estimate_circuit_fidelity
 from ..sim.measurement import sample_state
@@ -108,7 +108,13 @@ def _initial_state(
 
 
 class ClassicalBackend:
-    """Linear-cost basis-state propagation (permutation circuits only)."""
+    """Linear-cost basis-state propagation (permutation circuits only).
+
+    Runs through the batched permutation engine: the circuit lowers once
+    into cached permutation tables and the input advances by table
+    gathers (no per-gate Python), so repeated runs of one circuit — or
+    sweeps through the execute() facade — share all lowering work.
+    """
 
     name = "classical"
     capabilities = BackendCapabilities(
@@ -116,7 +122,7 @@ class ClassicalBackend:
     )
 
     def __init__(self) -> None:
-        self._simulator = ClassicalSimulator()
+        self._simulator = BatchedClassicalSimulator()
 
     def run(
         self,

@@ -189,6 +189,20 @@ class Gate(ABC):
             return False
         return True
 
+    def permutation(self) -> list[int]:
+        """The gate's full basis permutation ``i -> perm[i]``.
+
+        Indices are mixed-radix encodings of the wire values (first wire
+        most significant).  This is the *whole-domain* classical action —
+        :func:`repro.sim.kernels.permutation_kernel` lowers it once per
+        canonical spec into the batched engines' lookup tables, and it is
+        what decides circuit classicality (a gate that happens to act
+        classically on some inputs but not all is not classical).
+
+        Raises :class:`NotClassicalError` for non-permutation gates.
+        """
+        return list(self._permutation())
+
     def classical_action(self, values: Sequence[int]) -> tuple[int, ...]:
         """Image of the basis state ``values`` under the gate.
 

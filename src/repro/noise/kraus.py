@@ -28,13 +28,17 @@ explicit Kraus form via :attr:`UnitaryMixtureChannel.terms`.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from ..exceptions import NoiseModelError
 from ..qudits import Qudit
-from ..sim.state import StateVector
+
+if TYPE_CHECKING:  # pragma: no cover - the channels only annotate states;
+    # a runtime import would close the cycle sim.state -> sim.kernels ->
+    # noise.kraus -> sim.state now that StateVector uses the kernel cache.
+    from ..sim.state import StateVector
 
 
 class UnitaryMixtureChannel:

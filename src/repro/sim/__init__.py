@@ -1,6 +1,7 @@
-"""Simulators: classical verification, state vector, noisy trajectories
-(looped and batched), exact density-matrix reference, measurement
-sampling, and the shared contraction-kernel caches.
+"""Simulators: classical verification (looped and batched permutation
+engines), state vector, noisy trajectories (looped and batched), exact
+density-matrix reference, measurement sampling, and the shared
+contraction- and permutation-kernel caches.
 
 See ``docs/SIMULATORS.md`` for how the four engines relate and when to
 pick each.
@@ -8,6 +9,10 @@ pick each.
 
 from .state import StateVector
 from .classical import ClassicalSimulator
+from .classical_batch import (
+    BatchedClassicalSimulator,
+    resolve_classical_batch_size,
+)
 from .statevector import StateVectorSimulator
 from .trajectory import (
     BatchedTrajectorySimulator,
@@ -22,10 +27,13 @@ from .fidelity import (
 from .density import DensityMatrix, DensityMatrixSimulator, DensityTensor
 from .dense_reference import DenseDensityMatrix, DenseDensityMatrixSimulator
 from .kernels import (
+    apply_block,
     channel_kernel,
     clear_kernel_caches,
     gate_kernel,
     kernel_cache_stats,
+    mixed_radix_weights,
+    permutation_kernel,
 )
 from .measurement import MeasurementResult, sample_state
 from .parallel import estimate_circuit_fidelity_parallel, merge_estimates
@@ -33,6 +41,8 @@ from .parallel import estimate_circuit_fidelity_parallel, merge_estimates
 __all__ = [
     "StateVector",
     "ClassicalSimulator",
+    "BatchedClassicalSimulator",
+    "resolve_classical_batch_size",
     "StateVectorSimulator",
     "TrajectorySimulator",
     "BatchedTrajectorySimulator",
@@ -51,6 +61,9 @@ __all__ = [
     "sample_state",
     "gate_kernel",
     "channel_kernel",
+    "permutation_kernel",
+    "apply_block",
+    "mixed_radix_weights",
     "clear_kernel_caches",
     "kernel_cache_stats",
 ]

@@ -20,12 +20,22 @@ and :class:`~repro.sim.density.DensityTensor`):
   and leaves the output legs at the front, which callers move back into
   place with ``np.moveaxis``.
 
+The classical engines have their own kernel family: a *permutation
+kernel* is the gate's whole-domain basis permutation lowered to a flat
+``int64`` lookup table over the mixed-radix index of its wires (plus the
+encode weights), or an explicit "not a permutation" marker when the gate
+is not classical.  Lowering inspects the full action — never a probe at
+one input — so kernel-level classicality is exact, and the batched
+classical engine advances thousands of basis states per gate with one
+table gather.
+
 Cache keys:
 
-* gate kernels are keyed on the gate's **canonical spec**
-  (:meth:`~repro.gates.base.Gate.spec` lowered to structural form — the
-  PR 2 content-addressed identity), so two structurally equal gates share
-  one kernel no matter how they were built;
+* gate kernels and permutation kernels are keyed on the gate's
+  **canonical spec** (:meth:`~repro.gates.base.Gate.spec` lowered to
+  structural form — the PR 2 content-addressed identity), so two
+  structurally equal gates share one kernel no matter how they were
+  built;
 * channel kernels are keyed on the channel *instance*.  The channel
   factories in :mod:`repro.noise` are ``lru_cache``-d singletons, so this
   is equivalent to keying on the channel's parameters; hand-built
@@ -37,10 +47,12 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..circuits.operation import GateOperation
+from ..exceptions import NotClassicalError
 from ..gates.spec import GateSpec
 from ..noise.kraus import KrausChannel, UnitaryMixtureChannel
 
@@ -75,9 +87,76 @@ class ChannelKernel:
     conj_blocks: tuple[np.ndarray, ...]
 
 
+@dataclass(frozen=True)
+class PermutationKernel:
+    """One classical gate's basis permutation in table-gather form.
+
+    ``table[i] = j`` means joint basis state ``i`` maps to ``j``, where
+    ``i`` is the mixed-radix encoding of the gate's wire values (first
+    wire most significant).  ``weights`` are the per-wire encode factors:
+    ``index = values @ weights`` and ``values[k] = index // weights[k]
+    % dims[k]`` — precomputed so the batched classical engine encodes and
+    decodes whole ``(B, k)`` blocks with vectorized arithmetic.
+
+    ``table is None`` marks a gate that is *not* a basis permutation.
+    Lowering decides this from the gate's whole-domain action, so the
+    kernel is also the single source of truth for circuit classicality
+    (no probing at selected inputs).
+    """
+
+    #: Wire dimensions, in gate order.
+    dims: tuple[int, ...]
+    #: Flat joint-index lookup table, or None for non-permutation gates.
+    table: np.ndarray | None
+    #: Mixed-radix encode weights (``weights[k] = prod(dims[k+1:])``).
+    weights: np.ndarray
+
+    @property
+    def is_permutation(self) -> bool:
+        """True iff the gate lowered to an actual lookup table."""
+        return self.table is not None
+
+
+def mixed_radix_weights(dims: Sequence[int]) -> np.ndarray:
+    """Encode factors for the library's mixed-radix convention.
+
+    ``weights[k] = prod(dims[k+1:])`` (first wire most significant), so
+    ``index = values @ weights`` and ``values[k] = index // weights[k]
+    % dims[k]`` — the vectorized counterparts of
+    :func:`repro.gates.base.values_to_index` / ``index_to_values``.
+    """
+    weights = np.ones(len(dims), dtype=np.int64)
+    for k in range(len(dims) - 2, -1, -1):
+        weights[k] = weights[k + 1] * dims[k + 1]
+    return weights
+
+
+def apply_block(
+    tensor: np.ndarray, block: np.ndarray, axes: Sequence[int]
+) -> np.ndarray:
+    """Contract a kernel-form operator block against ``axes`` of a tensor.
+
+    ``block`` has output legs first, input legs last (``dims + dims``);
+    the input legs tie to the given ``axes`` and the result's new legs
+    move back into place, leaving every other axis untouched.  This is
+    the one contraction every dense engine shares: state vectors pass
+    their bare tensor, the batched engines pass stacked tensors whose
+    batch axis simply never appears in ``axes``.
+    """
+    axes = list(axes)
+    k = len(axes)
+    moved = np.tensordot(block, tensor, axes=(range(k, 2 * k), axes))
+    return np.moveaxis(moved, range(k), axes)
+
+
 #: canonical GateSpec -> GateKernel.  Process-wide; specs are immutable
 #: values, so entries never go stale.
 _GATE_KERNELS: dict[GateSpec, GateKernel] = {}
+
+#: canonical GateSpec -> PermutationKernel (including negative results:
+#: "not a permutation" is cached too, so classicality checks of circuits
+#: full of non-classical gates stay cheap).
+_PERM_KERNELS: dict[GateSpec, PermutationKernel] = {}
 
 #: channel instance -> ChannelKernel.  Weak keys: cached factory channels
 #: live for the process anyway, ad-hoc channels can be collected.
@@ -106,6 +185,33 @@ def gate_kernel(op: GateOperation) -> GateKernel:
         block = _as_block(op.unitary(), dims)
         kernel = GateKernel(dims, block, block.conj())
         _GATE_KERNELS[spec] = kernel
+    return kernel
+
+
+def permutation_kernel(op: GateOperation) -> PermutationKernel:
+    """The cached permutation kernel for ``op``'s gate (built on first use).
+
+    Lowering asks the gate for its whole-domain permutation
+    (:meth:`~repro.gates.base.Gate.permutation`): permutation-native
+    gates hand over their mapping directly, matrix-backed gates pay one
+    permutation-matrix check of their unitary.  Either way the verdict
+    and the table are cached on the canonical spec, so every structurally
+    identical gate across circuits, constructions, and engines lowers
+    exactly once.
+    """
+    spec = op.gate.canonical_spec()
+    kernel = _PERM_KERNELS.get(spec)
+    if kernel is None:
+        dims = tuple(op.gate.dims)
+        weights = mixed_radix_weights(dims)
+        try:
+            table = np.asarray(op.gate.permutation(), dtype=np.int64)
+            table.setflags(write=False)
+        except NotClassicalError:
+            table = None
+        weights.setflags(write=False)
+        kernel = PermutationKernel(dims, table, weights)
+        _PERM_KERNELS[spec] = kernel
     return kernel
 
 
@@ -156,6 +262,7 @@ def clear_kernel_caches() -> None:
     """Drop all cached kernels (tests and memory-sensitive callers)."""
     _GATE_KERNELS.clear()
     _CHANNEL_KERNELS.clear()
+    _PERM_KERNELS.clear()
 
 
 def kernel_cache_stats() -> dict[str, int]:
@@ -163,4 +270,5 @@ def kernel_cache_stats() -> dict[str, int]:
     return {
         "gate_kernels": len(_GATE_KERNELS),
         "channel_kernels": len(_CHANNEL_KERNELS),
+        "permutation_kernels": len(_PERM_KERNELS),
     }

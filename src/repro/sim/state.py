@@ -28,6 +28,7 @@ from ..exceptions import DimensionMismatchError, SimulationError
 from ..linalg import random_state_vector
 from ..qudits import Qudit
 from ..circuits.operation import GateOperation
+from .kernels import apply_block, gate_kernel
 
 
 class StateVector:
@@ -175,8 +176,16 @@ class StateVector:
     # ------------------------------------------------------------------
 
     def apply_operation(self, op: GateOperation) -> None:
-        """Apply a gate operation in place via tensor contraction."""
-        self.apply_matrix(op.unitary(), op.qudits)
+        """Apply a gate operation in place via tensor contraction.
+
+        The operator comes from the process-wide kernel cache
+        (:func:`repro.sim.kernels.gate_kernel`), so a gate that repeats
+        across moments, basis inputs, or runs pays its ``unitary()``
+        and reshape cost once per canonical spec, not per application.
+        """
+        kernel = gate_kernel(op)
+        axes = [self._axis[w] for w in op.qudits]
+        self._tensor = apply_block(self._tensor, kernel.block, axes)
 
     def apply_matrix(
         self, matrix: np.ndarray, wires: Sequence[Qudit]
@@ -189,11 +198,7 @@ class StateVector:
         axes = [self._axis[w] for w in wires]
         dims = tuple(w.dimension for w in wires)
         block = np.asarray(matrix, dtype=complex).reshape(dims + dims)
-        n_active = len(axes)
-        # Contract gate input legs with the state's touched axes; tensordot
-        # moves the result's new legs to the front, so move them back.
-        moved = np.tensordot(block, self._tensor, axes=(range(n_active, 2 * n_active), axes))
-        self._tensor = np.moveaxis(moved, range(n_active), axes)
+        self._tensor = apply_block(self._tensor, block, axes)
 
     def apply_diagonal(self, diagonal: np.ndarray, wire: Qudit) -> None:
         """Multiply one wire's levels by ``diagonal`` (cheap broadcast).

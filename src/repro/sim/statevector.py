@@ -1,4 +1,10 @@
-"""Noise-free state-vector simulation."""
+"""Noise-free state-vector simulation.
+
+Every operation is applied through the process-wide gate-kernel cache
+(:mod:`repro.sim.kernels`): a gate that occurs many times in a circuit —
+or across the thousands of basis inputs exhaustive verification runs —
+lowers its unitary into contraction form exactly once per canonical spec.
+"""
 
 from __future__ import annotations
 

@@ -41,7 +41,7 @@ from ..exceptions import SimulationError
 from ..noise.kraus import KrausChannel, UnitaryMixtureChannel
 from ..noise.model import NoiseModel
 from ..qudits import Qudit
-from .kernels import gate_kernel
+from .kernels import apply_block, gate_kernel
 from .state import StateVector
 
 
@@ -203,13 +203,10 @@ class BatchedTrajectorySimulator:
         """Contract an operator block against ``axes`` of the batch.
 
         ``block`` is in kernel form (output legs first); the batch axis
-        is never touched, so one call advances every member.
+        is never touched, so one call advances every member.  Shares the
+        engines' one contraction (:func:`repro.sim.kernels.apply_block`).
         """
-        k = len(axes)
-        moved = np.tensordot(
-            block, batch, axes=(range(k, 2 * k), axes)
-        )
-        return np.moveaxis(moved, range(k), axes)
+        return apply_block(batch, block, axes)
 
     @staticmethod
     def _apply_diagonal(

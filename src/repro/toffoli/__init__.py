@@ -15,6 +15,7 @@ from .registry import CONSTRUCTIONS, ConstructionInfo, build_toffoli
 from .verification import (
     VerificationError,
     verify_classical,
+    verify_classical_looped,
     verify_construction,
     verify_statevector,
 )
@@ -22,6 +23,7 @@ from .verification import (
 __all__ = [
     "VerificationError",
     "verify_classical",
+    "verify_classical_looped",
     "verify_construction",
     "verify_statevector",
     "GeneralizedToffoli",

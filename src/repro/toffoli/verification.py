@@ -3,14 +3,25 @@
 Mirrors the paper's two verification modes (Sec. 4.2 / Sec. 6):
 
 * :func:`verify_classical` — exhaustive basis-input checking through the
-  classical simulator, linear per input.  Only valid for permutation
+  batched classical permutation engine.  The whole input space advances
+  as one ``(B, width)`` integer array (one table gather per operation),
+  which is what makes the paper's width-14 exhaustive check finish in
+  seconds — see ``BENCH_verify.json``.  Only valid for permutation
   circuits (the undecomposed tree, ladders, chains).
+* :func:`verify_classical_looped` — the per-input reference walking
+  ``Circuit.classical_map``.  Kept as the parity oracle and the looped
+  side of the verification benchmark; decisions are identical to the
+  batched path.
 * :func:`verify_statevector` — exhaustive basis-input checking through
   dense state vectors, valid for any circuit (the decomposed circuits
-  contain fractional-power gates that are not permutations).
-* :func:`verify_construction` — picks the right mode, also checking that
-  clean ancilla return to |0> and borrowed wires are restored for every
-  dirty pattern.
+  contain fractional-power gates that are not permutations).  Basis
+  inputs advance in stacked ``(B, d_0, ..., d_{n-1})`` chunks through
+  the engines' shared vectorized contraction
+  (:func:`repro.sim.kernels.apply_block`, the trajectory engine's
+  ideal-pass primitive), one cached gate kernel per operation.
+* :func:`verify_construction` — picks the right mode from the
+  permutation-table lowering, also checking that clean ancilla return to
+  |0> and borrowed wires are restored for every dirty pattern.
 
 Raising :class:`VerificationError` with the offending input makes these
 usable both from tests and from user code validating custom constructions.
@@ -24,8 +35,9 @@ from typing import Iterable
 import numpy as np
 
 from ..exceptions import ReproError
-from ..sim.classical import ClassicalSimulator
-from ..sim.statevector import StateVectorSimulator
+from ..sim.classical_batch import BatchedClassicalSimulator
+from ..sim.fidelity import resolve_batch_size
+from ..sim.kernels import apply_block, gate_kernel
 from .spec import ConstructionResult
 
 
@@ -45,6 +57,7 @@ def _expected_output(result: ConstructionResult, values: list[int]) -> list[int]
 def _input_space(
     result: ConstructionResult, dirty_patterns: bool
 ) -> Iterable[list[int]]:
+    """Per-input generator form of the input space (looped reference)."""
     spec = result.spec
     n = spec.num_controls
     num_clean = len(result.clean_ancilla)
@@ -60,21 +73,97 @@ def _input_space(
             yield list(data) + [0] * num_clean + list(borrowed)
 
 
+def _input_array(
+    result: ConstructionResult, dirty_patterns: bool
+) -> np.ndarray:
+    """The whole input space as one ``(B, width)`` array.
+
+    Binary data wires, |0> clean ancilla, borrowed wires swept (or
+    pinned to 0) — expressed as per-wire level restrictions over the
+    batched engine's :meth:`input_space`, whose ``product`` row order
+    matches :func:`_input_space` (data bits outer, borrowed patterns
+    inner), so failure reports and input counts agree between the
+    batched and looped paths.
+    """
+    levels: dict = {
+        w: (0, 1) for w in result.controls + [result.target]
+    }
+    levels.update({w: (0,) for w in result.clean_ancilla})
+    levels.update(
+        {
+            w: (0, 1) if dirty_patterns else (0,)
+            for w in result.borrowed_ancilla
+        }
+    )
+    return BatchedClassicalSimulator.input_space(result.all_wires, levels)
+
+
+def _expected_array(
+    result: ConstructionResult, inputs: np.ndarray
+) -> np.ndarray:
+    """Vectorized ideal outputs: controls (and ancilla) unchanged, the
+    target flipped exactly on the rows whose controls are all active."""
+    spec = result.spec
+    n = spec.num_controls
+    expected = inputs.copy()
+    active = np.all(
+        inputs[:, :n] == np.asarray(spec.control_values, dtype=np.int64),
+        axis=1,
+    )
+    expected[active, n] ^= 1
+    return expected
+
+
+def _raise_first_mismatch(
+    result: ConstructionResult,
+    inputs: np.ndarray,
+    outputs: np.ndarray,
+    expected: np.ndarray,
+) -> None:
+    row = int(np.argmax(np.any(outputs != expected, axis=1)))
+    raise VerificationError(
+        f"{result.name}: input {inputs[row].tolist()} -> "
+        f"{outputs[row].tolist()}, expected {expected[row].tolist()}"
+    )
+
+
 def verify_classical(
     result: ConstructionResult, dirty_patterns: bool = True
 ) -> int:
     """Exhaustively verify a permutation construction; returns input count.
 
-    Linear cost per input (the paper's width-14 verification trick).
+    The paper's width-14 verification trick, batched: the full input
+    space runs as one array through the permutation-table engine and the
+    expected outputs are compared in one vectorized pass.
     """
-    sim = ClassicalSimulator()
+    inputs = _input_array(result, dirty_patterns)
+    outputs = BatchedClassicalSimulator().run_array(
+        result.circuit, result.all_wires, inputs
+    )
+    expected = _expected_array(result, inputs)
+    if not np.array_equal(outputs, expected):
+        _raise_first_mismatch(result, inputs, outputs, expected)
+    return len(inputs)
+
+
+def verify_classical_looped(
+    result: ConstructionResult, dirty_patterns: bool = True
+) -> int:
+    """Per-input reference implementation of :func:`verify_classical`.
+
+    Walks ``Circuit.classical_map`` once per input — the pre-batching
+    engine, preserved verbatim so the benchmark has a looped side to
+    time and the parity tests have an independent oracle.
+    """
+    circuit = result.circuit
     wires = result.all_wires
     checked = 0
     for values in _input_space(result, dirty_patterns):
-        out = sim.run_values(result.circuit, wires, values)
-        if list(out) != _expected_output(result, values):
+        assignment = circuit.classical_map(dict(zip(wires, values)))
+        out = [assignment[w] for w in wires]
+        if out != _expected_output(result, values):
             raise VerificationError(
-                f"{result.name}: input {values} -> {list(out)}, "
+                f"{result.name}: input {values} -> {out}, "
                 f"expected {_expected_output(result, values)}"
             )
         checked += 1
@@ -85,22 +174,48 @@ def verify_statevector(
     result: ConstructionResult,
     dirty_patterns: bool = True,
     atol: float = 1e-7,
+    batch_size: int | None = None,
 ) -> int:
-    """Exhaustively verify any construction via dense simulation."""
-    sim = StateVectorSimulator()
+    """Exhaustively verify any construction via dense simulation.
+
+    Basis inputs advance together as stacked ``(B, dims...)`` tensors —
+    the trajectory engine's vectorized ideal pass over cached gate
+    kernels — chunked like trajectory batching (``batch_size=None``
+    auto-sizes from the state dimension).
+    """
     wires = result.all_wires
-    checked = 0
-    for values in _input_space(result, dirty_patterns):
-        state = sim.run_basis(result.circuit, wires, values)
-        expected = _expected_output(result, values)
-        probability = state.probability_of(expected)
-        if not np.isclose(probability, 1.0, atol=atol):
-            raise VerificationError(
-                f"{result.name}: input {values} reached the expected "
-                f"output with probability {probability:.6f}"
+    dims = tuple(w.dimension for w in wires)
+    inputs = _input_array(result, dirty_patterns)
+    expected = _expected_array(result, inputs)
+    operations = list(result.circuit.all_operations())
+    axis = {w: 1 + k for k, w in enumerate(wires)}
+    chunk = resolve_batch_size(batch_size, wires, len(inputs))
+    for start in range(0, len(inputs), chunk):
+        rows = inputs[start : start + chunk]
+        batch = np.zeros((len(rows),) + dims, dtype=complex)
+        member = (np.arange(len(rows)),) + tuple(
+            rows[:, k] for k in range(len(wires))
+        )
+        batch[member] = 1.0
+        for op in operations:
+            kernel = gate_kernel(op)
+            batch = apply_block(
+                batch, kernel.block, [axis[w] for w in op.qudits]
             )
-        checked += 1
-    return checked
+        want = expected[start : start + chunk]
+        amplitudes = batch[
+            (np.arange(len(rows)),)
+            + tuple(want[:, k] for k in range(len(wires)))
+        ]
+        probabilities = np.abs(amplitudes) ** 2
+        if not np.all(np.isclose(probabilities, 1.0, atol=atol)):
+            row = int(np.argmax(~np.isclose(probabilities, 1.0, atol=atol)))
+            raise VerificationError(
+                f"{result.name}: input {rows[row].tolist()} reached the "
+                f"expected output with probability "
+                f"{probabilities[row]:.6f}"
+            )
+    return len(inputs)
 
 
 def verify_construction(
@@ -108,10 +223,11 @@ def verify_construction(
 ) -> int:
     """Verify a construction with the cheapest sound method.
 
-    Uses the classical simulator when every gate is a basis permutation
-    and falls back to state vectors otherwise.  Returns the number of
-    inputs checked; raises :class:`VerificationError` on any mismatch.
+    Uses the batched classical engine when every gate lowers to a
+    permutation table and falls back to stacked state vectors otherwise.
+    Returns the number of inputs checked; raises
+    :class:`VerificationError` on any mismatch.
     """
-    if ClassicalSimulator().is_classical_circuit(result.circuit):
+    if BatchedClassicalSimulator().is_classical_circuit(result.circuit):
         return verify_classical(result, dirty_patterns)
     return verify_statevector(result, dirty_patterns)

@@ -6,9 +6,14 @@ import pytest
 
 from repro.analysis.bench import (
     SCHEMA,
+    VERIFY_SCHEMA,
     bench_density,
+    bench_verify_speedup,
+    bench_verify_width14,
     render_report,
+    render_verify_report,
     run_bench,
+    run_verify_bench,
     write_report,
 )
 
@@ -66,3 +71,33 @@ class TestBenchDensity:
         assert record["wires"] == 3
         assert record["hilbert_dim"] == 27
         assert record["parity_max_abs_diff"] < 1e-12
+
+
+class TestVerifyBench:
+    def test_smoke_report_shape(self, tmp_path):
+        report = run_verify_bench(smoke=True)
+        assert report["schema"] == VERIFY_SCHEMA
+        assert report["smoke"] is True
+        speedup = report["speedup"]
+        assert speedup["batched_seconds"] > 0
+        assert speedup["looped_seconds"] > 0
+        assert speedup["decisions_agree"] is True
+        widest = report["width14"]
+        assert widest["completed"] is True
+        assert widest["inputs"] == 2 ** widest["width"]
+        path = write_report(report, tmp_path / "BENCH_verify.json")
+        assert json.loads(path.read_text())["schema"] == VERIFY_SCHEMA
+        text = render_verify_report(report)
+        assert "speedup" in text and "exhaustive" in text
+
+    def test_speedup_record_counts_every_input(self):
+        record = bench_verify_speedup(num_controls=3, repeats=1)
+        assert record["inputs"] == 2**4
+        assert record["width"] == 4
+        assert record["speedup"] > 0
+
+    def test_width_record_covers_the_binary_space(self):
+        record = bench_verify_width14(num_controls=5)
+        assert record["width"] == 6
+        assert record["inputs"] == 2**6
+        assert record["seconds"] > 0

@@ -106,6 +106,53 @@ class TestMetrics:
         assert circuit.two_qudit_gate_count == 2
         assert circuit.single_qudit_gate_count == 2
 
+    def test_counts_track_every_append_path(self):
+        a, b = qubits(2)
+        circuit = Circuit([X.on(a)])
+        circuit.append_moment([CNOT.on(a, b)])
+        circuit.append([H.on(b)])
+        assert circuit.num_operations == 3
+        assert circuit.two_qudit_gate_count == 1
+        assert circuit.single_qudit_gate_count == 2
+        # Derived circuits re-count from scratch.
+        assert circuit.inverse().two_qudit_gate_count == 1
+        assert (circuit + circuit).num_operations == 6
+        assert circuit.transformed(lambda op: op).two_qudit_gate_count == 1
+
+    def test_counts_do_not_rewalk_operations(self, monkeypatch):
+        # The counters are maintained on append; property access must be
+        # O(1), never a pass over all_operations() (the pre-PR-4 cost
+        # that made large-N resource sweeps quadratic).
+        a, b = qubits(2)
+        circuit = Circuit([X.on(a), CNOT.on(a, b)])
+
+        def boom(self):
+            raise AssertionError("gate-count property walked the moments")
+
+        monkeypatch.setattr(Circuit, "all_operations", boom)
+        assert circuit.num_operations == 2
+        assert circuit.two_qudit_gate_count == 1
+        assert circuit.single_qudit_gate_count == 1
+
+    @pytest.mark.slow
+    def test_large_circuit_count_access_scales(self):
+        # Smoke test: thousands of property reads on a large-N tree stay
+        # well under the cost of one circuit walk per read.
+        import time
+
+        from repro.toffoli.registry import construction_circuit
+
+        circuit = construction_circuit("qutrit_tree", 64)
+        assert circuit.num_operations > 400
+        start = time.perf_counter()
+        for _ in range(10_000):
+            circuit.two_qudit_gate_count
+            circuit.single_qudit_gate_count
+        elapsed = time.perf_counter() - start
+        # 20k O(1) reads; generous bound (a re-walking implementation
+        # takes orders of magnitude longer on a >400-op circuit).
+        assert elapsed < 1.0
+
     def test_max_gate_width(self):
         a, b, c = qubits(3)
         wide = ControlledGate(X, (2, 2)).on(a, b, c)

@@ -72,3 +72,17 @@ class TestClassicalityCheck:
     def test_non_classical_circuit_detected(self, classical_sim):
         a = qubits(1)[0]
         assert not classical_sim.is_classical_circuit(Circuit([H.on(a)]))
+
+    def test_gate_classical_only_at_zero_rejected(self, classical_sim):
+        # Regression: the old check probed gates with the all-zeros input
+        # through classical_action.  A gate whose classical_action answers
+        # at zero but whose unitary is not a permutation must be rejected
+        # (classicality now comes from the whole-domain table lowering).
+        from tests.sim.test_classical_batch import (
+            _ZeroFixingNonClassicalGate,
+        )
+
+        a = qubits(1)[0]
+        gate = _ZeroFixingNonClassicalGate()
+        assert gate.classical_action((0,)) == (0,)
+        assert not classical_sim.is_classical_circuit(Circuit([gate.on(a)]))

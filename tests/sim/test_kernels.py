@@ -1,6 +1,7 @@
 """Kernel caches: correctness of the lowered blocks and cache identity."""
 
 import numpy as np
+import pytest
 
 from repro.gates.matrix import MatrixGate
 from repro.gates.qubit import CNOT, H
@@ -16,6 +17,7 @@ from repro.sim.kernels import (
     clear_kernel_caches,
     gate_kernel,
     kernel_cache_stats,
+    permutation_kernel,
 )
 
 
@@ -94,6 +96,49 @@ class TestChannelKernels:
     def test_clear_resets_counts(self):
         gate_kernel(H.on(qubits(1)[0]))
         channel_kernel(single_qudit_depolarizing(2, 1e-3))
+        permutation_kernel(CNOT.on(*qubits(2)))
         clear_kernel_caches()
         stats = kernel_cache_stats()
-        assert stats == {"gate_kernels": 0, "channel_kernels": 0}
+        assert stats == {
+            "gate_kernels": 0,
+            "channel_kernels": 0,
+            "permutation_kernels": 0,
+        }
+
+
+class TestPermutationKernels:
+    def test_permutation_gate_lowers_to_table(self):
+        a, b = qubits(2)
+        kernel = permutation_kernel(CNOT.on(a, b))
+        assert kernel.is_permutation
+        assert kernel.dims == (2, 2)
+        assert kernel.table.tolist() == [0, 1, 3, 2]
+        assert kernel.weights.tolist() == [2, 1]
+
+    def test_mixed_radix_weights(self):
+        t, q = qutrits(1)[0], qubits(1, start=5)[0]
+        from repro.gates.controlled import ControlledGate
+        from repro.gates.qubit import X
+
+        op = ControlledGate(X, (3,), (2,)).on(t, q)
+        kernel = permutation_kernel(op)
+        assert kernel.weights.tolist() == [2, 1]
+        assert kernel.dims == (3, 2)
+        # |2,0> -> |2,1> and |2,1> -> |2,0>; everything else fixed.
+        assert kernel.table.tolist() == [0, 1, 2, 3, 5, 4]
+
+    def test_non_permutation_gate_marked(self):
+        kernel = permutation_kernel(H.on(qubits(1)[0]))
+        assert not kernel.is_permutation
+        assert kernel.table is None
+
+    def test_cached_on_canonical_spec(self):
+        a, b = qubits(2), qubits(2, start=7)
+        first = permutation_kernel(CNOT.on(*a))
+        second = permutation_kernel(CNOT.on(*b))
+        assert first is second
+
+    def test_table_is_read_only(self):
+        kernel = permutation_kernel(CNOT.on(*qubits(2)))
+        with pytest.raises(ValueError):
+            kernel.table[0] = 3

@@ -58,3 +58,52 @@ class TestRun:
         state = state_sim.run(circuit)
         for level in range(3):
             assert np.isclose(state.probability_of((level,)), 1 / 3)
+
+
+class TestKernelCacheRouting:
+    """apply_operation goes through the process-wide gate-kernel cache:
+    a repeated gate pays ``unitary()`` once per canonical spec."""
+
+    def test_repeated_gate_lowers_once(self, state_sim):
+        from repro.sim.kernels import clear_kernel_caches, kernel_cache_stats
+
+        clear_kernel_caches()
+        a, b, c = qubits(3)
+        circuit = Circuit(
+            [H.on(a), CNOT.on(a, b), H.on(b), CNOT.on(b, c), H.on(c)]
+        )
+        state_sim.run(circuit)
+        # Five operations, two distinct canonical gates.
+        assert kernel_cache_stats()["gate_kernels"] == 2
+
+    def test_unitary_not_recomputed_on_cache_hit(self, state_sim):
+        from repro.gates.matrix import MatrixGate
+        from repro.sim.kernels import clear_kernel_caches
+
+        clear_kernel_caches()
+
+        calls = 0
+
+        class CountingGate(MatrixGate):
+            def unitary(self):
+                nonlocal calls
+                calls += 1
+                return super().unitary()
+
+        gate = CountingGate(H.unitary(), (2,), name="counting-h")
+        a = qubits(1)[0]
+        circuit = Circuit([gate.on(a), gate.on(a), gate.on(a)])
+        state = state_sim.run(circuit)
+        assert calls == 1
+        # Three H's = one H worth of amplitudes.
+        assert np.isclose(state.probability_of((0,)), 0.5)
+
+    def test_cached_apply_matches_apply_matrix(self, state_sim, rng):
+        a, b = qutrits(2)
+        reference = StateVector.random([a, b], rng)
+        via_kernel = reference.copy()
+        via_matrix = reference.copy()
+        op = X_PLUS_1.on(b)
+        via_kernel.apply_operation(op)
+        via_matrix.apply_matrix(op.unitary(), op.qudits)
+        assert np.allclose(via_kernel.tensor, via_matrix.tensor)

@@ -29,6 +29,30 @@ class TestCli:
         out = capsys.readouterr().out
         assert "qutrit_tree" in out and "verified" in out
 
+    def test_verify_single_construction(self, capsys):
+        assert main(["verify", "qutrit_tree", "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "qutrit_tree" in out and "verified 16 inputs" in out
+        assert "he_tree" not in out
+
+    def test_verify_unknown_construction(self):
+        with pytest.raises(SystemExit, match="unknown construction"):
+            main(["verify", "nope", "-n", "3"])
+
+    def test_verify_undecomposed_wide_circuit(self, capsys):
+        # The paper's linear-cost classical check: permutation-level
+        # circuits stay fast at widths where dense verification would
+        # be hopeless (this is the width-11 variant of the width-14 run).
+        assert main(
+            ["verify", "qutrit_tree", "-n", "10", "--undecomposed"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "verified 2048 inputs" in out
+
+    def test_verify_undecomposed_rejected_for_permutation_native(self):
+        with pytest.raises(SystemExit, match="does not take"):
+            main(["verify", "wang_chain", "-n", "3", "--undecomposed"])
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

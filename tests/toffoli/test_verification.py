@@ -3,6 +3,7 @@
 import pytest
 
 from repro.circuits.circuit import Circuit
+from repro.gates.base import PermutationGate
 from repro.gates.qutrit import X01
 from repro.toffoli.registry import build_toffoli
 from repro.toffoli.spec import ConstructionResult, GeneralizedToffoli
@@ -10,9 +11,20 @@ from repro.toffoli.qutrit_tree import build_qutrit_tree
 from repro.toffoli.verification import (
     VerificationError,
     verify_classical,
+    verify_classical_looped,
     verify_construction,
     verify_statevector,
 )
+
+#: name -> builder kwargs yielding a permutation-level circuit, for the
+#: batched-vs-looped parity sweep over the whole registry.
+PERMUTATION_LEVEL = {
+    "qutrit_tree": {"decompose": False},
+    "qubit_one_dirty": {"decompose": False},
+    "he_tree": {"decompose": False},
+    "wang_chain": {},
+    "lanyon_target": {},
+}
 
 
 class TestVerifyClassical:
@@ -57,6 +69,60 @@ class TestVerifyStatevector:
         )
         with pytest.raises(VerificationError):
             verify_statevector(broken)
+
+
+class TestBatchedLoopedParity:
+    """The batched engine must make the same accept/reject decisions as
+    the pre-batching per-input loop on the full construction registry."""
+
+    @pytest.mark.parametrize("name", sorted(PERMUTATION_LEVEL))
+    def test_accepts_match(self, name):
+        result = build_toffoli(name, 3, **PERMUTATION_LEVEL[name])
+        assert verify_classical(result) == verify_classical_looped(result)
+
+    @pytest.mark.parametrize("name", sorted(PERMUTATION_LEVEL))
+    def test_rejects_match(self, name):
+        good = build_toffoli(name, 3, **PERMUTATION_LEVEL[name])
+        # A 0<->1 swap on the target, whatever its dimension (the Lanyon
+        # construction uses a d=2N+2 target).
+        d = good.target.dimension
+        mapping = [1, 0] + list(range(2, d))
+        gate = PermutationGate(mapping, (d,), "flip01")
+        broken = ConstructionResult(
+            circuit=good.circuit + Circuit([gate.on(good.target)]),
+            controls=good.controls,
+            target=good.target,
+            spec=good.spec,
+            name=f"broken-{name}",
+            clean_ancilla=good.clean_ancilla,
+            borrowed_ancilla=good.borrowed_ancilla,
+        )
+        with pytest.raises(VerificationError):
+            verify_classical(broken)
+        with pytest.raises(VerificationError):
+            verify_classical_looped(broken)
+
+    def test_failure_reports_the_same_first_input(self):
+        good = build_qutrit_tree(GeneralizedToffoli(3), decompose=False)
+        broken = ConstructionResult(
+            circuit=good.circuit + Circuit([X01.on(good.target)]),
+            controls=good.controls,
+            target=good.target,
+            spec=good.spec,
+            name="broken",
+        )
+        with pytest.raises(VerificationError) as batched_error:
+            verify_classical(broken)
+        with pytest.raises(VerificationError) as looped_error:
+            verify_classical_looped(broken)
+        assert str(batched_error.value) == str(looped_error.value)
+
+    def test_dirty_pattern_flag_matches(self):
+        result = build_toffoli("qubit_one_dirty", 3, decompose=False)
+        for dirty in (True, False):
+            assert verify_classical(
+                result, dirty_patterns=dirty
+            ) == verify_classical_looped(result, dirty_patterns=dirty)
 
 
 class TestVerifyConstruction:
