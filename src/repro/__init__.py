@@ -39,6 +39,16 @@ from .circuits import Circuit, GateOperation, Moment
 from .sim import StateVector
 from .noise import ALL_MODELS, NoiseModel
 from .toffoli import CONSTRUCTIONS, GeneralizedToffoli, build_toffoli
+from .arch import (
+    CouplingGraph,
+    LookaheadRouter,
+    RouterConfig,
+    RoutingMetrics,
+    TopologySpec,
+    route_circuit,
+    routing_metrics,
+    sized_topology,
+)
 
 # The execution layer wraps sim/noise/toffoli, so it must import last.
 from .execution import (
@@ -113,6 +123,14 @@ __all__ = [
     "lowering_pipeline",
     "qutrit_promotion_pipeline",
     "hardware_pipeline",
+    "CouplingGraph",
+    "TopologySpec",
+    "sized_topology",
+    "RouterConfig",
+    "LookaheadRouter",
+    "route_circuit",
+    "RoutingMetrics",
+    "routing_metrics",
     "ResultCache",
     "register_backend",
     "resolve_backend",

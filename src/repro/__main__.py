@@ -13,8 +13,16 @@ Usage::
     python -m repro verify            # exhaustive construction checks
     python -m repro verify qutrit_tree -n 13 --undecomposed  # width-14 check
     python -m repro bench             # engine timings -> BENCH_noise.json
-                                      #                 + BENCH_verify.json
+                                      # + BENCH_verify.json + BENCH_route.json
     python -m repro bench --smoke     # CI-sized variant
+    python -m repro bench --smoke --check-route BENCH_route.json  # CI gate
+
+    # Section VII connectivity study: route onto the topology zoo.
+    python -m repro route --construction qutrit_tree --controls 8
+    python -m repro route --controls 8 --topology line grid_2d heavy_hex \\
+        --router both --noise SC
+    python -m repro route --controls 8 --router lookahead --lookahead 32 \\
+        --placement-trials 8 --trials 200   # + trajectory fidelity
 
     # Circuits are serializable values: persist, inspect, and replay.
     python -m repro circuit save --construction qutrit_tree --controls 5 \\
@@ -266,10 +274,16 @@ def _cmd_circuit_load(args: argparse.Namespace) -> None:
 
 
 def _cmd_bench(args: argparse.Namespace) -> None:
+    import json
+    from pathlib import Path
+
     from .analysis.bench import (
+        check_route_regression,
         render_report,
+        render_route_report,
         render_verify_report,
         run_bench,
+        run_route_bench,
         run_verify_bench,
         write_report,
     )
@@ -285,6 +299,114 @@ def _cmd_bench(args: argparse.Namespace) -> None:
     if args.verify_out != "-":
         path = write_report(verify_report, args.verify_out)
         print(f"\nwrote {path}")
+    route_report = run_route_bench(smoke=args.smoke)
+    print()
+    print(render_route_report(route_report))
+    if args.route_out != "-":
+        path = write_report(route_report, args.route_out)
+        print(f"\nwrote {path}")
+    if args.check_route is not None:
+        try:
+            committed = json.loads(Path(args.check_route).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise SystemExit(
+                f"cannot read committed routing report "
+                f"{args.check_route}: {error}"
+            )
+        failures = check_route_regression(committed, route_report)
+        if failures:
+            print("\nrouting regression check FAILED:")
+            for failure in failures:
+                print(f"  {failure}")
+            raise SystemExit(1)
+        print(
+            f"\nrouting regression check passed against {args.check_route}"
+        )
+
+
+def _cmd_route(args: argparse.Namespace) -> None:
+    from .arch.metrics import estimate_routed_fidelity, routing_metrics
+    from .arch.router import LookaheadRouter, GreedyRouter, RouterConfig
+    from .arch.topology import TOPOLOGY_KINDS, sized_topology
+    from .execution import resolve_pipeline
+    from .noise.presets import ALL_MODELS
+    from .toffoli.registry import construction_circuit
+
+    noise_model = None
+    if args.noise is not None:
+        if args.noise not in ALL_MODELS:
+            raise SystemExit(
+                f"unknown noise model {args.noise!r}; "
+                f"choose from {sorted(ALL_MODELS)}"
+            )
+        noise_model = ALL_MODELS[args.noise]
+    if args.trials and noise_model is None:
+        raise SystemExit("--trials needs --noise (the model to sample)")
+
+    if args.file is not None:
+        circuit = _read_circuit(args.file)
+        label = args.file
+    else:
+        circuit = construction_circuit(args.construction, args.controls)
+        label = f"{args.construction}(N={args.controls})"
+    pipeline = resolve_pipeline(args.pipeline)
+    if pipeline is not None:
+        circuit = pipeline.compile(circuit).circuit
+    wires = circuit.all_qudits()
+
+    config = RouterConfig(
+        lookahead=args.lookahead,
+        placement_trials=args.placement_trials,
+        seed=args.seed,
+    )
+    routers = {
+        "lookahead": [LookaheadRouter(config)],
+        "greedy": [GreedyRouter()],
+        "both": [GreedyRouter(), LookaheadRouter(config)],
+    }[args.router]
+
+    unknown = [k for k in args.topology if k not in TOPOLOGY_KINDS]
+    if unknown:
+        raise SystemExit(
+            f"unknown topology kind(s) {unknown}; "
+            f"choose from {sorted(TOPOLOGY_KINDS)}"
+        )
+
+    print(
+        f"routing {label}: {len(wires)} wires, depth {circuit.depth}, "
+        f"{circuit.two_qudit_gate_count} two-qudit gates"
+    )
+    header = (
+        f"{'topology':>16s} {'router':>9s} {'swaps':>6s} {'depth':>6s} "
+        f"{'overhead':>8s} {'swap/2q':>8s}"
+    )
+    if noise_model is not None:
+        header += f" {'fid~':>7s}"
+        if args.trials:
+            header += f" {'fid(mc)':>9s}"
+    print(header)
+    for kind in args.topology:
+        topology = sized_topology(kind, len(wires), seed=args.seed)
+        for router in routers:
+            routed = router.route(circuit, topology, wires=wires)
+            metrics = routing_metrics(circuit, routed, noise_model)
+            row = (
+                f"{routed.topology_name:>16s} {routed.router_name:>9s} "
+                f"{routed.swap_count:6d} {routed.depth:6d} "
+                f"{metrics.depth_overhead:8.2f} {metrics.swap_overhead:8.2f}"
+            )
+            if noise_model is not None:
+                row += f" {metrics.fidelity_proxy:7.3f}"
+                if args.trials:
+                    estimate = estimate_routed_fidelity(
+                        routed, noise_model,
+                        trials=args.trials, seed=args.seed,
+                    )
+                    row += (
+                        f" {estimate.mean_fidelity:6.3f}"
+                        f"±{estimate.two_sigma:.3f}"
+                    )
+            print(row)
 
 
 def _cmd_verify(args: argparse.Namespace) -> None:
@@ -348,7 +470,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     run.add_argument(
         "--pipeline", default=None,
-        choices=["lowering", "qutrit-promotion", "hardware-line"],
+        choices=[
+            "lowering", "qutrit-promotion", "hardware-line",
+            "hardware-grid", "hardware-heavy-hex",
+        ],
     )
     run.add_argument(
         "--noise", default=None,
@@ -407,8 +532,68 @@ def main(argv: list[str] | None = None) -> int:
         "--verify-out", default="BENCH_verify.json",
         help="verification-report path ('-' skips writing)",
     )
+    bench.add_argument(
+        "--route-out", default="BENCH_route.json",
+        help="routing-report path ('-' skips writing)",
+    )
+    bench.add_argument(
+        "--check-route", default=None, metavar="BASELINE",
+        help="compare the fresh routing report against this committed "
+        "JSON and exit non-zero if a deterministic metric degraded >3x "
+        "(the CI bench-regression gate)",
+    )
     bench.add_argument("--seed", type=int, default=2019)
     bench.set_defaults(func=_cmd_bench)
+
+    route = sub.add_parser(
+        "route",
+        help="route a construction onto the topology zoo (Sec. VII study)",
+    )
+    route.add_argument(
+        "--construction", default="qutrit_tree",
+        help="registry name (see 'verify' output for the list)",
+    )
+    route.add_argument("--controls", type=int, default=8)
+    route.add_argument(
+        "--file", default=None,
+        help="route a saved circuit JSON instead of a construction",
+    )
+    route.add_argument(
+        "--pipeline", default=None,
+        choices=["lowering", "qutrit-promotion"],
+        help="compile before routing (constructions come pre-lowered)",
+    )
+    route.add_argument(
+        "--topology", nargs="+",
+        default=["line", "grid_2d", "heavy_hex", "all_to_all"],
+        help="topology zoo kinds, sized to the circuit "
+        "(line ring star tree grid_2d heavy_hex random_regular "
+        "all_to_all)",
+    )
+    route.add_argument(
+        "--router", default="lookahead",
+        choices=["lookahead", "greedy", "both"],
+    )
+    route.add_argument(
+        "--lookahead", type=int, default=16,
+        help="lookahead window (upcoming 2-qudit gates scored)",
+    )
+    route.add_argument(
+        "--placement-trials", type=int, default=4,
+        help="random initial placements tried besides identity + "
+        "interaction order",
+    )
+    route.add_argument(
+        "--noise", default=None,
+        help="noise model name: adds the closed-form fidelity proxy",
+    )
+    route.add_argument(
+        "--trials", type=int, default=0,
+        help="with --noise: trajectory trials for a Monte-Carlo "
+        "fidelity estimate of each routed circuit (0 = proxy only)",
+    )
+    route.add_argument("--seed", type=int, default=2019)
+    route.set_defaults(func=_cmd_route)
 
     verify = sub.add_parser(
         "verify",
@@ -447,7 +632,10 @@ def main(argv: list[str] | None = None) -> int:
     save.add_argument("--controls", type=int, default=5)
     save.add_argument(
         "--pipeline", default=None,
-        choices=["lowering", "qutrit-promotion", "hardware-line"],
+        choices=[
+            "lowering", "qutrit-promotion", "hardware-line",
+            "hardware-grid", "hardware-heavy-hex",
+        ],
         help="compile before saving (same pipelines as 'run')",
     )
     save.add_argument(

@@ -22,7 +22,15 @@ trajectory; CI re-runs the smoke variants on every push):
   (:func:`~repro.toffoli.verification.verify_classical`) vs the looped
   per-input reference, plus the paper's Sec. 6 headline workload: the
   width-14 exhaustive check (qutrit tree, N=13 controls, all 2^14
-  classical inputs), timed end to end.
+  classical inputs), timed end to end;
+* **routing** (``BENCH_route.json``) — the Sec. VII connectivity study:
+  construction x topology x width, each routed by the greedy v1
+  baseline and the lookahead v2 engine
+  (:class:`~repro.arch.router.LookaheadRouter`), recording SWAP counts,
+  depth inflation, and the closed-form noise-model fidelity proxy.
+  Structural numbers (swaps, depths) are deterministic, so CI's
+  bench-regression step compares a fresh smoke run against the
+  committed JSON (:func:`check_route_regression`).
 
 All suites are seeded and deterministic in their *results*; timings are
 hardware-dependent (the JSON records the platform).
@@ -61,6 +69,9 @@ SCHEMA = "repro-bench-noise/v1"
 
 #: Schema tag of the verification report (``BENCH_verify.json``).
 VERIFY_SCHEMA = "repro-bench-verify/v1"
+
+#: Schema tag of the routing report (``BENCH_route.json``).
+ROUTE_SCHEMA = "repro-bench-route/v1"
 
 
 def _best_of(repeats: int, task: Callable[[], object]) -> tuple[float, object]:
@@ -316,6 +327,253 @@ def render_verify_report(report: dict) -> str:
             f"in {widest['seconds'] * 1000:.1f} ms",
         ]
     )
+
+
+# ----------------------------------------------------------------------
+# Routing suite (BENCH_route.json)
+# ----------------------------------------------------------------------
+
+#: Topology zoo kinds swept by the routing suite (sized per circuit).
+ROUTE_TOPOLOGIES: tuple[str, ...] = (
+    "line",
+    "grid_2d",
+    "ring",
+    "tree",
+    "heavy_hex",
+    "all_to_all",
+)
+
+#: Constructions swept: the paper's qutrit tree vs a qubit baseline.
+ROUTE_CONSTRUCTIONS: tuple[str, ...] = ("qutrit_tree", "qubit_one_dirty")
+
+#: Control counts of the full routing sweep (smoke keeps a prefix, so
+#: smoke records always join against the committed full report).
+ROUTE_WIDTHS: tuple[int, ...] = (4, 8, 12)
+ROUTE_SMOKE_WIDTHS: tuple[int, ...] = (4, 8)
+
+
+def bench_route_case(
+    construction: str,
+    num_controls: int,
+    topology_kind: str,
+    router: str,
+    model: NoiseModel = SC,
+    repeats: int = 1,
+) -> dict:
+    """Route one construction onto one sized topology; returns the record.
+
+    The structural outputs (swap count, depths, overheads) are
+    deterministic for a given library version — that is what the CI
+    regression gate compares — while ``seconds`` records wall-clock.
+    """
+    from ..arch.metrics import routing_metrics
+    from ..arch.router import resolve_router
+    from ..arch.topology import sized_topology
+
+    circuit = construction_circuit(construction, num_controls)
+    wires = circuit.all_qudits()
+    topology = sized_topology(topology_kind, len(wires))
+    engine = resolve_router(router)
+    seconds, routed = _best_of(
+        repeats,
+        lambda: engine.route(circuit, topology, wires=wires),
+    )
+    metrics = routing_metrics(circuit, routed, model)
+    record = metrics.to_dict()
+    record.update(
+        {
+            "construction": construction,
+            "num_controls": num_controls,
+            "wires": len(wires),
+            "topology_kind": topology_kind,
+            "topology": topology.name,
+            "sites": topology.size,
+            "noise_model": model.name,
+            "seconds": seconds,
+        }
+    )
+    return record
+
+
+def route_record_key(record: dict) -> tuple:
+    """The join key of one routing record (deterministic identity)."""
+    return (
+        record["construction"],
+        record["num_controls"],
+        record["topology_kind"],
+        record["router"],
+    )
+
+
+def bench_route(
+    constructions: tuple[str, ...] = ROUTE_CONSTRUCTIONS,
+    topologies: tuple[str, ...] = ROUTE_TOPOLOGIES,
+    widths: tuple[int, ...] = ROUTE_WIDTHS,
+    model: NoiseModel = SC,
+) -> list[dict]:
+    """The full construction x topology x width x router sweep."""
+    records = []
+    for construction in constructions:
+        for num_controls in widths:
+            for kind in topologies:
+                for router in ("greedy", "lookahead"):
+                    records.append(
+                        bench_route_case(
+                            construction, num_controls, kind, router,
+                            model=model,
+                        )
+                    )
+    return records
+
+
+def _route_headline(records: list[dict]) -> dict:
+    """The acceptance claims, precomputed from the record list.
+
+    * lookahead beats (or ties) greedy on swaps, per (construction,
+      topology, width) pair — with the N>=8 qutrit-tree line/grid cells
+      called out;
+    * the qutrit tree's swap overhead stays flat across widths while
+      the qubit baseline's grows (the Sec. VII trend).
+    """
+    by_key = {route_record_key(r): r for r in records}
+    lookahead_wins = []
+    for record in records:
+        if record["router"] != "lookahead":
+            continue
+        greedy = by_key.get(
+            (
+                record["construction"],
+                record["num_controls"],
+                record["topology_kind"],
+                "greedy",
+            )
+        )
+        if greedy is None:
+            continue
+        lookahead_wins.append(
+            {
+                "construction": record["construction"],
+                "num_controls": record["num_controls"],
+                "topology_kind": record["topology_kind"],
+                "greedy_swaps": greedy["swap_count"],
+                "lookahead_swaps": record["swap_count"],
+                "beats_greedy": (
+                    record["swap_count"] <= greedy["swap_count"]
+                ),
+            }
+        )
+
+    def overhead_growth(construction: str, kind: str) -> float | None:
+        per_width = sorted(
+            (
+                r["num_controls"], r["swap_overhead"]
+            )
+            for r in records
+            if r["construction"] == construction
+            and r["topology_kind"] == kind
+            and r["router"] == "lookahead"
+        )
+        if len(per_width) < 2:
+            return None
+        first, last = per_width[0][1], per_width[-1][1]
+        return last / first if first else None
+
+    constructions = sorted({r["construction"] for r in records})
+    kinds = sorted({r["topology_kind"] for r in records})
+    return {
+        "lookahead_vs_greedy": lookahead_wins,
+        "swap_overhead_growth": {
+            construction: {
+                kind: overhead_growth(construction, kind) for kind in kinds
+            }
+            for construction in constructions
+        },
+    }
+
+
+def run_route_bench(smoke: bool = False) -> dict:
+    """Run the routing suite and return the JSON-ready report.
+
+    ``smoke`` keeps the width prefix (:data:`ROUTE_SMOKE_WIDTHS`) so CI
+    finishes fast while every smoke record still joins against the
+    committed full report for the regression gate.
+    """
+    widths = ROUTE_SMOKE_WIDTHS if smoke else ROUTE_WIDTHS
+    records = bench_route(widths=widths)
+    return {
+        "schema": ROUTE_SCHEMA,
+        "generated_by": "python -m repro bench"
+        + (" --smoke" if smoke else ""),
+        "smoke": smoke,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "records": records,
+        "headline": _route_headline(records),
+    }
+
+
+def render_route_report(report: dict) -> str:
+    """Human-readable summary of :func:`run_route_bench` output."""
+    lines = [
+        f"routing bench ({'smoke' if report['smoke'] else 'full'})",
+        "",
+        f"{'construction':>18s} {'N':>3s} {'topology':>16s} "
+        f"{'router':>9s} {'swaps':>6s} {'depth':>6s} {'overhead':>8s} "
+        f"{'fid~':>7s}",
+    ]
+    for record in report["records"]:
+        proxy = record.get("fidelity_proxy")
+        lines.append(
+            f"{record['construction']:>18s} {record['num_controls']:3d} "
+            f"{record['topology']:>16s} {record['router']:>9s} "
+            f"{record['swap_count']:6d} {record['routed_depth']:6d} "
+            f"{record['depth_overhead']:8.2f} "
+            + (f"{proxy:7.3f}" if proxy is not None else "      -")
+        )
+    growth = report["headline"]["swap_overhead_growth"]
+    lines.append("")
+    lines.append("swap-overhead growth (lookahead, widest/narrowest):")
+    for construction, kinds in growth.items():
+        cells = ", ".join(
+            f"{kind}={value:.1f}x" if value is not None else f"{kind}=-"
+            for kind, value in kinds.items()
+        )
+        lines.append(f"  {construction:>18s}: {cells}")
+    return "\n".join(lines)
+
+
+def check_route_regression(
+    committed: dict, fresh: dict, factor: float = 3.0
+) -> list[str]:
+    """Compare a fresh routing report against the committed baseline.
+
+    Joins records on :func:`route_record_key` and flags any case whose
+    deterministic structural metrics (``swap_count``, ``routed_depth``)
+    degraded by more than ``factor`` — the CI bench-regression gate.
+    Records present on only one side are skipped (the smoke sweep is a
+    width-prefix subset of the committed full sweep).  Returns the list
+    of failure messages (empty = pass).
+    """
+    baseline = {route_record_key(r): r for r in committed["records"]}
+    failures = []
+    for record in fresh["records"]:
+        base = baseline.get(route_record_key(record))
+        if base is None:
+            continue
+        for metric in ("swap_count", "routed_depth"):
+            allowed = factor * max(base[metric], 1)
+            if record[metric] > allowed:
+                failures.append(
+                    f"{record['construction']} N={record['num_controls']} "
+                    f"{record['topology_kind']}/{record['router']}: "
+                    f"{metric} {record[metric]} exceeds {factor:g}x "
+                    f"committed {base[metric]}"
+                )
+    return failures
 
 
 def run_bench(smoke: bool = False, seed: int = 2019) -> dict:

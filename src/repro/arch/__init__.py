@@ -1,21 +1,80 @@
-"""Device connectivity and routing (the paper's Section 9 discussion).
+"""Device connectivity and routing (the paper's Sec. 7/9 discussion).
 
-The paper's circuits assume all-to-all connectivity; Section 9 notes that
-mapping onto a nearest-neighbour 2D architecture stretches the qutrit
-tree's depth from log N toward sqrt(N), while trapped-ion chains (all-to-
-all) keep the log.  This package makes that discussion measurable: device
-topologies, a SWAP-inserting router, and depth-inflation analysis.
+The paper's circuits assume all-to-all connectivity; Section 9 notes
+that mapping onto a nearest-neighbour 2D architecture stretches the
+qutrit tree's depth from log N toward sqrt(N), while trapped-ion chains
+(all-to-all) keep the log.  This package makes that discussion
+measurable, three layers deep:
+
+* :mod:`~repro.arch.topology` — the topology zoo (line, ring, star,
+  tree, 2D grid, heavy-hex, random-regular, all-to-all), each built
+  from a serializable :class:`TopologySpec` with cached all-pairs
+  distances;
+* :mod:`~repro.arch.routing` / :mod:`~repro.arch.router` — the greedy
+  v1 baseline and the lookahead (SABRE-style) v2 engine with initial-
+  placement search;
+* :mod:`~repro.arch.metrics` — routing-aware cost records (SWAP
+  overhead, depth inflation, noise-model fidelity estimates).
 """
 
-from .topology import CouplingGraph, all_to_all, grid_2d, line
-from .routing import RoutedCircuit, route_circuit, swap_gate
+from .topology import (
+    TOPOLOGY_KINDS,
+    CouplingGraph,
+    TopologySpec,
+    all_to_all,
+    grid_2d,
+    heavy_hex,
+    line,
+    random_regular,
+    ring,
+    sized_topology,
+    star,
+    tree,
+)
+from .routing import (
+    RoutedCircuit,
+    operations_with_barriers,
+    route_circuit,
+    swap_gate,
+)
+from .router import (
+    ROUTERS,
+    GreedyRouter,
+    LookaheadRouter,
+    RouterConfig,
+    resolve_router,
+)
+from .metrics import (
+    RoutingMetrics,
+    estimate_routed_fidelity,
+    gate_error_proxy,
+    routing_metrics,
+)
 
 __all__ = [
     "CouplingGraph",
+    "TopologySpec",
+    "TOPOLOGY_KINDS",
     "all_to_all",
     "line",
+    "ring",
+    "star",
+    "tree",
     "grid_2d",
+    "heavy_hex",
+    "random_regular",
+    "sized_topology",
     "RoutedCircuit",
     "route_circuit",
+    "operations_with_barriers",
     "swap_gate",
+    "RouterConfig",
+    "LookaheadRouter",
+    "GreedyRouter",
+    "ROUTERS",
+    "resolve_router",
+    "RoutingMetrics",
+    "routing_metrics",
+    "gate_error_proxy",
+    "estimate_routed_fidelity",
 ]

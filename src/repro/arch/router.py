@@ -1,0 +1,568 @@
+"""Lookahead (SABRE-style) SWAP routing — the v2 engine.
+
+The greedy v1 router (:func:`repro.arch.routing.route_circuit`) walks
+each blocked gate's operands together one hop at a time, ignoring every
+other pending gate.  This module routes with the heuristic of Li, Ding
+& Xie's SABRE compiler instead:
+
+* the circuit is held as a gate dependency DAG; the **front layer** is
+  the set of gates with no unrouted predecessors;
+* when no front gate is executable, every SWAP touching a front gate's
+  operand is scored by the placement it would produce: the mean distance
+  of the front layer plus a discounted mean over a bounded **lookahead
+  window** of upcoming two-qudit gates;
+* a per-site **decay** penalty spreads consecutive SWAPs across the
+  device, avoiding ping-pong moves.
+
+On top of the per-gate heuristic the router searches over **initial
+placements** (identity, interaction-frequency order, and seeded random
+restarts), keeping the candidate with the fewest SWAPs.  Gates wider
+than two wires are lowered in place through the library's standard
+decomposition (:func:`repro.gates.decompositions.decompose_operation`)
+— the same rules :class:`~repro.execution.passes.DecomposeToWidth2`
+applies — instead of raising.  Barrier floors are re-issued in the
+routed circuit, matching the v1 contract.
+
+Worst-case safety: if the heuristic ever fails to free a gate within
+``max_stalled_swaps`` SWAPs (possible only on adversarial graphs), the
+router falls back to the greedy shortest-path walk for the oldest front
+gate, which guarantees progress and hence termination.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict, deque
+from dataclasses import dataclass, field
+from random import Random
+from typing import TYPE_CHECKING, Iterable
+
+from ..circuits.circuit import Circuit
+from ..circuits.operation import GateOperation
+from ..exceptions import SchedulingError
+from ..qudits import Qudit
+from .routing import (
+    BARRIER,
+    RoutedCircuit,
+    check_routable,
+    operations_with_barriers,
+    resolve_placement,
+    swap_gate,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .topology import CouplingGraph
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Tuning knobs of the lookahead router.
+
+    The defaults follow the SABRE paper's shape: a modest lookahead
+    window weighted at half the front layer, a light decay, and a few
+    seeded placement restarts.  ``placement_trials=0`` disables the
+    random restarts (identity and interaction-order placements are
+    still tried); an explicit ``placement`` argument disables the
+    search entirely.
+    """
+
+    #: Upcoming two-qudit gates scored beyond the front layer.
+    lookahead: int = 16
+    #: Weight of the lookahead window relative to the front layer.
+    lookahead_weight: float = 0.5
+    #: Additive per-SWAP penalty on recently-swapped sites.
+    decay: float = 0.01
+    #: SWAPs between decay resets.
+    decay_reset: int = 5
+    #: Random initial placements tried besides identity + interaction.
+    placement_trials: int = 4
+    #: Seed of the placement-restart stream.
+    seed: int = 2019
+    #: Stalled-SWAP budget before the greedy fallback fires.
+    max_stalled_swaps: int = 0  # 0 = auto (scales with device size)
+
+    def stall_budget(self, topology: "CouplingGraph") -> int:
+        """SWAPs tolerated without freeing a gate before falling back."""
+        if self.max_stalled_swaps > 0:
+            return self.max_stalled_swaps
+        return max(16, 4 * topology.size)
+
+
+def _lowered_operations(
+    circuit: Circuit,
+) -> Iterable["GateOperation | str"]:
+    """Schedule-ordered ops with wide gates decomposed, barriers kept."""
+    from ..gates.decompositions import decompose_operation
+
+    for op in operations_with_barriers(circuit):
+        if op is BARRIER or op.num_qudits <= 2:
+            yield op
+        else:
+            yield from decompose_operation(op)
+
+
+class _Segment:
+    """One barrier-delimited run of operations as a dependency DAG."""
+
+    def __init__(self, operations: list[GateOperation]) -> None:
+        self.operations = operations
+        #: op index -> number of unfinished predecessors.
+        self.blockers = [0] * len(operations)
+        #: op index -> indices unblocked when it finishes.
+        self.successors: list[list[int]] = [[] for _ in operations]
+        last_on_wire: dict[Qudit, int] = {}
+        for index, op in enumerate(operations):
+            for wire in op.qudits:
+                prev = last_on_wire.get(wire)
+                if prev is not None:
+                    self.successors[prev].append(index)
+                    self.blockers[index] += 1
+                last_on_wire[wire] = index
+        self.front = deque(
+            index
+            for index, count in enumerate(self.blockers)
+            if count == 0
+        )
+        #: Remaining two-qudit op indices in schedule order (for the
+        #: lookahead window); consumed lazily as gates execute.
+        self.pending_2q = deque(
+            index
+            for index, op in enumerate(operations)
+            if op.num_qudits == 2
+        )
+        self.done = [False] * len(operations)
+        self.remaining = len(operations)
+
+    def finish(self, index: int) -> list[int]:
+        """Mark ``index`` executed; returns newly unblocked op indices."""
+        self.done[index] = True
+        self.remaining -= 1
+        unblocked = []
+        for nxt in self.successors[index]:
+            self.blockers[nxt] -= 1
+            if self.blockers[nxt] == 0:
+                unblocked.append(nxt)
+        return unblocked
+
+    def window(self, size: int) -> list[GateOperation]:
+        """The next <= ``size`` unexecuted two-qudit ops past the front."""
+        while self.pending_2q and self.done[self.pending_2q[0]]:
+            self.pending_2q.popleft()
+        out = []
+        for index in self.pending_2q:
+            if len(out) >= size:
+                break
+            if not self.done[index] and self.blockers[index] > 0:
+                out.append(self.operations[index])
+        return out
+
+
+@dataclass
+class _RoutingState:
+    """Mutable placement state threaded through one routing pass."""
+
+    sites: list[Qudit]
+    where: dict[Qudit, int]
+    occupant: dict[int, Qudit | None]
+    routed: Circuit = field(default_factory=Circuit)
+    swap_count: int = 0
+
+    def apply_swap(self, swap, site_a: int, site_b: int) -> None:
+        self.routed.append(swap.on(self.sites[site_a], self.sites[site_b]))
+        wire_a = self.occupant[site_a]
+        wire_b = self.occupant[site_b]
+        self.occupant[site_a], self.occupant[site_b] = wire_b, wire_a
+        if wire_a is not None:
+            self.where[wire_a] = site_b
+        if wire_b is not None:
+            self.where[wire_b] = site_a
+        self.swap_count += 1
+
+
+class LookaheadRouter:
+    """Route circuits with the SABRE front-layer/lookahead heuristic."""
+
+    name = "lookahead"
+
+    def __init__(self, config: RouterConfig | None = None) -> None:
+        self.config = config or RouterConfig()
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+
+    def route(
+        self,
+        circuit: Circuit,
+        topology: "CouplingGraph",
+        placement: dict[Qudit, int] | None = None,
+        wires: list[Qudit] | None = None,
+    ) -> RoutedCircuit:
+        """Map ``circuit`` onto ``topology`` with lookahead SWAP search.
+
+        Same contract as :func:`repro.arch.routing.route_circuit`, plus:
+        gates wider than two wires are decomposed in place, and with
+        ``placement=None`` several initial placements are tried (see
+        :class:`RouterConfig`), returning the cheapest routing found.
+        """
+        logical_wires, dim = check_routable(circuit, topology, wires)
+        if not logical_wires:
+            return RoutedCircuit(
+                Circuit(), [], {}, {}, 0, topology.name,
+                router_name=self.name,
+            )
+        stream = list(_lowered_operations(circuit))
+
+        candidates = (
+            [resolve_placement(logical_wires, placement, topology.size)]
+            if placement is not None
+            else self._candidate_placements(logical_wires, stream, topology)
+        )
+        best: RoutedCircuit | None = None
+        for candidate in candidates:
+            routed = self._route_once(
+                stream, logical_wires, dim, topology, candidate
+            )
+            if best is None or (routed.swap_count, routed.depth) < (
+                best.swap_count, best.depth
+            ):
+                best = routed
+        assert best is not None
+        return best
+
+    # ------------------------------------------------------------------
+    # Initial placement search
+    # ------------------------------------------------------------------
+
+    def _candidate_placements(
+        self,
+        logical_wires: list[Qudit],
+        stream: list["GateOperation | str"],
+        topology: "CouplingGraph",
+    ) -> list[dict[Qudit, int]]:
+        """Identity, interaction-frequency, and seeded random placements."""
+        candidates = [{w: k for k, w in enumerate(logical_wires)}]
+        candidates.append(
+            self._interaction_placement(logical_wires, stream, topology)
+        )
+        rng = Random(self.config.seed)
+        for _ in range(max(0, self.config.placement_trials)):
+            sites = list(range(topology.size))
+            rng.shuffle(sites)
+            candidates.append(
+                {w: sites[k] for k, w in enumerate(logical_wires)}
+            )
+        # Each candidate costs a full routing pass; collisions are
+        # common on small devices (few distinct placements exist).
+        unique: dict[tuple, dict[Qudit, int]] = {}
+        for candidate in candidates:
+            unique.setdefault(
+                tuple(sorted(candidate.items())), candidate
+            )
+        return list(unique.values())
+
+    def _interaction_placement(
+        self,
+        logical_wires: list[Qudit],
+        stream: list["GateOperation | str"],
+        topology: "CouplingGraph",
+    ) -> dict[Qudit, int]:
+        """Greedy interaction-graph embedding.
+
+        Wires are visited by interaction degree (most-coupled first) and
+        each is placed on the free site minimising the summed distance
+        to its already-placed interaction partners — a cheap one-pass
+        approximation of subgraph embedding that gives tree- and
+        grid-shaped interaction graphs a near-native start.
+        """
+        weight: Counter[tuple[Qudit, Qudit]] = Counter()
+        degree: Counter[Qudit] = Counter()
+        for op in stream:
+            if op is BARRIER or op.num_qudits != 2:
+                continue
+            a, b = op.qudits
+            weight[(a, b) if a < b else (b, a)] += 1
+            degree[a] += 1
+            degree[b] += 1
+        partners: dict[Qudit, list[tuple[Qudit, int]]] = defaultdict(list)
+        for (a, b), count in weight.items():
+            partners[a].append((b, count))
+            partners[b].append((a, count))
+        table = topology.distance_table()
+        order = sorted(
+            logical_wires, key=lambda w: (-degree[w], w)
+        )
+        placed: dict[Qudit, int] = {}
+        free = set(range(topology.size))
+
+        def cost(site: int, wire: Qudit) -> int:
+            return sum(
+                table[site][placed[other]] * count
+                for other, count in partners[wire]
+                if other in placed
+            )
+
+        for wire in order:
+            site = min(free, key=lambda s: (cost(s, wire), s))
+            placed[wire] = site
+            free.discard(site)
+        return placed
+
+    # ------------------------------------------------------------------
+    # One routing pass
+    # ------------------------------------------------------------------
+
+    def _route_once(
+        self,
+        stream: list["GateOperation | str"],
+        logical_wires: list[Qudit],
+        dim: int,
+        topology: "CouplingGraph",
+        placement: dict[Qudit, int],
+    ) -> RoutedCircuit:
+        sites = [Qudit(index, dim) for index in range(topology.size)]
+        occupant: dict[int, Qudit | None] = {
+            s: None for s in range(topology.size)
+        }
+        for wire, site in placement.items():
+            occupant[site] = wire
+        state = _RoutingState(
+            sites=sites, where=dict(placement), occupant=occupant
+        )
+        swap = swap_gate(dim)
+
+        segment: list[GateOperation] = []
+        for op in stream:
+            if op is BARRIER:
+                self._route_segment(segment, state, topology, swap)
+                state.routed.barrier()
+                segment = []
+            else:
+                segment.append(op)
+        self._route_segment(segment, state, topology, swap)
+
+        return RoutedCircuit(
+            circuit=state.routed,
+            sites=sites,
+            final_placement={
+                w: state.where[w] for w in logical_wires
+            },
+            initial_placement=dict(placement),
+            swap_count=state.swap_count,
+            topology_name=topology.name,
+            router_name=self.name,
+        )
+
+    def _route_segment(
+        self,
+        operations: list[GateOperation],
+        state: _RoutingState,
+        topology: "CouplingGraph",
+        swap,
+    ) -> None:
+        """Route one barrier-delimited segment with the SABRE loop."""
+        if not operations:
+            return
+        segment = _Segment(operations)
+        table = topology.distance_table()
+        decay: dict[int, float] = defaultdict(float)
+        stalled = 0
+        stall_budget = self.config.stall_budget(topology)
+        last_swap: tuple[int, int] | None = None
+
+        while segment.remaining:
+            # Flush every executable front gate (1q always; 2q if the
+            # operands sit on coupled sites).
+            progressed = False
+            scan = len(segment.front)
+            for _ in range(scan):
+                index = segment.front.popleft()
+                op = segment.operations[index]
+                if op.num_qudits == 1:
+                    state.routed.append(
+                        op.gate.on(state.sites[state.where[op.qudits[0]]])
+                    )
+                elif topology.are_adjacent(
+                    state.where[op.qudits[0]], state.where[op.qudits[1]]
+                ):
+                    state.routed.append(
+                        op.gate.on(
+                            state.sites[state.where[op.qudits[0]]],
+                            state.sites[state.where[op.qudits[1]]],
+                        )
+                    )
+                else:
+                    segment.front.append(index)
+                    continue
+                segment.front.extend(segment.finish(index))
+                progressed = True
+            if progressed:
+                stalled = 0
+                decay.clear()
+                last_swap = None
+                continue
+            if not segment.front:  # pragma: no cover - DAG invariant
+                raise SchedulingError(
+                    "router invariant violated: pending operations with "
+                    "an empty front layer"
+                )
+
+            if stalled >= stall_budget:
+                # Heuristic is wedged (adversarial graph): greedily walk
+                # the oldest front gate's operands together.
+                self._greedy_unblock(
+                    segment.operations[segment.front[0]],
+                    state, topology, swap,
+                )
+                stalled = 0
+                continue
+
+            front_ops = [
+                segment.operations[index] for index in segment.front
+            ]
+            window = segment.window(self.config.lookahead)
+            choice = self._best_swap(
+                front_ops, window, state, topology, table, decay, last_swap
+            )
+            state.apply_swap(swap, *choice)
+            last_swap = choice
+            decay[choice[0]] += self.config.decay
+            decay[choice[1]] += self.config.decay
+            stalled += 1
+            if stalled % max(1, self.config.decay_reset) == 0:
+                decay.clear()
+
+    def _best_swap(
+        self,
+        front_ops: list[GateOperation],
+        window: list[GateOperation],
+        state: _RoutingState,
+        topology: "CouplingGraph",
+        table: list[list[int]],
+        decay: dict[int, float],
+        last_swap: tuple[int, int] | None,
+    ) -> tuple[int, int]:
+        """The SWAP minimising the front + discounted-window distance."""
+        where = state.where
+        active_sites = {
+            where[w] for op in front_ops for w in op.qudits
+        }
+        # Normalised pairs: an edge between two active sites would
+        # otherwise be scored in both orientations (score is symmetric).
+        candidates = sorted(
+            {
+                (min(site, other), max(site, other))
+                for site in active_sites
+                for other in topology.neighbors(site)
+            }
+        )
+
+        def score(site_a: int, site_b: int) -> float:
+            # Distances under the hypothetical swap, without mutating
+            # the placement: only wires on the two touched sites move.
+            moved = {}
+            wire_a = state.occupant[site_a]
+            wire_b = state.occupant[site_b]
+            if wire_a is not None:
+                moved[wire_a] = site_b
+            if wire_b is not None:
+                moved[wire_b] = site_a
+
+            def dist(op: GateOperation) -> int:
+                a, b = op.qudits
+                return table[moved.get(a, where[a])][
+                    moved.get(b, where[b])
+                ]
+
+            total = sum(dist(op) for op in front_ops) / len(front_ops)
+            if window:
+                total += (
+                    self.config.lookahead_weight
+                    * sum(dist(op) for op in window)
+                    / len(window)
+                )
+            return total * (1.0 + decay[site_a] + decay[site_b])
+
+        best_score: float | None = None
+        best: tuple[int, int] | None = None
+        for site_a, site_b in candidates:
+            if last_swap is not None and {site_a, site_b} == set(last_swap):
+                continue  # never undo the move we just made
+            value = score(site_a, site_b)
+            if best_score is None or value < best_score:
+                best_score = value
+                best = (site_a, site_b)
+        if best is None:
+            # Only the reversing swap exists (degree-1 pocket): take it.
+            best = last_swap  # type: ignore[assignment]
+        if best is None:  # pragma: no cover - check_routable guarantees
+            raise SchedulingError("no SWAP candidate on a connected device")
+        return best
+
+    def _greedy_unblock(
+        self,
+        op: GateOperation,
+        state: _RoutingState,
+        topology: "CouplingGraph",
+        swap,
+    ) -> None:
+        """Shortest-path fallback: force ``op``'s operands adjacent."""
+        wire_a, wire_b = op.qudits
+        while not topology.are_adjacent(
+            state.where[wire_a], state.where[wire_b]
+        ):
+            step = topology.shortest_path_step(
+                state.where[wire_a], state.where[wire_b]
+            )
+            state.apply_swap(swap, state.where[wire_a], step)
+
+
+class GreedyRouter:
+    """The v1 one-hop router behind the shared router interface."""
+
+    name = "greedy"
+
+    def route(
+        self,
+        circuit: Circuit,
+        topology: "CouplingGraph",
+        placement: dict[Qudit, int] | None = None,
+        wires: list[Qudit] | None = None,
+    ) -> RoutedCircuit:
+        from .routing import route_circuit
+
+        return route_circuit(
+            circuit, topology, placement=placement, wires=wires
+        )
+
+
+#: Router names accepted by :func:`resolve_router` and the CLI.
+ROUTERS = ("lookahead", "greedy")
+
+
+def resolve_router(
+    spec: "str | RouterConfig | LookaheadRouter | GreedyRouter | None",
+) -> "LookaheadRouter | GreedyRouter":
+    """Accept a router name, a config, an instance, or None (lookahead)."""
+    if spec is None:
+        return LookaheadRouter()
+    if isinstance(spec, (LookaheadRouter, GreedyRouter)):
+        return spec
+    if isinstance(spec, RouterConfig):
+        return LookaheadRouter(spec)
+    if spec == "lookahead":
+        return LookaheadRouter()
+    if spec == "greedy":
+        return GreedyRouter()
+    raise KeyError(
+        f"unknown router {spec!r}; choose from {list(ROUTERS)} or pass "
+        "a RouterConfig / router instance"
+    )
+
+
+__all__ = [
+    "RouterConfig",
+    "LookaheadRouter",
+    "GreedyRouter",
+    "ROUTERS",
+    "resolve_router",
+]

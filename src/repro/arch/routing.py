@@ -1,24 +1,34 @@
-"""Greedy SWAP routing onto constrained topologies.
+"""Greedy SWAP routing onto constrained topologies — the v1 baseline.
 
 Routes a logical circuit onto a :class:`~repro.arch.topology.CouplingGraph`
 by tracking a logical-to-physical placement and inserting SWAPs along
 shortest paths until each two-qudit gate's operands are adjacent.  The
-router is deliberately simple (the paper's Sec. 9 point is about
-*asymptotics* — log N circuits inflating toward sqrt(N) on 2D grids — not
-about router quality), but it is semantics-preserving and verified:
-the routed circuit equals the original up to the reported output
-placement.
+router is deliberately simple — one greedy hop at a time, no lookahead,
+no placement search — and is kept as the baseline the lookahead engine
+(:mod:`repro.arch.router`) is benchmarked against; both are
+semantics-preserving and verified: the routed circuit equals the
+original up to the reported output placement.
+
+Barrier floors are preserved: a ``barrier()`` placed in the logical
+circuit is re-issued at the matching point of the routed circuit (the
+same replay contract as ``Circuit.__add__``), so phase separations
+survive routing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Iterator
 
 from ..circuits.circuit import Circuit
+from ..circuits.operation import GateOperation
 from ..exceptions import SchedulingError
 from ..gates.base import PermutationGate
 from ..qudits import Qudit
+
+#: Sentinel yielded between operations wherever a barrier floor sits.
+BARRIER = "barrier"
 
 
 @lru_cache(maxsize=None)
@@ -29,6 +39,28 @@ def swap_gate(dim: int) -> PermutationGate:
         for b in range(dim):
             mapping[a * dim + b] = b * dim + a
     return PermutationGate(mapping, (dim, dim), f"SWAP(d{dim})")
+
+
+def operations_with_barriers(
+    circuit: Circuit,
+) -> Iterator["GateOperation | str"]:
+    """Operations in schedule order with :data:`BARRIER` markers interleaved.
+
+    Yields the circuit's operations moment by moment, emitting the
+    :data:`BARRIER` sentinel wherever a barrier floor was recorded — the
+    iteration routers consume so routed circuits preserve the source's
+    phase structure exactly like :meth:`Circuit.__add__` does.
+    """
+    floors = iter(circuit.barrier_floors)
+    next_floor = next(floors, None)
+    for index, moment in enumerate(circuit.moments):
+        while next_floor is not None and next_floor <= index:
+            yield BARRIER
+            next_floor = next(floors, None)
+        yield from moment
+    while next_floor is not None:
+        yield BARRIER
+        next_floor = next(floors, None)
 
 
 @dataclass
@@ -44,6 +76,8 @@ class RoutedCircuit:
     initial_placement: dict[Qudit, int]
     swap_count: int
     topology_name: str
+    #: Which engine produced the routing ("greedy" / "lookahead").
+    router_name: str = "greedy"
 
     @property
     def depth(self) -> int:
@@ -55,29 +89,25 @@ class RoutedCircuit:
         return self.sites[self.final_placement[logical]]
 
 
-def route_circuit(
+def check_routable(
     circuit: Circuit,
     topology,
-    placement: dict[Qudit, int] | None = None,
-    wires: list[Qudit] | None = None,
-) -> RoutedCircuit:
-    """Map ``circuit`` onto ``topology``, inserting SWAPs as needed.
+    wires: list[Qudit] | None,
+) -> tuple[list[Qudit], int]:
+    """Validate a routing request; returns ``(logical wires, dimension)``.
 
-    All logical wires must share one dimension (the physical sites are
-    homogeneous).  ``placement`` assigns logical wires to sites; defaults
-    to identity order over ``wires`` (default: the circuit's wires —
-    pass a superset to reserve sites for untouched data wires).  Raises
-    :class:`SchedulingError` for gates wider than two wires (lower
-    circuits first) or if the device is too small.
+    Shared by both routers: the wire list must cover the circuit, all
+    wires must share one dimension (physical sites are homogeneous), and
+    the device must be connected and large enough.  Raises
+    :class:`SchedulingError` otherwise.  An empty circuit returns
+    ``([], 0)``.
     """
     logical_wires = list(wires) if wires is not None else circuit.all_qudits()
     missing = set(circuit.all_qudits()) - set(logical_wires)
     if missing:
         raise SchedulingError(f"wires {sorted(missing)} not in wire list")
     if not logical_wires:
-        return RoutedCircuit(
-            Circuit(), [], {}, {}, 0, topology.name
-        )
+        return [], 0
     dims = {w.dimension for w in logical_wires}
     if len(dims) > 1:
         raise SchedulingError(
@@ -91,15 +121,66 @@ def route_circuit(
         )
     if not topology.is_connected():
         raise SchedulingError(f"{topology.name} is not connected")
+    return logical_wires, dim
+
+
+def resolve_placement(
+    logical_wires: list[Qudit],
+    placement: dict[Qudit, int] | None,
+    num_sites: int,
+) -> dict[Qudit, int]:
+    """The initial logical->site map (identity order by default).
+
+    Validates injectivity and site bounds — shared by both routers.
+    """
+    if placement is None:
+        return {w: k for k, w in enumerate(logical_wires)}
+    resolved = dict(placement)
+    occupied: set[int] = set()
+    for wire, site in resolved.items():
+        if not 0 <= site < num_sites:
+            raise SchedulingError(
+                f"placement site {site} outside 0..{num_sites - 1}"
+            )
+        if site in occupied:
+            raise SchedulingError(f"two wires placed on site {site}")
+        occupied.add(site)
+    missing = set(logical_wires) - set(resolved)
+    if missing:
+        raise SchedulingError(
+            f"placement missing wires {sorted(missing)}"
+        )
+    return resolved
+
+
+def route_circuit(
+    circuit: Circuit,
+    topology,
+    placement: dict[Qudit, int] | None = None,
+    wires: list[Qudit] | None = None,
+) -> RoutedCircuit:
+    """Map ``circuit`` onto ``topology``, inserting SWAPs as needed.
+
+    All logical wires must share one dimension (the physical sites are
+    homogeneous).  ``placement`` assigns logical wires to sites; defaults
+    to identity order over ``wires`` (default: the circuit's wires —
+    pass a superset to reserve sites for untouched data wires).  Barrier
+    floors of the source circuit are re-issued in the routed circuit.
+    Raises :class:`SchedulingError` for gates wider than two wires
+    (lower circuits first, or use the lookahead router which decomposes
+    them itself) or if the device is too small.
+    """
+    logical_wires, dim = check_routable(circuit, topology, wires)
+    if not logical_wires:
+        return RoutedCircuit(
+            Circuit(), [], {}, {}, 0, topology.name
+        )
 
     sites = [Qudit(index, dim) for index in range(topology.size)]
-    if placement is None:
-        placement = {w: k for k, w in enumerate(logical_wires)}
+    placement = resolve_placement(logical_wires, placement, topology.size)
     where = dict(placement)
     occupant: dict[int, Qudit | None] = {s: None for s in range(topology.size)}
     for wire, site in where.items():
-        if occupant[site] is not None:
-            raise SchedulingError(f"two wires placed on site {site}")
         occupant[site] = wire
 
     swap = swap_gate(dim)
@@ -117,7 +198,10 @@ def route_circuit(
             where[wire_b] = site_a
         swap_count += 1
 
-    for op in circuit.all_operations():
+    for op in operations_with_barriers(circuit):
+        if op is BARRIER:
+            routed.barrier()
+            continue
         if op.num_qudits == 1:
             routed.append(op.gate.on(sites[where[op.qudits[0]]]))
             continue
@@ -143,4 +227,5 @@ def route_circuit(
         initial_placement=placement,
         swap_count=swap_count,
         topology_name=topology.name,
+        router_name="greedy",
     )

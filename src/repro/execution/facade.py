@@ -53,18 +53,16 @@ ExecuteTarget = (
 #: Sweep parameter names routed to the backend run, not the builder.
 RUN_PARAMS = frozenset({"shots", "trials", "seed", "initial"})
 
-#: Named pipelines accepted as ``pipeline="..."``.
+#: Named pipelines accepted as ``pipeline="..."``.  The ``hardware-*``
+#: entries route through the lookahead engine onto a zoo topology sized
+#: to the circuit at compile time.
 NAMED_PIPELINES: dict[str, Callable[[], CompilePipeline]] = {
     "lowering": lowering_pipeline,
     "qutrit-promotion": qutrit_promotion_pipeline,
-    "hardware-line": lambda: hardware_pipeline(_line_topology),
+    "hardware-line": lambda: hardware_pipeline("line"),
+    "hardware-grid": lambda: hardware_pipeline("grid_2d"),
+    "hardware-heavy-hex": lambda: hardware_pipeline("heavy_hex"),
 }
-
-
-def _line_topology(size: int):
-    from ..arch.topology import line
-
-    return line(size)
 
 #: Same seed-derivation constant as :mod:`repro.sim.parallel`, so facade
 #: shards reproduce the existing parallel estimator exactly.

@@ -21,8 +21,16 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from ..arch.routing import route_circuit
-from ..arch.topology import CouplingGraph, all_to_all, line
+from ..arch.metrics import routing_metrics
+from ..arch.router import GreedyRouter, LookaheadRouter, RouterConfig, resolve_router
+from ..arch.routing import RoutedCircuit
+from ..arch.topology import (
+    CouplingGraph,
+    TopologySpec,
+    all_to_all,
+    line,
+    sized_topology,
+)
 from ..circuits.circuit import Circuit
 from ..circuits.operation import GateOperation
 from ..exceptions import DecompositionError
@@ -185,33 +193,71 @@ class PromoteQubitsToQutrits(CompilePass):
 class RouteToTopology(CompilePass):
     """Insert SWAPs so two-qudit gates only touch coupled sites.
 
-    ``topology`` is either a fixed :class:`CouplingGraph` or a callable
-    ``size -> CouplingGraph`` (e.g. :func:`repro.arch.topology.line`)
-    sized to the circuit at transform time.  Requires width <= 2 —
-    schedule :class:`DecomposeToWidth2` first.
+    ``topology`` may be a fixed :class:`CouplingGraph`, a serializable
+    :class:`~repro.arch.topology.TopologySpec`, a zoo kind name
+    (``"line"``, ``"grid_2d"``, ``"heavy_hex"``, ... — sized to the
+    circuit at transform time via
+    :func:`~repro.arch.topology.sized_topology`), or a callable
+    ``size -> CouplingGraph``.  ``router`` selects the engine: the
+    lookahead (SABRE-style) router by default, ``"greedy"`` for the v1
+    one-hop baseline, or a :class:`~repro.arch.router.RouterConfig` /
+    router instance for tuned runs.  The lookahead engine decomposes
+    gates wider than two wires itself; the greedy baseline requires
+    :class:`DecomposeToWidth2` first.
+
+    Besides the transformed circuit, the pass records routing-aware
+    metrics (:func:`repro.arch.metrics.routing_metrics`) in
+    ``last_metadata`` and keeps the full :class:`RoutedCircuit` —
+    placements included — as ``last_routed``.
     """
 
     def __init__(
         self,
-        topology: CouplingGraph | Callable[[int], CouplingGraph] = line,
+        topology: (
+            CouplingGraph
+            | TopologySpec
+            | str
+            | Callable[[int], CouplingGraph]
+        ) = line,
         placement: dict[Qudit, int] | None = None,
+        router: (
+            str | RouterConfig | LookaheadRouter | GreedyRouter | None
+        ) = None,
     ) -> None:
         self._topology = topology
         self._placement = placement
+        self._router = resolve_router(router)
+        #: Full routing record of the most recent transform.
+        self.last_routed: RoutedCircuit | None = None
+
+    @property
+    def name(self) -> str:
+        return f"RouteToTopology[{self._router.name}]"
+
+    def _resolve_topology(self, num_wires: int) -> CouplingGraph:
+        if isinstance(self._topology, CouplingGraph):
+            return self._topology
+        if isinstance(self._topology, TopologySpec):
+            return self._topology.build()
+        if isinstance(self._topology, str):
+            return sized_topology(self._topology, num_wires)
+        return self._topology(num_wires)
 
     def transform(self, circuit: Circuit) -> Circuit:
         wires = circuit.all_qudits()
-        topology = (
-            self._topology(len(wires))
-            if callable(self._topology)
-            else self._topology
-        )
-        routed = route_circuit(
+        topology = self._resolve_topology(len(wires))
+        routed = self._router.route(
             circuit, topology, placement=self._placement, wires=wires
         )
+        self.last_routed = routed
+        metrics = routing_metrics(circuit, routed)
         self.last_metadata = {
             "topology": routed.topology_name,
+            "router": routed.router_name,
             "swap_count": routed.swap_count,
+            "routed_depth": routed.depth,
+            "depth_overhead": metrics.depth_overhead,
+            "swap_overhead": metrics.swap_overhead,
             "initial_placement": dict(routed.initial_placement),
             "final_placement": dict(routed.final_placement),
         }

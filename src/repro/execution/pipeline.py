@@ -139,14 +139,20 @@ def qutrit_promotion_pipeline(dim: int = 3) -> CompilePipeline:
 
 
 def hardware_pipeline(
-    topology: CouplingGraph | Callable[[int], CouplingGraph],
+    topology: "CouplingGraph | str | Callable[[int], CouplingGraph]",
     placement: dict[Qudit, int] | None = None,
+    router: str | None = None,
 ) -> CompilePipeline:
-    """Full lowering for a constrained device: decompose, route, repack."""
+    """Full lowering for a constrained device: decompose, route, repack.
+
+    ``topology`` accepts everything :class:`RouteToTopology` does (zoo
+    kind names size themselves to the circuit); ``router`` picks the
+    engine (default: the lookahead router).
+    """
     return CompilePipeline(
         [
             DecomposeToWidth2(),
-            RouteToTopology(topology, placement),
+            RouteToTopology(topology, placement, router=router),
             ASAPReschedule(),
         ],
         name="hardware",

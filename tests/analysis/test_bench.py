@@ -5,14 +5,22 @@ import json
 import pytest
 
 from repro.analysis.bench import (
+    ROUTE_SCHEMA,
+    ROUTE_SMOKE_WIDTHS,
+    ROUTE_WIDTHS,
     SCHEMA,
     VERIFY_SCHEMA,
     bench_density,
+    bench_route_case,
     bench_verify_speedup,
     bench_verify_width14,
+    check_route_regression,
     render_report,
+    render_route_report,
     render_verify_report,
+    route_record_key,
     run_bench,
+    run_route_bench,
     run_verify_bench,
     write_report,
 )
@@ -101,3 +109,138 @@ class TestVerifyBench:
         assert record["width"] == 6
         assert record["inputs"] == 2**6
         assert record["seconds"] > 0
+
+
+@pytest.fixture(scope="module")
+def route_report():
+    return run_route_bench(smoke=True)
+
+
+@pytest.mark.slow
+class TestRouteBench:
+    def test_report_shape(self, route_report, tmp_path):
+        assert route_report["schema"] == ROUTE_SCHEMA
+        assert route_report["smoke"] is True
+        assert {"records", "headline", "platform"} <= set(route_report)
+        path = write_report(route_report, tmp_path / "BENCH_route.json")
+        assert json.loads(path.read_text())["schema"] == ROUTE_SCHEMA
+        text = render_route_report(route_report)
+        assert "lookahead" in text and "greedy" in text
+
+    def test_smoke_widths_are_a_prefix_of_full(self):
+        # The regression gate joins smoke records against the committed
+        # full report, so every smoke width must exist in the full sweep.
+        assert ROUTE_SMOKE_WIDTHS == ROUTE_WIDTHS[: len(ROUTE_SMOKE_WIDTHS)]
+
+    def test_records_are_complete_and_physical(self, route_report):
+        for record in route_report["records"]:
+            assert record["routed_depth"] >= record["logical_depth"]
+            assert record["routed_two_qudit"] == (
+                record["logical_two_qudit"] + record["swap_count"]
+            )
+            assert 0.0 < record["fidelity_proxy"] <= 1.0
+            assert record["sites"] >= record["wires"]
+            assert record["seconds"] > 0
+
+    def test_all_to_all_is_free(self, route_report):
+        for record in route_report["records"]:
+            if record["topology_kind"] == "all_to_all":
+                assert record["swap_count"] == 0
+                assert record["depth_overhead"] == 1.0
+
+    def test_acceptance_lookahead_beats_greedy_on_n8_tree(self, route_report):
+        # The BENCH_route.json acceptance claim, recomputed fresh.
+        wins = [
+            entry
+            for entry in route_report["headline"]["lookahead_vs_greedy"]
+            if entry["construction"] == "qutrit_tree"
+            and entry["num_controls"] >= 8
+            and entry["topology_kind"] in ("line", "grid_2d")
+        ]
+        assert wins
+        for entry in wins:
+            assert entry["lookahead_swaps"] < entry["greedy_swaps"]
+
+    def test_committed_report_matches_fresh_run(self, route_report):
+        # The repo's committed BENCH_route.json must agree with a fresh
+        # smoke run on the deterministic metrics (the CI gate's premise).
+        from pathlib import Path
+
+        committed_path = Path(__file__).parents[2] / "BENCH_route.json"
+        committed = json.loads(committed_path.read_text())
+        assert committed["schema"] == ROUTE_SCHEMA
+        assert check_route_regression(committed, route_report) == []
+        baseline = {
+            route_record_key(r): r for r in committed["records"]
+        }
+        joined = 0
+        for record in route_report["records"]:
+            base = baseline.get(route_record_key(record))
+            if base is None:
+                continue
+            joined += 1
+            assert record["swap_count"] == base["swap_count"]
+            assert record["routed_depth"] == base["routed_depth"]
+        assert joined == len(route_report["records"])
+
+
+class TestRouteCase:
+    def test_single_case_record(self):
+        record = bench_route_case("qutrit_tree", 4, "line", "lookahead")
+        assert record["construction"] == "qutrit_tree"
+        assert record["topology_kind"] == "line"
+        assert record["router"] == "lookahead"
+        assert record["wires"] == 5
+        assert route_record_key(record) == (
+            "qutrit_tree", 4, "line", "lookahead"
+        )
+
+
+class TestRouteRegressionCheck:
+    def _report(self, swaps, depth):
+        return {
+            "records": [
+                {
+                    "construction": "qutrit_tree",
+                    "num_controls": 8,
+                    "topology_kind": "line",
+                    "router": "lookahead",
+                    "swap_count": swaps,
+                    "routed_depth": depth,
+                }
+            ]
+        }
+
+    def test_identical_reports_pass(self):
+        report = self._report(10, 40)
+        assert check_route_regression(report, report) == []
+
+    def test_within_factor_passes(self):
+        assert check_route_regression(
+            self._report(10, 40), self._report(29, 40)
+        ) == []
+
+    def test_degraded_metric_fails(self):
+        failures = check_route_regression(
+            self._report(10, 40), self._report(31, 40)
+        )
+        assert len(failures) == 1
+        assert "swap_count" in failures[0]
+        failures = check_route_regression(
+            self._report(10, 40), self._report(10, 121)
+        )
+        assert "routed_depth" in failures[0]
+
+    def test_zero_baseline_uses_absolute_floor(self):
+        # committed 0 swaps: up to factor * 1 is tolerated.
+        assert check_route_regression(
+            self._report(0, 40), self._report(3, 40)
+        ) == []
+        assert check_route_regression(
+            self._report(0, 40), self._report(4, 40)
+        ) != []
+
+    def test_unmatched_records_are_skipped(self):
+        fresh = self._report(1000, 1000)
+        fresh["records"][0]["num_controls"] = 99
+        assert check_route_regression(self._report(10, 40), fresh) == []

@@ -1,0 +1,111 @@
+"""Tests for routing-aware cost metrics."""
+
+import pytest
+
+from repro.arch.metrics import (
+    estimate_routed_fidelity,
+    gate_error_proxy,
+    routing_metrics,
+)
+from repro.arch.router import LookaheadRouter
+from repro.arch.routing import route_circuit
+from repro.arch.topology import all_to_all, line
+from repro.noise.presets import SC
+from repro.toffoli.qutrit_tree import build_qutrit_tree
+from repro.toffoli.spec import GeneralizedToffoli
+
+
+@pytest.fixture(scope="module")
+def tree6():
+    return build_qutrit_tree(GeneralizedToffoli(6)).circuit
+
+
+class TestRoutingMetrics:
+    def test_structural_numbers(self, tree6):
+        routed = route_circuit(tree6, line(7))
+        metrics = routing_metrics(tree6, routed)
+        assert metrics.topology == "line(7)"
+        assert metrics.router == "greedy"
+        assert metrics.swap_count == routed.swap_count
+        assert metrics.logical_depth == tree6.depth
+        assert metrics.routed_depth == routed.depth
+        assert metrics.routed_two_qudit == (
+            metrics.logical_two_qudit + metrics.swap_count
+        )
+        assert metrics.depth_overhead == routed.depth / tree6.depth
+        assert metrics.swap_overhead == (
+            routed.swap_count / tree6.two_qudit_gate_count
+        )
+        assert metrics.fidelity_proxy is None
+        assert metrics.fidelity_cost is None
+
+    def test_free_routing_has_unit_overheads(self, tree6):
+        routed = LookaheadRouter().route(tree6, all_to_all(7))
+        metrics = routing_metrics(tree6, routed, SC)
+        assert metrics.swap_count == 0
+        assert metrics.depth_overhead == 1.0
+        assert metrics.swap_overhead == 0.0
+        assert metrics.fidelity_cost == pytest.approx(0.0)
+
+    def test_routing_costs_fidelity(self, tree6):
+        routed = route_circuit(tree6, line(7))
+        metrics = routing_metrics(tree6, routed, SC)
+        assert 0.0 < metrics.fidelity_proxy < metrics.logical_fidelity_proxy
+        assert 0.0 < metrics.fidelity_cost < 1.0
+
+    def test_to_dict_is_json_clean(self, tree6):
+        import json
+
+        routed = route_circuit(tree6, line(7))
+        record = routing_metrics(tree6, routed, SC).to_dict()
+        assert json.loads(json.dumps(record)) == record
+        assert record["router"] == "greedy"
+
+    def test_empty_circuit_edge_cases(self):
+        from repro.circuits.circuit import Circuit
+
+        empty = Circuit()
+        routed = route_circuit(empty, line(2))
+        metrics = routing_metrics(empty, routed, SC)
+        assert metrics.depth_overhead == 1.0
+        assert metrics.swap_overhead == 0.0
+        assert metrics.fidelity_proxy == 1.0
+
+
+class TestGateErrorProxy:
+    def test_matches_manual_product(self, tree6):
+        manual = 1.0
+        for op in tree6.all_operations():
+            dims = tuple(w.dimension for w in op.qudits)
+            manual *= 1.0 - SC.total_gate_error(dims)
+        assert gate_error_proxy(tree6, SC) == pytest.approx(manual)
+
+    def test_more_gates_less_fidelity(self, tree6):
+        routed = route_circuit(tree6, line(7))
+        assert gate_error_proxy(routed.circuit, SC) < gate_error_proxy(
+            tree6, SC
+        )
+
+
+class TestTrajectoryEstimate:
+    def test_routed_estimate_is_physical_and_seeded(self, tree6):
+        routed = route_circuit(tree6, line(7))
+        estimate = estimate_routed_fidelity(
+            routed, SC, trials=20, seed=11
+        )
+        again = estimate_routed_fidelity(
+            routed, SC, trials=20, seed=11
+        )
+        assert 0.0 <= estimate.mean_fidelity <= 1.0 + 1e-9
+        assert estimate.mean_fidelity == again.mean_fidelity
+
+    def test_constrained_device_loses_fidelity(self, tree6):
+        free = LookaheadRouter().route(tree6, all_to_all(7))
+        constrained = route_circuit(tree6, line(7))
+        f_free = estimate_routed_fidelity(
+            free, SC, trials=60, seed=3
+        ).mean_fidelity
+        f_line = estimate_routed_fidelity(
+            constrained, SC, trials=60, seed=3
+        ).mean_fidelity
+        assert f_line < f_free

@@ -1,0 +1,297 @@
+"""Tests for the lookahead (SABRE-style) router."""
+
+from itertools import product
+
+import pytest
+
+from repro.arch.router import (
+    ROUTERS,
+    GreedyRouter,
+    LookaheadRouter,
+    RouterConfig,
+    resolve_router,
+)
+from repro.arch.routing import route_circuit
+from repro.arch.topology import (
+    all_to_all,
+    grid_2d,
+    heavy_hex,
+    line,
+    random_regular,
+    ring,
+    sized_topology,
+    star,
+    tree,
+)
+from repro.circuits.circuit import Circuit
+from repro.exceptions import SchedulingError
+from repro.gates.controlled import ControlledGate
+from repro.gates.qubit import CNOT, X
+from repro.gates.qutrit import X01, X02, X_PLUS_1
+from repro.qudits import qubits, qutrits
+from repro.sim.classical import ClassicalSimulator
+from repro.toffoli.qutrit_tree import build_qutrit_tree
+from repro.toffoli.spec import GeneralizedToffoli
+
+ZOO = (line, ring, star, tree, all_to_all)
+
+
+def _check_semantics(circuit, wires, routed, levels=2):
+    """Routed circuit must equal the original up to the placements."""
+    sim = ClassicalSimulator()
+    for values in product(range(levels), repeat=len(wires)):
+        expected = sim.run(circuit, dict(zip(wires, values)))
+        site_values = {site: 0 for site in routed.sites}
+        for wire, value in zip(wires, values):
+            site_values[routed.sites[routed.initial_placement[wire]]] = value
+        out = sim.run(routed.circuit, site_values)
+        for wire in wires:
+            assert out[routed.output_site(wire)] == expected[wire], (
+                routed.topology_name,
+                values,
+            )
+
+
+def _ladder(wires):
+    """A qutrit circuit coupling far-apart wires (forces SWAPs)."""
+    gate = ControlledGate(X_PLUS_1, (3,), (1,))
+    n = len(wires)
+    ops = [gate.on(wires[k], wires[(k + n // 2) % n]) for k in range(n - 1)]
+    return Circuit(ops)
+
+
+class TestLookaheadCorrectness:
+    @pytest.mark.parametrize("factory", ZOO, ids=lambda f: f.__name__)
+    def test_semantics_preserved_on_every_zoo_kind(self, factory):
+        wires = qutrits(5)
+        circuit = _ladder(wires)
+        routed = LookaheadRouter().route(circuit, factory(5), wires=wires)
+        _check_semantics(circuit, wires, routed)
+
+    def test_semantics_on_heavy_hex_and_random_regular(self):
+        wires = qutrits(5)
+        circuit = _ladder(wires)
+        for topology in (heavy_hex(2, 2), random_regular(8, seed=4)):
+            routed = LookaheadRouter().route(circuit, topology, wires=wires)
+            _check_semantics(circuit, wires, routed)
+
+    def test_every_routed_two_qudit_gate_is_on_an_edge(self):
+        lowered = build_qutrit_tree(GeneralizedToffoli(8))
+        topology = grid_2d(3, 3)
+        routed = LookaheadRouter().route(lowered.circuit, topology)
+        for op in routed.circuit.all_operations():
+            if op.num_qudits == 2:
+                assert topology.are_adjacent(
+                    op.qudits[0].index, op.qudits[1].index
+                )
+
+    def test_placements_stay_bijective(self):
+        wires = qutrits(6)
+        routed = LookaheadRouter().route(
+            _ladder(wires), ring(6), wires=wires
+        )
+        finals = list(routed.final_placement.values())
+        assert len(set(finals)) == len(finals)
+
+    def test_all_to_all_is_free(self):
+        wires = qutrits(5)
+        circuit = _ladder(wires)
+        routed = LookaheadRouter().route(circuit, all_to_all(5), wires=wires)
+        assert routed.swap_count == 0
+        assert routed.circuit.num_operations == circuit.num_operations
+
+    def test_deterministic(self):
+        lowered = build_qutrit_tree(GeneralizedToffoli(6))
+        a = LookaheadRouter().route(lowered.circuit, line(7))
+        b = LookaheadRouter().route(lowered.circuit, line(7))
+        assert a.circuit == b.circuit
+        assert a.initial_placement == b.initial_placement
+
+    def test_empty_circuit(self):
+        routed = LookaheadRouter().route(Circuit(), line(3))
+        assert routed.swap_count == 0
+        assert routed.depth == 0
+
+
+class TestLookaheadQuality:
+    @pytest.mark.parametrize("n", [8, 12])
+    def test_beats_or_ties_greedy_on_the_tree(self, n):
+        # The acceptance trend of BENCH_route.json, asserted in-tree.
+        lowered = build_qutrit_tree(GeneralizedToffoli(n))
+        for topology in (line(n + 1), sized_topology("grid_2d", n + 1)):
+            greedy = route_circuit(lowered.circuit, topology)
+            smart = LookaheadRouter().route(lowered.circuit, topology)
+            assert smart.swap_count < greedy.swap_count
+
+    def test_placement_search_helps_or_ties(self):
+        lowered = build_qutrit_tree(GeneralizedToffoli(8))
+        no_search = LookaheadRouter(
+            RouterConfig(placement_trials=0)
+        ).route(lowered.circuit, line(9))
+        searched = LookaheadRouter(
+            RouterConfig(placement_trials=8)
+        ).route(lowered.circuit, line(9))
+        assert searched.swap_count <= no_search.swap_count
+
+
+class TestWideGates:
+    def test_undecomposed_tree_routes_without_raising(self):
+        # The 3-wire |2>-controlled gates lower in place (the greedy
+        # router raises on the same input).
+        built = build_qutrit_tree(GeneralizedToffoli(4), decompose=False)
+        with pytest.raises(SchedulingError):
+            route_circuit(built.circuit, line(5))
+        routed = LookaheadRouter().route(built.circuit, line(5))
+        assert routed.circuit.max_gate_width() <= 2
+        assert routed.swap_count > 0
+
+    def test_lowering_matches_decomposed_semantics(self):
+        from repro.sim.statevector import StateVectorSimulator
+
+        built = build_qutrit_tree(GeneralizedToffoli(3), decompose=False)
+        routed = LookaheadRouter().route(built.circuit, line(4))
+        sim = StateVectorSimulator()
+        values = {site: 0 for site in routed.sites}
+        for wire in built.controls:
+            values[routed.sites[routed.initial_placement[wire]]] = 1
+        state = sim.run_basis(
+            routed.circuit, routed.sites, [values[s] for s in routed.sites]
+        )
+        expected = [values[s] for s in routed.sites]
+        expected[routed.sites.index(routed.output_site(built.target))] ^= 1
+        assert state.probability_of(expected) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestBarriers:
+    def _barriered(self):
+        wires = qutrits(4)
+        gate = ControlledGate(X01, (3,), (1,))
+        circuit = Circuit([gate.on(wires[0], wires[1])])
+        circuit.barrier()
+        circuit.append([gate.on(wires[2], wires[3])])
+        return circuit, wires
+
+    @pytest.mark.parametrize("router", ["greedy", "lookahead"])
+    def test_barrier_floors_survive_routing(self, router):
+        # Regression: v1 dropped barrier floors entirely, letting
+        # disjoint-wire phases collapse into one moment.
+        circuit, wires = self._barriered()
+        routed = resolve_router(router).route(
+            circuit, line(4), wires=wires
+        )
+        assert routed.swap_count == 0
+        assert routed.circuit.barrier_floors == (1,)
+        assert routed.circuit.depth == 2  # without the fix: depth 1
+
+    @pytest.mark.parametrize("router", ["greedy", "lookahead"])
+    def test_composition_matches_circuit_add_contract(self, router):
+        circuit, wires = self._barriered()
+        routed = resolve_router(router).route(
+            circuit, line(4), wires=wires
+        )
+        # Appending to the routed circuit respects the replayed floor,
+        # exactly like Circuit.__add__ replay does on the original.
+        follow = X_PLUS_1.on(routed.sites[0])
+        depth_before = routed.circuit.depth
+        routed.circuit.append(follow)
+        assert routed.circuit.depth == depth_before  # slot under floor 2 ok
+
+    def test_lookahead_does_not_reorder_across_barriers(self):
+        wires = qutrits(3)
+        gate = ControlledGate(X02, (3,), (2,))
+        circuit = Circuit([gate.on(wires[0], wires[2])])
+        circuit.barrier()
+        circuit.append([gate.on(wires[1], wires[2])])
+        routed = LookaheadRouter().route(circuit, line(3), wires=wires)
+        _check_semantics(circuit, wires, routed, levels=3)
+        assert routed.circuit.barrier_floors
+
+
+class TestConfigAndDispatch:
+    def test_resolve_router_names(self):
+        assert isinstance(resolve_router("lookahead"), LookaheadRouter)
+        assert isinstance(resolve_router("greedy"), GreedyRouter)
+        assert isinstance(resolve_router(None), LookaheadRouter)
+        assert set(ROUTERS) == {"lookahead", "greedy"}
+
+    def test_resolve_router_config_and_instance(self):
+        config = RouterConfig(lookahead=2)
+        router = resolve_router(config)
+        assert isinstance(router, LookaheadRouter)
+        assert router.config.lookahead == 2
+        assert resolve_router(router) is router
+
+    def test_unknown_router_rejected(self):
+        with pytest.raises(KeyError, match="unknown router"):
+            resolve_router("quantum-annealer")
+
+    def test_zero_lookahead_still_routes_correctly(self):
+        wires = qutrits(5)
+        circuit = _ladder(wires)
+        routed = LookaheadRouter(
+            RouterConfig(lookahead=0, placement_trials=0)
+        ).route(circuit, line(5), wires=wires)
+        _check_semantics(circuit, wires, routed)
+
+    def test_tiny_stall_budget_forces_greedy_fallback(self):
+        # max_stalled_swaps=1 fires the shortest-path fallback on every
+        # blocked gate; routing must stay correct.
+        wires = qutrits(5)
+        circuit = _ladder(wires)
+        routed = LookaheadRouter(
+            RouterConfig(max_stalled_swaps=1, placement_trials=0)
+        ).route(circuit, line(5), wires=wires)
+        _check_semantics(circuit, wires, routed)
+
+    def test_stall_budget_auto_scales(self):
+        config = RouterConfig()
+        assert config.stall_budget(line(100)) == 400
+        assert config.stall_budget(line(2)) == 16
+        assert RouterConfig(max_stalled_swaps=7).stall_budget(line(9)) == 7
+
+    def test_explicit_placement_is_respected(self):
+        wires = qubits(3)
+        circuit = Circuit([CNOT.on(wires[0], wires[2])])
+        placement = {wires[0]: 2, wires[1]: 1, wires[2]: 0}
+        routed = LookaheadRouter().route(
+            circuit, line(3), placement=placement, wires=wires
+        )
+        assert routed.initial_placement == placement
+
+    def test_invalid_placement_rejected(self):
+        wires = qubits(2)
+        circuit = Circuit([CNOT.on(*wires)])
+        with pytest.raises(SchedulingError, match="two wires"):
+            LookaheadRouter().route(
+                circuit, line(2),
+                placement={wires[0]: 0, wires[1]: 0}, wires=wires,
+            )
+        with pytest.raises(SchedulingError, match="outside"):
+            LookaheadRouter().route(
+                circuit, line(2),
+                placement={wires[0]: 0, wires[1]: 5}, wires=wires,
+            )
+        with pytest.raises(SchedulingError, match="missing"):
+            LookaheadRouter().route(
+                circuit, line(2),
+                placement={wires[0]: 0}, wires=wires,
+            )
+
+    def test_shared_validation_matches_greedy(self):
+        from repro.qudits import Qudit
+
+        a, b = Qudit(0, 2), Qudit(1, 3)
+        mixed = Circuit([ControlledGate(X_PLUS_1, (2,), (1,)).on(a, b)])
+        with pytest.raises(SchedulingError, match="homogeneous"):
+            LookaheadRouter().route(mixed, line(2))
+        wide = Circuit([CNOT.on(*qubits(2))])
+        with pytest.raises(SchedulingError, match="sites for"):
+            LookaheadRouter().route(wide, line(1))
+
+    def test_single_qudit_gates_follow_placement(self):
+        wires = qubits(3)
+        circuit = Circuit(
+            [CNOT.on(wires[0], wires[2]), X.on(wires[0])]
+        )
+        routed = LookaheadRouter().route(circuit, line(3), wires=wires)
+        _check_semantics(circuit, wires, routed)

@@ -153,6 +153,50 @@ class TestRouting:
         assert routed.depth == 0
 
 
+class TestBarrierRegression:
+    """route_circuit dropped barrier floors before routing v2."""
+
+    def test_barrier_floors_preserved(self):
+        wires = qutrits(4)
+        gate = ControlledGate(X01, (3,), (1,))
+        circuit = Circuit([gate.on(wires[0], wires[1])])
+        circuit.barrier()
+        circuit.append([gate.on(wires[2], wires[3])])
+        routed = route_circuit(circuit, line(4))
+        # No SWAPs needed, so the routed circuit must keep the two
+        # phases separated exactly like Circuit.__add__ replay would:
+        # without the fix both disjoint gates collapsed into moment 0.
+        assert routed.swap_count == 0
+        assert routed.circuit.barrier_floors == (1,)
+        assert routed.circuit.depth == 2
+
+    def test_trailing_barrier_survives(self):
+        wires = qutrits(2)
+        circuit = Circuit([X_PLUS_1.on(wires[0])])
+        circuit.barrier()
+        routed = route_circuit(circuit, line(2))
+        assert routed.circuit.barrier_floors == (1,)
+        # Later appends schedule at or after the replayed floor.
+        routed.circuit.append(X_PLUS_1.on(routed.sites[1]))
+        assert routed.circuit.depth == 2
+
+    def test_barriers_interleave_with_swaps(self):
+        wires = qutrits(3)
+        gate = ControlledGate(X01, (3,), (1,))
+        circuit = Circuit([gate.on(wires[0], wires[2])])
+        circuit.barrier()
+        circuit.append([gate.on(wires[0], wires[2])])
+        routed = route_circuit(circuit, line(3), wires=wires)
+        assert routed.swap_count > 0
+        assert len(routed.circuit.barrier_floors) == 1
+        # The floor sits after the first routed phase, not at index 1.
+        floor = routed.circuit.barrier_floors[0]
+        ops_before = sum(
+            len(m.operations) for m in routed.circuit.moments[:floor]
+        )
+        assert ops_before >= 2  # first gate plus its swap(s)
+
+
 class TestSection9Asymptotics:
     """The discussion the package exists for: topology inflates depth."""
 

@@ -1,8 +1,22 @@
-"""Tests for device coupling graphs."""
+"""Tests for device coupling graphs and the topology zoo."""
 
 import pytest
 
-from repro.arch.topology import CouplingGraph, all_to_all, grid_2d, line
+from repro.arch.topology import (
+    TOPOLOGY_KINDS,
+    CouplingGraph,
+    TopologySpec,
+    all_to_all,
+    grid_2d,
+    heavy_hex,
+    line,
+    random_regular,
+    ring,
+    sized_topology,
+    star,
+    tree,
+)
+from repro.exceptions import SerializationError
 
 
 class TestConstruction:
@@ -69,3 +83,150 @@ class TestMetrics:
     def test_shortest_path_step_rejects_same_site(self):
         with pytest.raises(ValueError):
             line(3).shortest_path_step(1, 1)
+
+    def test_distance_table_is_cached_and_consistent(self):
+        graph = grid_2d(3, 3)
+        table = graph.distance_table()
+        assert table is graph.distance_table()
+        for a in range(graph.size):
+            for b in range(graph.size):
+                assert table[a][b] == graph.distance(a, b)
+
+
+class TestZoo:
+    def test_ring_wraps_around(self):
+        graph = ring(6)
+        assert graph.are_adjacent(0, 5)
+        assert graph.distance(0, 5) == 1
+        assert graph.diameter() == 3
+
+    def test_tiny_rings_are_simple_graphs(self):
+        assert ring(1).size == 1
+        assert ring(2).are_adjacent(0, 1)
+        assert ring(2).degree(0) == 1  # no doubled edge
+
+    def test_star_hub_touches_everything(self):
+        graph = star(7)
+        assert all(graph.are_adjacent(0, leaf) for leaf in range(1, 7))
+        assert graph.diameter() == 2
+        assert graph.degree(0) == 6
+
+    def test_tree_parent_structure(self):
+        graph = tree(7)  # complete binary tree
+        assert graph.are_adjacent(1, 0) and graph.are_adjacent(2, 0)
+        assert graph.are_adjacent(3, 1) and graph.are_adjacent(6, 2)
+        assert not graph.are_adjacent(3, 2)
+
+    def test_tree_branching_factor(self):
+        graph = tree(7, branching=3)
+        assert graph.degree(0) == 3
+        with pytest.raises(ValueError):
+            tree(4, branching=0)
+
+    def test_heavy_hex_degree_bound(self):
+        graph = heavy_hex(3, 3)
+        assert graph.is_connected()
+        assert max(graph.degree(s) for s in range(graph.size)) <= 3
+        # Subdivision sites exist: more sites than the vertex grid.
+        assert graph.size > 9
+
+    def test_heavy_hex_rejects_empty(self):
+        with pytest.raises(ValueError):
+            heavy_hex(0, 3)
+
+    def test_heavy_hex_degenerate_shapes_stay_connected(self):
+        # Regression: the brick-wall parity used to isolate vertices in
+        # single-column lattices (heavy_hex(3, 1) had no edge to row 2).
+        for rows, cols in ((3, 1), (5, 1), (1, 4), (4, 2)):
+            assert heavy_hex(rows, cols).is_connected(), (rows, cols)
+
+    def test_random_regular_is_regular_connected_deterministic(self):
+        graph = random_regular(12, degree=3, seed=5)
+        assert graph.is_connected()
+        assert all(graph.degree(s) == 3 for s in range(12))
+        again = random_regular(12, degree=3, seed=5)
+        assert graph.edges() == again.edges()
+        assert random_regular(12, degree=3, seed=6).edges() != graph.edges()
+
+    def test_random_regular_odd_product_lowers_degree(self):
+        # 5 sites x degree 3 is odd; the factory drops to degree 2.
+        graph = random_regular(5, degree=3, seed=1)
+        assert all(graph.degree(s) == 2 for s in range(5))
+
+    def test_random_regular_clamps_degree(self):
+        graph = random_regular(4, degree=9, seed=1)
+        assert all(graph.degree(s) == 3 for s in range(4))
+
+    def test_factories_are_memoised(self):
+        assert line(9) is line(9)
+        assert heavy_hex(2, 2) is heavy_hex(2, 2)
+
+    def test_edges_listing(self):
+        assert line(3).edges() == [(0, 1), (1, 2)]
+
+
+class TestTopologySpec:
+    def test_every_factory_records_a_buildable_spec(self):
+        graphs = [
+            all_to_all(5), line(5), ring(5), star(5), tree(5),
+            grid_2d(2, 3), heavy_hex(2, 2), random_regular(8, seed=3),
+        ]
+        for graph in graphs:
+            spec = graph.spec
+            assert spec is not None and spec.kind in TOPOLOGY_KINDS
+            rebuilt = spec.build()
+            assert rebuilt.size == graph.size
+            assert rebuilt.edges() == graph.edges()
+
+    def test_json_round_trip(self):
+        spec = grid_2d(3, 4).spec
+        assert TopologySpec.from_json(spec.to_json()) == spec
+        assert TopologySpec.from_dict(spec.to_dict()) == spec
+
+    def test_specs_are_hashable_values(self):
+        a = TopologySpec("line", {"size": 4})
+        b = TopologySpec("line", {"size": 4})
+        assert a == b and hash(a) == hash(b)
+        assert a != TopologySpec("line", {"size": 5})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError, match="unknown topology"):
+            TopologySpec("moebius", {"size": 4}).build()
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(SerializationError, match="bad parameters"):
+            TopologySpec("line", {"rows": 4}).build()
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(SerializationError):
+            TopologySpec.from_json("not json")
+        with pytest.raises(SerializationError):
+            TopologySpec.from_json("[1, 2]")
+        with pytest.raises(SerializationError):
+            TopologySpec.from_dict({"params": {}})
+
+
+class TestSizedTopology:
+    @pytest.mark.parametrize("kind", sorted(TOPOLOGY_KINDS))
+    def test_every_kind_covers_the_requested_width(self, kind):
+        for width in (1, 2, 5, 9, 14):
+            graph = sized_topology(kind, width)
+            assert graph.size >= width
+            assert graph.is_connected()
+
+    def test_grid_is_near_square(self):
+        graph = sized_topology("grid_2d", 12)
+        assert graph.size in (12, 15)  # 3x4 or 3x5 depending on isqrt
+
+    def test_exact_kinds_are_exactly_sized(self):
+        for kind in ("line", "ring", "star", "tree", "all_to_all"):
+            assert sized_topology(kind, 7).size == 7
+
+    def test_random_regular_uses_seed(self):
+        a = sized_topology("random_regular", 10, seed=1)
+        b = sized_topology("random_regular", 10, seed=2)
+        assert a.edges() != b.edges()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError, match="unknown topology kind"):
+            sized_topology("torus", 5)

@@ -92,6 +92,19 @@ class TestPipelineIntegration:
         )
         assert result.metadata["pipeline"] == "lowering"
 
+    def test_named_hardware_pipelines_route_and_run(self):
+        for name in ("hardware-line", "hardware-grid", "hardware-heavy-hex"):
+            result = execute(
+                "qutrit_tree",
+                num_controls=3,
+                pipeline=name,
+            )
+            assert result.metadata["pipeline"] == "hardware"
+            assert any(
+                pass_name.startswith("RouteToTopology")
+                for pass_name in result.metadata["passes"]
+            )
+
 
 class TestSweeps:
     """The acceptance sweep: num_controls 3..7, parallel == serial."""

@@ -125,6 +125,61 @@ class TestRouteToTopology:
         assert route.last_metadata["swap_count"] == 0
         assert routed.num_operations == built.circuit.num_operations
 
+    def test_defaults_to_lookahead_router(self):
+        route = RouteToTopology(line)
+        assert route.name == "RouteToTopology[lookahead]"
+        built = build_toffoli("qutrit_tree", 4)
+        route.transform(built.circuit)
+        assert route.last_metadata["router"] == "lookahead"
+
+    def test_greedy_router_selectable(self):
+        built = build_toffoli("qutrit_tree", 4)
+        greedy = RouteToTopology(line, router="greedy")
+        assert greedy.name == "RouteToTopology[greedy]"
+        greedy.transform(built.circuit)
+        smart = RouteToTopology(line)
+        smart.transform(built.circuit)
+        assert (
+            smart.last_metadata["swap_count"]
+            <= greedy.last_metadata["swap_count"]
+        )
+
+    def test_topology_by_zoo_name(self):
+        built = build_toffoli("qutrit_tree", 4)
+        route = RouteToTopology("heavy_hex")
+        route.transform(built.circuit)
+        assert route.last_metadata["topology"].startswith("heavy-hex")
+
+    def test_topology_by_spec(self):
+        from repro.arch.topology import TopologySpec
+
+        built = build_toffoli("qutrit_tree", 4)
+        route = RouteToTopology(TopologySpec("ring", {"size": 5}))
+        route.transform(built.circuit)
+        assert route.last_metadata["topology"] == "ring(5)"
+
+    def test_metadata_and_last_routed(self):
+        built = build_toffoli("qutrit_tree", 4)
+        route = RouteToTopology(line)
+        routed_circuit = route.transform(built.circuit)
+        meta = route.last_metadata
+        assert meta["routed_depth"] == routed_circuit.depth
+        assert meta["depth_overhead"] >= 1.0
+        assert meta["swap_overhead"] >= 0.0
+        assert route.last_routed is not None
+        assert route.last_routed.circuit == routed_circuit
+        assert set(route.last_routed.final_placement) == set(
+            built.circuit.all_qudits()
+        )
+
+    def test_lookahead_routes_undecomposed_circuits(self):
+        # The v2 router lowers 3-wire gates itself; no DecomposeToWidth2
+        # needed upstream.
+        built = build_toffoli("qutrit_tree", 4, decompose=False)
+        route = RouteToTopology(line)
+        routed = route.transform(built.circuit)
+        assert routed.max_gate_width() <= 2
+
 
 class TestScheduling:
     def _barriered(self):

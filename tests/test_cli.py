@@ -115,3 +115,163 @@ class TestCircuitCli:
             main(["circuit", "show", str(path)])
         with pytest.raises(SystemExit, match="cannot read"):
             main(["circuit", "show", str(tmp_path / "missing.json")])
+
+
+class TestRouteCommand:
+    def test_route_default_table(self, capsys):
+        assert main(["route", "--controls", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "routing qutrit_tree(N=4)" in out
+        assert "line(5)" in out and "all-to-all(5)" in out
+        assert "lookahead" in out
+
+    def test_route_both_routers_with_noise(self, capsys):
+        assert main(
+            [
+                "route", "--controls", "4", "--topology", "line",
+                "--router", "both", "--noise", "SC",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "greedy" in out and "lookahead" in out
+        assert "fid~" in out
+
+    def test_route_trajectory_estimate(self, capsys):
+        assert main(
+            [
+                "route", "--controls", "3", "--topology", "line",
+                "--noise", "SC", "--trials", "10",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fid(mc)" in out and "±" in out
+
+    def test_route_trials_require_noise(self):
+        with pytest.raises(SystemExit, match="needs --noise"):
+            main(["route", "--controls", "3", "--trials", "5"])
+
+    def test_route_unknown_noise_rejected(self):
+        with pytest.raises(SystemExit, match="unknown noise model"):
+            main(["route", "--controls", "3", "--noise", "NOPE"])
+
+    def test_route_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit, match="unknown topology"):
+            main(["route", "--controls", "3", "--topology", "torus"])
+
+    def test_route_saved_circuit_file(self, tmp_path, capsys):
+        path = tmp_path / "c.json"
+        assert main(
+            [
+                "circuit", "save", "--construction", "qutrit_tree",
+                "--controls", "3", "--out", str(path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["route", "--file", str(path), "--topology", "ring"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ring(4)" in out
+
+    def test_route_router_knobs(self, capsys):
+        assert main(
+            [
+                "route", "--controls", "4", "--topology", "grid_2d",
+                "--lookahead", "4", "--placement-trials", "0",
+                "--seed", "7",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "grid" in out
+
+
+class TestBenchRouteCheck:
+    def _fresh_smoke_report(self):
+        from repro.analysis.bench import run_route_bench
+
+        return run_route_bench(smoke=True)
+
+    @staticmethod
+    def _stub_heavy_suites(monkeypatch):
+        # Only the routing suite matters here: stub the heavy noise and
+        # verification suites out of the bench command.
+        from repro.analysis import bench as bench_module
+
+        monkeypatch.setattr(
+            bench_module, "run_bench",
+            lambda smoke, seed: {"smoke": smoke, "seed": seed},
+        )
+        monkeypatch.setattr(
+            bench_module, "run_verify_bench", lambda smoke: {"smoke": smoke}
+        )
+        monkeypatch.setattr(
+            bench_module, "render_report", lambda report: "noise stub"
+        )
+        monkeypatch.setattr(
+            bench_module, "render_verify_report",
+            lambda report: "verify stub",
+        )
+
+    def test_check_route_passes_against_identical_baseline(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        report = self._fresh_smoke_report()
+        baseline = tmp_path / "BENCH_route.json"
+        baseline.write_text(json.dumps(report))
+        self._stub_heavy_suites(monkeypatch)
+        assert main(
+            [
+                "bench", "--smoke", "--out", "-", "--verify-out", "-",
+                "--route-out", str(tmp_path / "fresh.json"),
+                "--check-route", str(baseline),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "regression check passed" in out
+
+    def test_check_route_fails_on_degraded_baseline(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        report = self._fresh_smoke_report()
+        shrunk = json.loads(json.dumps(report))
+        for record in shrunk["records"]:
+            record["routed_depth"] = max(
+                1, record["routed_depth"] // 10
+            )
+        baseline = tmp_path / "BENCH_route.json"
+        baseline.write_text(json.dumps(shrunk))
+        self._stub_heavy_suites(monkeypatch)
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "bench", "--smoke", "--out", "-", "--verify-out", "-",
+                    "--route-out", "-", "--check-route", str(baseline),
+                ]
+            )
+        out = capsys.readouterr().out
+        assert "regression check FAILED" in out
+
+    def test_check_route_unreadable_baseline(self, tmp_path, monkeypatch):
+        from repro.analysis import bench as bench_module
+
+        self._stub_heavy_suites(monkeypatch)
+        monkeypatch.setattr(
+            bench_module, "run_route_bench",
+            lambda smoke: {"smoke": smoke, "records": []},
+        )
+        monkeypatch.setattr(
+            bench_module, "render_route_report",
+            lambda report: "route stub",
+        )
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(
+                [
+                    "bench", "--smoke", "--out", "-", "--verify-out", "-",
+                    "--route-out", "-",
+                    "--check-route", str(tmp_path / "missing.json"),
+                ]
+            )
