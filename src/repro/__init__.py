@@ -66,7 +66,10 @@ from .execution import (
     resolve_backend,
 )
 
-__version__ = "1.1.0"
+# The serving layer sits on top of the execution layer.
+from .service import Job, JobQueue, JobState, ResultStore
+
+__version__ = "1.2.0"
 
 #: Deprecated top-level names -> (module path, attribute) they forward to.
 _DEPRECATED_EXPORTS = {
@@ -132,6 +135,10 @@ __all__ = [
     "RoutingMetrics",
     "routing_metrics",
     "ResultCache",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "ResultStore",
     "register_backend",
     "resolve_backend",
     "available_backends",

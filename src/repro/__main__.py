@@ -14,8 +14,15 @@ Usage::
     python -m repro verify qutrit_tree -n 13 --undecomposed  # width-14 check
     python -m repro bench             # engine timings -> BENCH_noise.json
                                       # + BENCH_verify.json + BENCH_route.json
+                                      # + BENCH_serve.json
     python -m repro bench --smoke     # CI-sized variant
     python -m repro bench --smoke --check-route BENCH_route.json  # CI gate
+    python -m repro bench --smoke --check-serve BENCH_serve.json  # CI gate
+
+    # The execution service: async job queue over execute(), with
+    # coalescing, a persistent result store, and fair scheduling.
+    python -m repro serve --workers 4 --store .repro-store
+    python -m repro serve --socket /tmp/repro.sock
 
     # Section VII connectivity study: route onto the topology zoo.
     python -m repro route --construction qutrit_tree --controls 8
@@ -279,11 +286,14 @@ def _cmd_bench(args: argparse.Namespace) -> None:
 
     from .analysis.bench import (
         check_route_regression,
+        check_serve_regression,
         render_report,
         render_route_report,
+        render_serve_report,
         render_verify_report,
         run_bench,
         run_route_bench,
+        run_serve_bench,
         run_verify_bench,
         write_report,
     )
@@ -322,6 +332,56 @@ def _cmd_bench(args: argparse.Namespace) -> None:
         print(
             f"\nrouting regression check passed against {args.check_route}"
         )
+    serve_report = run_serve_bench(smoke=args.smoke, seed=args.seed)
+    print()
+    print(render_serve_report(serve_report))
+    if args.serve_out != "-":
+        path = write_report(serve_report, args.serve_out)
+        print(f"\nwrote {path}")
+    if args.check_serve is not None:
+        try:
+            committed = json.loads(Path(args.check_serve).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise SystemExit(
+                f"cannot read committed serve report "
+                f"{args.check_serve}: {error}"
+            )
+        failures = check_serve_regression(committed, serve_report)
+        if failures:
+            print("\nserve regression check FAILED:")
+            for failure in failures:
+                print(f"  {failure}")
+            raise SystemExit(1)
+        print(
+            f"\nserve regression check passed against {args.check_serve}"
+        )
+
+
+def _cmd_serve(args: argparse.Namespace) -> None:
+    from .execution.cache import ResultCache
+    from .service import JobQueue, ResultStore, serve_socket, serve_stdio
+
+    store = None
+    if args.store is not None:
+        store = ResultStore(
+            args.store,
+            max_bytes=args.store_max_bytes,
+            max_entries=args.store_max_entries,
+        )
+    queue = JobQueue(
+        workers=args.workers,
+        cache=ResultCache(backing=store),
+        max_pending=args.max_pending,
+        backpressure=args.backpressure,
+    )
+    try:
+        if args.socket is not None:
+            print(f"serving on {args.socket}", file=sys.stderr)
+            serve_socket(queue, args.socket)
+        else:
+            serve_stdio(queue)
+    finally:
+        queue.shutdown(wait=True, cancel_pending=True)
 
 
 def _cmd_route(args: argparse.Namespace) -> None:
@@ -542,8 +602,54 @@ def main(argv: list[str] | None = None) -> int:
         "JSON and exit non-zero if a deterministic metric degraded >3x "
         "(the CI bench-regression gate)",
     )
+    bench.add_argument(
+        "--serve-out", default="BENCH_serve.json",
+        help="serving-report path ('-' skips writing)",
+    )
+    bench.add_argument(
+        "--check-serve", default=None, metavar="BASELINE",
+        help="check the fresh serve report's sharing invariants "
+        "(exactly-once execution, restart served from the store) "
+        "against this committed JSON and exit non-zero on violation",
+    )
     bench.add_argument("--seed", type=int, default=2019)
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the execution service over line-delimited JSON "
+        "(stdin/stdout, or a Unix socket with --socket)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="worker threads draining the job queue",
+    )
+    serve.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persist results as content-addressed JSON under DIR "
+        "(default: in-memory cache only)",
+    )
+    serve.add_argument(
+        "--store-max-bytes", type=int, default=64 * 1024 * 1024,
+        help="persistent store size cap before LRU eviction",
+    )
+    serve.add_argument(
+        "--store-max-entries", type=int, default=4096,
+        help="persistent store entry cap before LRU eviction",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=256,
+        help="bound on distinct queued executions (backpressure)",
+    )
+    serve.add_argument(
+        "--backpressure", default="reject", choices=["reject", "block"],
+        help="policy at the bound: reject submissions or block them",
+    )
+    serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="serve on a Unix socket instead of stdin/stdout",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     route = sub.add_parser(
         "route",

@@ -54,6 +54,12 @@ from ..noise.presets import (
     SC_T1_GATES,
     TI_QUBIT,
 )
+from ..service.loadgen import (
+    SERVE_SCHEMA,
+    check_serve_regression,
+    render_serve_report,
+    run_serve_bench,
+)
 from ..sim.dense_reference import DenseDensityMatrixSimulator
 from ..sim.density import DensityMatrixSimulator
 from ..sim.fidelity import estimate_circuit_fidelity
@@ -64,6 +70,25 @@ from ..toffoli.verification import (
     verify_classical_looped,
 )
 
+__all__ = [
+    "SCHEMA",
+    "VERIFY_SCHEMA",
+    "ROUTE_SCHEMA",
+    "SERVE_SCHEMA",
+    "run_bench",
+    "run_verify_bench",
+    "run_route_bench",
+    "run_serve_bench",
+    "render_report",
+    "render_verify_report",
+    "render_route_report",
+    "render_serve_report",
+    "check_route_regression",
+    "check_serve_regression",
+    "route_record_key",
+    "write_report",
+]
+
 #: Schema tag written into the JSON, so later PRs can evolve the format.
 SCHEMA = "repro-bench-noise/v1"
 
@@ -72,6 +97,7 @@ VERIFY_SCHEMA = "repro-bench-verify/v1"
 
 #: Schema tag of the routing report (``BENCH_route.json``).
 ROUTE_SCHEMA = "repro-bench-route/v1"
+
 
 
 def _best_of(repeats: int, task: Callable[[], object]) -> tuple[float, object]:

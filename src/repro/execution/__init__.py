@@ -22,8 +22,22 @@ from .backends import (
     register_backend,
     resolve_backend,
 )
-from .cache import DEFAULT_CACHE, CacheStats, ResultCache, circuit_fingerprint
-from .facade import NAMED_PIPELINES, execute, resolve_pipeline
+from .cache import (
+    DEFAULT_CACHE,
+    CacheBacking,
+    CacheStats,
+    ResultCache,
+    cache_key_digest,
+    cache_key_encoding,
+    circuit_fingerprint,
+)
+from .facade import (
+    NAMED_PIPELINES,
+    execute,
+    materialize_target,
+    resolve_pipeline,
+    result_cache_key,
+)
 from .passes import (
     ASAPReschedule,
     CompilePass,
@@ -69,10 +83,15 @@ __all__ = [
     "qutrit_promotion_pipeline",
     "hardware_pipeline",
     "execute",
+    "materialize_target",
     "resolve_pipeline",
+    "result_cache_key",
     "NAMED_PIPELINES",
+    "CacheBacking",
     "ResultCache",
     "CacheStats",
     "DEFAULT_CACHE",
+    "cache_key_digest",
+    "cache_key_encoding",
     "circuit_fingerprint",
 ]

@@ -140,6 +140,72 @@ def _build_target(
     )
 
 
+def materialize_target(
+    target: ExecuteTarget,
+    builder_params: Mapping | None = None,
+    *,
+    prefer_undecomposed: bool = False,
+) -> tuple[Circuit, list[Qudit] | None]:
+    """Public form of the facade's target resolution.
+
+    Builds the concrete circuit (and its preferred wire order, when the
+    target is a named construction) exactly the way :func:`execute`
+    would — the serving layer uses this at submit time so a job's
+    coalescing key can be derived from the circuit's canonical
+    fingerprint before any worker picks it up.
+    """
+    return _build_target(
+        target, dict(builder_params or {}),
+        prefer_undecomposed=prefer_undecomposed,
+    )
+
+
+def result_cache_key(
+    *,
+    fingerprint: str,
+    backend: Backend,
+    noise_model: NoiseModel | None,
+    wires: tuple[Qudit, ...] | None = None,
+    initial: "StateVector | tuple[int, ...] | None" = None,
+    shots: int | None = None,
+    trials: int | None = None,
+    seed: int | None = None,
+    batch_size: int | None = None,
+) -> tuple | None:
+    """The facade's result-cache key for one fully resolved run.
+
+    Returns None when the run must not be cached: unseeded stochastic
+    runs are not reproducible, and ``StateVector`` initials have no
+    stable serialized identity.  The serving layer shares this function
+    so facade users and service jobs hit the same cache lines.
+    """
+    capabilities = backend.capabilities
+    stochastic = bool(capabilities.supports_trials or shots)
+    if stochastic and seed is None:
+        return None
+    if isinstance(initial, StateVector):
+        return None
+    # Backend instances may carry their own noise model (e.g. a
+    # TrajectoryBackend constructed directly); key on the model actually
+    # used, not just the execute() argument.
+    model = getattr(backend, "noise_model", None) or noise_model
+    noise = model.name if model is not None else None
+    return (
+        fingerprint,
+        backend.name,
+        noise,
+        wires,
+        initial,
+        shots,
+        trials,
+        seed,
+        # Chunking changes the trajectory RNG stream, so same-seed runs
+        # with different batch sizes are distinct results there; other
+        # backends never see the knob, so it must not split their keys.
+        batch_size if capabilities.supports_trials else None,
+    )
+
+
 @dataclass(frozen=True)
 class _Task:
     """One unit of work, in-process or for the process pool.
@@ -207,34 +273,18 @@ def _run_task(task: _Task) -> RunResult:
 
 def _cache_key(task: _Task, backend: Backend) -> tuple | None:
     """A hashable cache key, or None when the run must not be cached."""
-    capabilities = backend.capabilities
-    stochastic = bool(
-        capabilities.supports_trials or task.shots
-    )
-    if stochastic and task.seed is None:
-        return None
-    if isinstance(task.initial, StateVector):
-        return None
     if task.fingerprint is None:
         return None
-    # Backend instances may carry their own noise model (e.g. a
-    # TrajectoryBackend constructed directly); key on the model actually
-    # used, not just the execute() argument.
-    model = getattr(backend, "noise_model", None) or task.noise_model
-    noise = model.name if model is not None else None
-    return (
-        task.fingerprint,
-        backend.name,
-        noise,
-        task.wires,
-        task.initial,
-        task.shots,
-        task.trials,
-        task.seed,
-        # Chunking changes the trajectory RNG stream, so same-seed runs
-        # with different batch sizes are distinct results there; other
-        # backends never see the knob, so it must not split their keys.
-        task.batch_size if capabilities.supports_trials else None,
+    return result_cache_key(
+        fingerprint=task.fingerprint,
+        backend=backend,
+        noise_model=task.noise_model,
+        wires=task.wires,
+        initial=task.initial,
+        shots=task.shots,
+        trials=task.trials,
+        seed=task.seed,
+        batch_size=task.batch_size,
     )
 
 

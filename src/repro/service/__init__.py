@@ -1,0 +1,88 @@
+"""The execution service: an async job queue over :func:`repro.execute`.
+
+The serving layer the ROADMAP's north star asks for — exhaustive
+verification sweeps, fidelity campaigns and routing studies served to
+many concurrent clients::
+
+    from repro.service import JobQueue, ResultStore
+
+    with JobQueue(workers=4, store=ResultStore(".repro-store")) as queue:
+        job = queue.submit("qutrit_tree", num_controls=5,
+                           backend="classical",
+                           initial=(1, 1, 1, 1, 1, 0))
+        print(queue.status(job))        # QUEUED / RUNNING / DONE ...
+        print(job.result().values)
+
+Identical in-flight submissions coalesce into one execution (keyed on
+the circuit's canonical fingerprint plus its run parameters), finished
+results persist across processes through the content-addressed
+:class:`ResultStore`, submitters are scheduled fairly (round-robin with
+aging priorities), and the bounded queue applies reject-or-block
+backpressure.  ``python -m repro serve`` exposes the same queue over a
+line-delimited JSON protocol; see :mod:`repro.service.protocol` and
+``docs/SERVICE.md``.
+"""
+
+from .jobs import (
+    Job,
+    JobCancelledError,
+    JobFailedError,
+    JobState,
+    QueueFullError,
+    ServiceError,
+)
+from .loadgen import (
+    SERVE_SCHEMA,
+    check_serve_regression,
+    default_catalog,
+    render_serve_report,
+    run_serve_bench,
+    zipf_workload,
+)
+from .protocol import (
+    PROTOCOL,
+    handle_request,
+    serve_lines,
+    serve_socket,
+    serve_stdio,
+)
+from .queue import JobQueue, JobRequest, ServiceStats, default_runner
+from .scheduler import FairScheduler
+from .serialization import (
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+)
+from .store import ResultStore, StoreStats
+
+__all__ = [
+    "Job",
+    "JobState",
+    "JobQueue",
+    "JobRequest",
+    "ServiceStats",
+    "ServiceError",
+    "QueueFullError",
+    "JobFailedError",
+    "JobCancelledError",
+    "FairScheduler",
+    "ResultStore",
+    "StoreStats",
+    "default_runner",
+    "result_to_dict",
+    "result_from_dict",
+    "result_to_json",
+    "result_from_json",
+    "PROTOCOL",
+    "handle_request",
+    "serve_lines",
+    "serve_stdio",
+    "serve_socket",
+    "SERVE_SCHEMA",
+    "run_serve_bench",
+    "render_serve_report",
+    "check_serve_regression",
+    "default_catalog",
+    "zipf_workload",
+]

@@ -1,0 +1,179 @@
+"""Job handles and lifecycle states of the execution service.
+
+A :class:`Job` is the caller's view of one submitted run: a small
+thread-safe handle that tracks the lifecycle
+
+    QUEUED -> RUNNING -> DONE | FAILED | CANCELLED
+
+and blocks on :meth:`Job.result` until a worker (or a cache hit, or a
+coalesced leader) completes it.  Jobs are created by
+:meth:`repro.service.JobQueue.submit`; all state transitions go through
+the queue, which owns the locking discipline — the handle itself only
+exposes reads and the completion event.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from ..exceptions import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..execution.results import RunResult
+
+
+class ServiceError(ReproError):
+    """Base class of execution-service failures."""
+
+
+class QueueFullError(ServiceError):
+    """The bounded queue rejected a submission (backpressure)."""
+
+
+class JobFailedError(ServiceError):
+    """The job's execution raised; carries the worker traceback."""
+
+    def __init__(self, message: str, traceback: str | None = None) -> None:
+        super().__init__(message)
+        #: The worker-side ``traceback.format_exc()`` text, so failures
+        #: stay diagnosable across the thread (and protocol) boundary.
+        self.traceback = traceback
+
+
+class JobCancelledError(ServiceError):
+    """The job was cancelled before a result was produced."""
+
+
+class JobState(str, Enum):
+    """Lifecycle states of a submitted job."""
+
+    QUEUED = "QUEUED"
+    RUNNING = "RUNNING"
+    DONE = "DONE"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+
+    @property
+    def terminal(self) -> bool:
+        """True once the state can no longer change."""
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+_JOB_IDS = itertools.count(1)
+
+
+class Job:
+    """Handle to one submitted execution.
+
+    Handles are cheap and thread-safe: ``state`` reads are lock-free
+    snapshots, ``result()`` blocks on an event the queue sets exactly
+    once, at the terminal transition.  Several handles may share one
+    underlying execution (request coalescing) — each keeps its own
+    state, so cancelling a coalesced follower never disturbs its
+    siblings.
+    """
+
+    def __init__(
+        self,
+        key: str,
+        submitter: str = "default",
+        priority: int = 0,
+        label: str = "",
+    ) -> None:
+        self.id = f"job-{next(_JOB_IDS):06d}"
+        #: Coalescing key: circuit fingerprint + run-parameter digest.
+        self.key = key
+        self.submitter = submitter
+        self.priority = priority
+        #: Human-readable description (e.g. "qutrit_tree(N=5)").
+        self.label = label
+        self.state = JobState.QUEUED
+        #: Cache level that served the job, when it never ran:
+        #: "memory", "backing", or "coalesced"; None for executed jobs.
+        self.served_from: str | None = None
+        self.submitted_at = time.perf_counter()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self._result: "RunResult | None" = None
+        self._error: BaseException | None = None
+        self._traceback: str | None = None
+        self._done = threading.Event()
+
+    # -- queries -------------------------------------------------------
+
+    def done(self) -> bool:
+        """True once the job reached a terminal state."""
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until terminal (or ``timeout`` seconds); True if done."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> "RunResult":
+        """The run's result, blocking until the job completes.
+
+        Raises :class:`JobFailedError` (with the captured worker
+        traceback) when execution failed, :class:`JobCancelledError`
+        when the job was cancelled, and :class:`TimeoutError` when
+        ``timeout`` expires first.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"{self.id} still {self.state.value} after {timeout}s"
+            )
+        if self.state is JobState.CANCELLED:
+            raise JobCancelledError(f"{self.id} was cancelled")
+        if self._error is not None:
+            raise JobFailedError(
+                f"{self.id} failed: {self._error!r}", self._traceback
+            ) from self._error
+        assert self._result is not None
+        return self._result
+
+    @property
+    def error(self) -> BaseException | None:
+        """The exception a FAILED job captured (None otherwise)."""
+        return self._error
+
+    @property
+    def traceback(self) -> str | None:
+        """The captured worker traceback of a FAILED job."""
+        return self._traceback
+
+    @property
+    def latency(self) -> float | None:
+        """Submit-to-terminal wall-clock seconds (None while pending)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    # -- transitions (called by JobQueue under its lock) ---------------
+
+    def _mark_running(self) -> None:
+        self.state = JobState.RUNNING
+        self.started_at = time.perf_counter()
+
+    def _finish(
+        self,
+        state: JobState,
+        result: "RunResult | None" = None,
+        error: BaseException | None = None,
+        traceback: str | None = None,
+    ) -> None:
+        """Terminal transition; sets the completion event exactly once."""
+        if self._done.is_set():  # pragma: no cover - defensive
+            return
+        self.state = state
+        self._result = result
+        self._error = error
+        self._traceback = traceback
+        self.finished_at = time.perf_counter()
+        self._done.set()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.label}" if self.label else ""
+        return f"<Job {self.id} {self.state.value}{label}>"

@@ -1,0 +1,247 @@
+"""Line-delimited JSON protocol for ``python -m repro serve``.
+
+One request per line in, one JSON response per line out — over
+stdin/stdout by default, or a local Unix socket (``--socket``), where
+each connection speaks the same protocol concurrently.  The protocol is
+deliberately plain: any language that can spawn a process and write
+JSON lines can drive the service.
+
+Requests are objects with an ``op`` and optional ``id`` (echoed back)::
+
+    {"op": "submit", "target": "qutrit_tree",
+     "build": {"num_controls": 5}, "backend": "classical",
+     "input": [1, 1, 1, 1, 1, 0]}
+    {"op": "submit", "target": "qutrit_tree", "backend": "trajectory",
+     "noise": "SC", "trials": 50, "seed": 7, "wait": true}
+    {"op": "status", "job": "job-000001"}
+    {"op": "result", "job": "job-000001", "timeout": 30}
+    {"op": "cancel", "job": "job-000001"}
+    {"op": "stats"}
+    {"op": "shutdown"}
+
+Responses always carry ``ok``; failures add ``error`` (and
+``traceback`` for FAILED jobs).  ``submit`` returns the job id and
+state; with ``"wait": true`` it blocks and inlines the serialized
+result (:func:`~repro.service.serialization.result_to_dict`).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import sys
+import threading
+from typing import Callable, Iterable, TextIO
+
+from .jobs import (
+    JobCancelledError,
+    JobFailedError,
+    JobState,
+    QueueFullError,
+)
+from .queue import JobQueue
+from .serialization import result_to_dict
+
+#: Protocol version announced in the hello line.
+PROTOCOL = "repro-serve/v1"
+
+
+def _resolve_noise(name: str | None):
+    if name is None:
+        return None
+    from ..noise.presets import ALL_MODELS
+
+    if name not in ALL_MODELS:
+        raise ValueError(
+            f"unknown noise model {name!r}; "
+            f"choose from {sorted(ALL_MODELS)}"
+        )
+    return ALL_MODELS[name]
+
+
+def _submit(queue: JobQueue, request: dict) -> dict:
+    target = request.get("target")
+    if not target:
+        raise ValueError("submit needs a 'target' (construction name)")
+    build = dict(request.get("build") or {})
+    initial = request.get("input")
+    job = queue.submit(
+        target,
+        backend=request.get("backend", "statevector"),
+        pipeline=request.get("pipeline"),
+        noise_model=_resolve_noise(request.get("noise")),
+        initial=tuple(initial) if initial is not None else None,
+        shots=request.get("shots"),
+        trials=request.get("trials"),
+        seed=request.get("seed"),
+        batch_size=request.get("batch_size"),
+        parallel=bool(request.get("parallel", False)),
+        submitter=str(request.get("submitter", "default")),
+        priority=int(request.get("priority", 0)),
+        **build,
+    )
+    response = {"ok": True, "job": job.id, "state": job.state.value}
+    if job.served_from is not None:
+        response["served_from"] = job.served_from
+    if request.get("wait"):
+        return _await_result(job, request.get("timeout"), response)
+    return response
+
+
+def _await_result(job, timeout, response: dict) -> dict:
+    try:
+        result = job.result(timeout)
+    except JobFailedError as error:
+        response.update(
+            ok=False, state=job.state.value, error=str(error),
+            traceback=error.traceback,
+        )
+    except JobCancelledError as error:
+        response.update(ok=False, state=job.state.value, error=str(error))
+    except TimeoutError as error:
+        response.update(ok=False, state=job.state.value, error=str(error))
+    else:
+        response.update(
+            ok=True, state=job.state.value, result=result_to_dict(result),
+        )
+        if job.latency is not None:
+            response["latency_ms"] = round(job.latency * 1000, 3)
+    return response
+
+
+def handle_request(queue: JobQueue, request: dict) -> dict:
+    """Dispatch one decoded request; always returns a response dict."""
+    op = request.get("op")
+    try:
+        if op == "submit":
+            response = _submit(queue, request)
+        elif op == "status":
+            state = queue.status(str(request["job"]))
+            response = {"ok": True, "job": request["job"],
+                        "state": state.value}
+        elif op == "result":
+            job = queue.job(str(request["job"]))
+            response = _await_result(
+                job, request.get("timeout"), {"job": job.id}
+            )
+        elif op == "cancel":
+            job = queue.job(str(request["job"]))
+            cancelled = queue.cancel(job)
+            response = {"ok": True, "job": job.id, "cancelled": cancelled,
+                        "state": job.state.value}
+        elif op == "stats":
+            response = {"ok": True, "stats": dict(queue.describe())}
+        elif op == "ping":
+            response = {"ok": True, "pong": True}
+        elif op == "shutdown":
+            response = {"ok": True, "shutdown": True}
+        else:
+            response = {
+                "ok": False,
+                "error": f"unknown op {op!r}; expected submit/status/"
+                "result/cancel/stats/ping/shutdown",
+            }
+    except QueueFullError as error:
+        response = {"ok": False, "error": str(error), "rejected": True}
+    except (KeyError, ValueError, TypeError) as error:
+        response = {"ok": False, "error": str(error)}
+    if "id" in request:
+        response["id"] = request["id"]
+    return response
+
+
+def serve_lines(
+    queue: JobQueue,
+    lines: Iterable[str],
+    write: Callable[[str], None],
+    *,
+    hello: bool = True,
+) -> str:
+    """Run the protocol over any line source/sink until EOF/shutdown.
+
+    Returns ``"shutdown"`` when an acknowledged shutdown op ended the
+    loop, ``"eof"`` when the line source ran dry.
+    """
+    if hello:
+        write(json.dumps({
+            "ok": True, "protocol": PROTOCOL,
+            "workers": len(queue._threads),
+        }))
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except (json.JSONDecodeError, ValueError) as error:
+            write(json.dumps({"ok": False, "error": f"bad request: {error}"}))
+            continue
+        response = handle_request(queue, request)
+        write(json.dumps(response))
+        if request.get("op") == "shutdown" and response.get("ok"):
+            return "shutdown"
+    return "eof"
+
+
+def serve_stdio(
+    queue: JobQueue,
+    stdin: TextIO | None = None,
+    stdout: TextIO | None = None,
+) -> None:
+    """Speak the protocol over stdin/stdout (the default serve mode)."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+
+    def write(text: str) -> None:
+        stdout.write(text + "\n")
+        stdout.flush()
+
+    serve_lines(queue, stdin, write)
+
+
+def serve_socket(queue: JobQueue, path: str) -> None:
+    """Speak the protocol on a Unix socket, one thread per connection.
+
+    Every connection shares the one queue (and therefore the caches and
+    coalescing map), which is the point: concurrent clients submitting
+    the same circuit coalesce into one execution.  A ``shutdown``
+    request from any connection stops the server.
+    """
+    stop = threading.Event()
+
+    class Handler(socketserver.StreamRequestHandler):
+        def handle(self) -> None:
+            def write(text: str) -> None:
+                try:
+                    self.wfile.write(text.encode() + b"\n")
+                    self.wfile.flush()
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    pass
+
+            lines = (raw.decode() for raw in self.rfile)
+            # EOF just closes this connection; an acknowledged
+            # shutdown op stops the whole server.
+            if serve_lines(queue, lines, write) == "shutdown":
+                stop.set()
+
+    class Server(socketserver.ThreadingUnixStreamServer):
+        daemon_threads = True
+        allow_reuse_address = True
+
+    with Server(path, Handler) as server:
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            stop.wait()
+        finally:
+            server.shutdown()
+
+
+def connect_socket(path: str) -> socket.socket:
+    """Client helper: a connected Unix-socket stream to a server."""
+    client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    client.connect(path)
+    return client

@@ -1,0 +1,556 @@
+"""The async job queue over the :func:`repro.execute` facade.
+
+:class:`JobQueue` is the serving layer's engine room.  One instance owns
+
+* a **worker pool** of threads draining a :class:`FairScheduler`
+  (per-submitter round-robin with aging priorities) — heavy jobs may
+  additionally request ``parallel=True``, which reuses the facade's
+  process-shard machinery (:mod:`repro.sim.parallel`) inside the worker;
+* **request coalescing** — submissions are keyed on the circuit's
+  canonical fingerprint plus a digest of every run parameter; while a
+  job with the same key is in flight, identical submissions attach to it
+  as followers and the single execution fans its result (or failure)
+  out to every handle;
+* a **two-level result cache** — the in-memory
+  :class:`~repro.execution.cache.ResultCache` LRU, optionally layered
+  over a persistent :class:`~repro.service.store.ResultStore`, checked
+  at submit time so repeated deterministic work completes without ever
+  touching a worker;
+* **backpressure** — the queue of distinct pending executions is
+  bounded; overflow either rejects (:class:`QueueFullError`) or blocks
+  the submitter until space frees, per the configured policy.
+
+Lifecycle summary (see :class:`~repro.service.jobs.JobState`):
+submissions start QUEUED, move to RUNNING when a worker picks their
+group up, and finish DONE / FAILED (with the captured traceback) /
+CANCELLED.  Cancelling a QUEUED job succeeds immediately; cancelling a
+RUNNING job returns False (executions are not interrupted mid-flight).
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Sequence
+
+from ..circuits.circuit import Circuit
+from ..execution.backends import Backend, resolve_backend
+from ..execution.cache import (
+    ResultCache,
+    cache_key_digest,
+    circuit_fingerprint,
+)
+from ..execution.facade import (
+    execute,
+    materialize_target,
+    resolve_pipeline,
+    result_cache_key,
+)
+from ..execution.results import RunResult
+from ..noise.model import NoiseModel
+from ..qudits import Qudit
+from ..sim.state import StateVector
+from .jobs import Job, JobState, QueueFullError
+from .scheduler import FairScheduler
+from .store import ResultStore
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One fully resolved execution: the circuit plus every run knob.
+
+    Built at submit time (targets are materialised and compiled up
+    front so the coalescing key exists before any worker runs), then
+    handed unchanged to the runner.
+    """
+
+    circuit: Circuit
+    backend: "str | Backend"
+    noise_model: NoiseModel | None
+    wires: tuple[Qudit, ...] | None
+    initial: "StateVector | tuple[int, ...] | None"
+    shots: int | None
+    trials: int | None
+    seed: int | None
+    batch_size: int | None
+    #: Process-shard heavy jobs through :mod:`repro.sim.parallel`.
+    parallel: bool = False
+    workers: int = 4
+
+
+def default_runner(request: JobRequest) -> RunResult:
+    """Execute one request through the facade (no facade-level cache —
+    the service owns caching so it can attribute hits)."""
+    return execute(
+        request.circuit,
+        backend=request.backend,
+        noise_model=request.noise_model,
+        wires=list(request.wires) if request.wires is not None else None,
+        initial=request.initial,
+        shots=request.shots,
+        trials=request.trials,
+        seed=request.seed,
+        batch_size=request.batch_size,
+        parallel=request.parallel,
+        workers=request.workers,
+        cache=False,
+    )
+
+
+@dataclass
+class ServiceStats:
+    """Counters of one :class:`JobQueue` instance."""
+
+    submitted: int = 0
+    executed: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+    coalesced: int = 0
+    memory_hits: int = 0
+    persistent_hits: int = 0
+
+    @property
+    def cache_hits(self) -> int:
+        """Submissions served by either cache level."""
+        return self.memory_hits + self.persistent_hits
+
+    @property
+    def coalesce_rate(self) -> float:
+        """Fraction of submissions that attached to an in-flight run."""
+        return self.coalesced / self.submitted if self.submitted else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of submissions served straight from the caches."""
+        return self.cache_hits / self.submitted if self.submitted else 0.0
+
+    @property
+    def shared_rate(self) -> float:
+        """Fraction of submissions that did not trigger an execution."""
+        shared = self.coalesced + self.cache_hits
+        return shared / self.submitted if self.submitted else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot including the derived rates."""
+        return {
+            "submitted": self.submitted,
+            "executed": self.executed,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "rejected": self.rejected,
+            "coalesced": self.coalesced,
+            "memory_hits": self.memory_hits,
+            "persistent_hits": self.persistent_hits,
+            "coalesce_rate": self.coalesce_rate,
+            "cache_hit_rate": self.cache_hit_rate,
+            "shared_rate": self.shared_rate,
+        }
+
+
+@dataclass
+class _Group:
+    """One distinct execution and every job handle attached to it."""
+
+    key: str
+    cache_key: tuple | None
+    request: JobRequest
+    jobs: list[Job] = field(default_factory=list)
+    running: bool = False
+    #: Every handle cancelled while still queued; workers skip it.
+    abandoned: bool = False
+
+
+class JobQueue:
+    """Submit/status/result/cancel over a worker pool with coalescing.
+
+    Parameters
+    ----------
+    workers:
+        Worker threads draining the queue.
+    cache:
+        In-memory :class:`ResultCache` (``None`` builds a private one).
+        Pass a cache constructed with ``backing=`` to layer persistence,
+        or use ``store`` as a shorthand.
+    store:
+        Persistent :class:`ResultStore` layered under the LRU (ignored
+        when ``cache`` already has a backing).
+    max_pending:
+        Bound on *distinct* queued executions (coalesced followers and
+        cache hits never consume queue space).
+    backpressure:
+        ``"reject"`` raises :class:`QueueFullError` at the bound;
+        ``"block"`` makes ``submit`` wait for space.
+    age_weight:
+        Aging rate of the fairness scheduler (see
+        :class:`~repro.service.scheduler.FairScheduler`).
+    runner:
+        Execution callable ``(JobRequest) -> RunResult``; tests inject
+        counting/blocking runners here.  Defaults to the facade.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        *,
+        cache: ResultCache | None = None,
+        store: ResultStore | None = None,
+        max_pending: int = 256,
+        backpressure: str = "reject",
+        age_weight: float = 0.1,
+        runner: Callable[[JobRequest], RunResult] | None = None,
+        job_retention: int = 10_000,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("worker pool needs at least one thread")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if backpressure not in ("reject", "block"):
+            raise ValueError(
+                f"backpressure must be 'reject' or 'block', "
+                f"got {backpressure!r}"
+            )
+        if cache is None:
+            cache = ResultCache(backing=store)
+        elif store is not None and cache.backing is None:
+            cache.backing = store
+        self.cache = cache
+        self.store = cache.backing if isinstance(
+            cache.backing, ResultStore
+        ) else store
+        self.max_pending = max_pending
+        self.backpressure = backpressure
+        self.stats = ServiceStats()
+        self._runner = runner or default_runner
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._space = threading.Condition(self._lock)
+        self._scheduler: FairScheduler[_Group] = FairScheduler(age_weight)
+        self._inflight: dict[str, _Group] = {}
+        self._jobs: dict[str, Job] = {}
+        self._job_retention = job_retention
+        self._shutdown = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ----------------------------------------------------
+
+    def submit(
+        self,
+        target,
+        *,
+        backend: "str | Backend" = "statevector",
+        pipeline=None,
+        noise_model: NoiseModel | None = None,
+        wires: Sequence[Qudit] | None = None,
+        initial: "StateVector | Sequence[int] | None" = None,
+        shots: int | None = None,
+        trials: int | None = None,
+        seed: int | None = None,
+        batch_size: int | None = None,
+        parallel: bool = False,
+        workers: int = 4,
+        submitter: str = "default",
+        priority: int = 0,
+        timeout: float | None = None,
+        **build_kwargs,
+    ) -> Job:
+        """Queue one execution and return its :class:`Job` handle.
+
+        Accepts the same targets and run options as
+        :func:`repro.execute` plus the service knobs: ``submitter``
+        (fairness bucket), ``priority`` (higher runs sooner, with
+        aging), and ``timeout`` (block-mode backpressure wait).  The
+        circuit is built and compiled here, on the submitting thread,
+        so the handle's coalescing key is final before it is returned.
+        """
+        if self._shutdown:
+            raise RuntimeError("queue is shut down")
+        compiled_pipeline = resolve_pipeline(pipeline)
+        probe = resolve_backend(backend, noise_model)
+        circuit, preferred_wires = materialize_target(
+            target,
+            build_kwargs,
+            prefer_undecomposed=probe.capabilities.classical_circuits_only,
+        )
+        if compiled_pipeline is not None:
+            circuit = compiled_pipeline.compile(circuit).circuit
+            if set(circuit.all_qudits()) != set(
+                preferred_wires or circuit.all_qudits()
+            ):
+                preferred_wires = None
+        job_wires = wires if wires is not None else preferred_wires
+        job_wires = tuple(job_wires) if job_wires is not None else None
+        if not isinstance(initial, (StateVector, type(None))):
+            initial = tuple(initial)
+
+        fingerprint = circuit_fingerprint(circuit)
+        request = JobRequest(
+            circuit=circuit,
+            backend=backend,
+            noise_model=noise_model,
+            wires=job_wires,
+            initial=initial,
+            shots=shots,
+            trials=trials,
+            seed=seed,
+            batch_size=batch_size,
+            parallel=parallel,
+            workers=workers,
+        )
+        cache_key = result_cache_key(
+            fingerprint=fingerprint,
+            backend=probe,
+            noise_model=noise_model,
+            wires=job_wires,
+            initial=initial,
+            shots=shots,
+            trials=trials,
+            seed=seed,
+            batch_size=batch_size,
+        )
+        # The coalescing key covers the same run identity but exists
+        # even for non-cacheable (unseeded stochastic) jobs: identical
+        # in-flight submissions still share the one execution.
+        model = getattr(probe, "noise_model", None) or noise_model
+        key = cache_key_digest(
+            (
+                fingerprint,
+                probe.name,
+                model.name if model is not None else None,
+                job_wires,
+                None if isinstance(initial, StateVector) else initial,
+                shots,
+                trials,
+                seed,
+                batch_size,
+            )
+        )
+        label = target if isinstance(target, str) else type(target).__name__
+        job = Job(key, submitter=submitter, priority=priority,
+                  label=str(label))
+
+        with self._lock:
+            self.stats.submitted += 1
+            self._remember(job)
+
+            # Level 1+2: the layered result cache.
+            if cache_key is not None:
+                hit, source = self.cache.get_with_source(cache_key)
+                if hit is not None:
+                    if source == "memory":
+                        self.stats.memory_hits += 1
+                    else:
+                        self.stats.persistent_hits += 1
+                    self.stats.completed += 1
+                    job.served_from = source
+                    job._finish(JobState.DONE, result=hit)
+                    return job
+
+            # Level 3: coalesce onto an in-flight identical run.
+            group = self._inflight.get(key)
+            if group is not None and not group.abandoned:
+                self.stats.coalesced += 1
+                job.served_from = "coalesced"
+                group.jobs.append(job)
+                if group.running:
+                    job._mark_running()
+                return job
+
+            # Level 4: a genuinely new execution — bounded queue.
+            if len(self._scheduler) >= self.max_pending:
+                if self.backpressure == "reject":
+                    self.stats.rejected += 1
+                    raise QueueFullError(
+                        f"queue full ({self.max_pending} pending "
+                        f"executions); job {job.id} rejected"
+                    )
+                if not self._space.wait_for(
+                    lambda: (
+                        len(self._scheduler) < self.max_pending
+                        or self._shutdown
+                    ),
+                    timeout=timeout,
+                ):
+                    self.stats.rejected += 1
+                    raise QueueFullError(
+                        f"queue full; job {job.id} timed out waiting "
+                        f"for space after {timeout}s"
+                    )
+                if self._shutdown:
+                    raise RuntimeError("queue is shut down")
+            group = _Group(key=key, cache_key=cache_key, request=request,
+                           jobs=[job])
+            self._inflight[key] = group
+            self._scheduler.push(group, submitter=submitter,
+                                 priority=priority)
+            self._not_empty.notify()
+        return job
+
+    def _remember(self, job: Job) -> None:
+        """Track the handle for id lookups; trim old terminal jobs."""
+        self._jobs[job.id] = job
+        if len(self._jobs) > self._job_retention:
+            for job_id in list(self._jobs):
+                if len(self._jobs) <= self._job_retention:
+                    break
+                if self._jobs[job_id].done():
+                    del self._jobs[job_id]
+
+    # -- queries -------------------------------------------------------
+
+    def _resolve_job(self, job: "Job | str") -> Job:
+        if isinstance(job, Job):
+            return job
+        try:
+            return self._jobs[job]
+        except KeyError:
+            raise KeyError(f"unknown job id {job!r}")
+
+    def status(self, job: "Job | str") -> JobState:
+        """The lifecycle state of a job (by handle or id)."""
+        return self._resolve_job(job).state
+
+    def result(self, job: "Job | str", timeout: float | None = None):
+        """Block for and return a job's result (see :meth:`Job.result`)."""
+        return self._resolve_job(job).result(timeout)
+
+    def job(self, job_id: str) -> Job:
+        """Look a handle up by id (raises KeyError when unknown)."""
+        return self._resolve_job(job_id)
+
+    def depth(self) -> int:
+        """Distinct executions currently queued (not yet running)."""
+        with self._lock:
+            return len(self._scheduler)
+
+    # -- cancellation --------------------------------------------------
+
+    def cancel(self, job: "Job | str") -> bool:
+        """Cancel one handle.
+
+        QUEUED jobs cancel immediately (True).  RUNNING or terminal
+        jobs return False — executions are never interrupted mid-
+        flight, and coalesced siblings keep their claim on the result.
+        When every handle of a queued group is cancelled, the execution
+        itself is abandoned and its queue slot freed.
+        """
+        job = self._resolve_job(job)
+        with self._lock:
+            if job.state is not JobState.QUEUED:
+                return False
+            job._finish(JobState.CANCELLED)
+            self.stats.cancelled += 1
+            group: _Group | None = self._inflight.get(job.key)
+            if group is not None and all(j.done() for j in group.jobs):
+                group.abandoned = True
+                del self._inflight[job.key]
+                # The scheduler entry stays queued; workers skip
+                # abandoned groups when they surface.
+            return True
+
+    # -- worker pool ---------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._scheduler and not self._shutdown:
+                    self._not_empty.wait()
+                if self._shutdown and not self._scheduler:
+                    return
+                group = self._scheduler.pop()
+                self._space.notify()
+                if group is None or group.abandoned:
+                    continue
+                group.running = True
+                for job in group.jobs:
+                    if not job.done():
+                        job._mark_running()
+                request = group.request
+            try:
+                result = self._runner(request)
+            except BaseException as error:  # noqa: BLE001 - fan out
+                captured = traceback.format_exc()
+                with self._lock:
+                    self._inflight.pop(group.key, None)
+                    self.stats.executed += 1
+                    for job in group.jobs:
+                        if not job.done():
+                            self.stats.failed += 1
+                            job._finish(
+                                JobState.FAILED,
+                                error=error,
+                                traceback=captured,
+                            )
+            else:
+                with self._lock:
+                    self._inflight.pop(group.key, None)
+                    self.stats.executed += 1
+                    if group.cache_key is not None:
+                        self.cache.put(group.cache_key, result)
+                    for job in group.jobs:
+                        if not job.done():
+                            self.stats.completed += 1
+                            job._finish(JobState.DONE, result=result)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def shutdown(self, wait: bool = True,
+                 cancel_pending: bool = False) -> None:
+        """Stop the pool.
+
+        ``wait=True`` drains the queue first (workers finish every
+        pending group); ``cancel_pending=True`` cancels queued groups
+        instead of running them.  Idempotent.
+        """
+        with self._lock:
+            self._shutdown = True
+            if cancel_pending:
+                for group in self._scheduler.drain():
+                    if group.abandoned:
+                        continue
+                    self._inflight.pop(group.key, None)
+                    for job in group.jobs:
+                        if not job.done():
+                            self.stats.cancelled += 1
+                            job._finish(JobState.CANCELLED)
+            self._not_empty.notify_all()
+            self._space.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    def stats_snapshot(self) -> ServiceStats:
+        """A point-in-time copy of the counters."""
+        with self._lock:
+            return replace(self.stats)
+
+    def describe(self) -> Mapping:
+        """JSON-ready summary: counters, rates, queue depth, caches."""
+        with self._lock:
+            info = self.stats.to_dict()
+            info["queue_depth"] = len(self._scheduler)
+            info["inflight"] = len(self._inflight)
+            info["workers"] = len(self._threads)
+            info["cache_entries"] = len(self.cache)
+            if self.store is not None:
+                info["store_entries"] = len(self.store)
+                info["store_bytes"] = self.store.total_bytes()
+            return info

@@ -1,0 +1,102 @@
+"""Priority/fairness scheduling for the service's worker pool.
+
+Two starvation problems need solving at once:
+
+* **Across submitters** — one chatty client must not monopolise the
+  workers.  The scheduler keeps one queue per submitter and serves the
+  submitters round-robin, so each client's next job waits behind at
+  most one job from every other client.
+* **Within a submitter** — a stream of high-priority submissions must
+  not starve an old low-priority one.  Entries are ranked by
+  ``age_weight * sequence - priority``: higher priority wins now, but
+  every later submission ages earlier entries, so a priority advantage
+  of ``p`` decays after ``p / age_weight`` subsequent submissions.
+  The pairwise rank difference of two queued entries is constant in
+  time, which is what lets a plain heap implement aging exactly.
+
+The scheduler is a pure data structure (no locks, no threads); the
+:class:`~repro.service.queue.JobQueue` serialises access under its own
+lock, which keeps pop-then-transition atomic where it matters.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class FairScheduler(Generic[T]):
+    """Per-submitter round-robin queues with aging priorities."""
+
+    def __init__(self, age_weight: float = 0.1) -> None:
+        if age_weight < 0:
+            raise ValueError("age_weight must be >= 0")
+        self.age_weight = age_weight
+        #: submitter -> heap of (rank, seq, entry); lowest rank pops.
+        self._queues: dict[str, list[tuple[float, int, T]]] = {}
+        #: Round-robin order; rotated as submitters are served.
+        self._order: list[str] = []
+        self._cursor = 0
+        self._seq = itertools.count()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def push(self, entry: T, submitter: str = "default",
+             priority: int = 0) -> None:
+        """Queue ``entry`` for ``submitter`` at ``priority`` (higher
+        runs sooner, subject to aging)."""
+        seq = next(self._seq)
+        rank = self.age_weight * seq - priority
+        if submitter not in self._queues:
+            self._queues[submitter] = []
+            # New submitters join just behind the cursor: everyone
+            # already in the rotation is served once before the
+            # newcomer's first turn.
+            self._order.insert(self._cursor, submitter)
+            self._cursor += 1
+        heapq.heappush(self._queues[submitter], (rank, seq, entry))
+        self._size += 1
+
+    def pop(self) -> T | None:
+        """The next entry in fair order, or None when empty."""
+        while self._order:
+            if self._cursor >= len(self._order):
+                self._cursor = 0
+            submitter = self._order[self._cursor]
+            queue = self._queues[submitter]
+            if not queue:
+                # Submitter drained since its last turn: retire it.
+                del self._queues[submitter]
+                self._order.pop(self._cursor)
+                continue
+            _, _, entry = heapq.heappop(queue)
+            self._size -= 1
+            if queue:
+                self._cursor += 1
+            else:
+                del self._queues[submitter]
+                self._order.pop(self._cursor)
+            if self._cursor >= len(self._order):
+                self._cursor = 0
+            return entry
+        return None
+
+    def drain(self) -> Iterator[T]:
+        """Pop every queued entry, in fair order."""
+        while True:
+            entry = self.pop()
+            if entry is None:
+                return
+            yield entry
+
+    def submitters(self) -> list[str]:
+        """Submitters with queued work, in current round-robin order."""
+        return [s for s in self._order if self._queues.get(s)]

@@ -1,0 +1,203 @@
+"""Persistent, content-addressed on-disk result store.
+
+Each entry is one JSON file named by the SHA-256 digest of the
+canonical cache-key encoding (see
+:func:`~repro.execution.cache.cache_key_encoding`), holding the
+serialized :class:`~repro.execution.results.RunResult` plus enough
+envelope to validate it on the way back in.  The store implements the
+:class:`~repro.execution.cache.CacheBacking` protocol, so it can sit
+directly underneath the facade's in-memory LRU::
+
+    from repro.execution import ResultCache
+    from repro.service import ResultStore
+
+    cache = ResultCache(backing=ResultStore("~/.cache/repro"))
+    execute(..., cache=cache)      # results now survive the process
+
+Design points:
+
+* **Corruption tolerance** — a truncated, hand-edited, or
+  schema-mismatched file is treated as a miss, deleted, and counted in
+  ``stats.corrupt_dropped``; the store never raises on load.
+* **Bounded size** — ``max_bytes`` / ``max_entries`` caps are enforced
+  after every write by evicting the least recently *used* files
+  (access bumps the file mtime), so a long-lived serve process cannot
+  grow the cache dir without bound.
+* **Write-through safety** — entries are written to a temp file and
+  atomically renamed, so a crash mid-write never leaves a half entry
+  under a valid name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from threading import Lock
+from typing import Hashable
+
+from ..exceptions import SerializationError
+from ..execution.cache import cache_key_digest, cache_key_encoding
+from ..execution.results import RunResult
+from .serialization import result_from_dict, result_to_dict
+
+#: Version tag of the store's on-disk entry envelope.
+STORE_SCHEMA = "repro-result-store/v1"
+
+
+@dataclass
+class StoreStats:
+    """Counters for one store instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    write_failures: int = 0
+    evictions: int = 0
+    corrupt_dropped: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultStore:
+    """Content-addressed JSON result entries under one cache directory."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        max_bytes: int = 64 * 1024 * 1024,
+        max_entries: int = 4096,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("store needs room for at least one entry")
+        if max_bytes < 1:
+            raise ValueError("store needs a positive byte budget")
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self.stats = StoreStats()
+        self._lock = Lock()
+
+    # -- paths ---------------------------------------------------------
+
+    def path_for(self, key: Hashable) -> Path:
+        """The entry file a key maps to (existing or not)."""
+        return self.root / f"{cache_key_digest(key)}.json"
+
+    def _entries(self) -> list[Path]:
+        return list(self.root.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def total_bytes(self) -> int:
+        """Current on-disk footprint of all entries."""
+        return sum(p.stat().st_size for p in self._entries())
+
+    # -- CacheBacking protocol -----------------------------------------
+
+    def get(self, key: Hashable) -> RunResult | None:
+        """Load the stored result for ``key``; None on miss/corruption."""
+        path = self.path_for(key)
+        with self._lock:
+            try:
+                raw = path.read_text()
+            except OSError:
+                self.stats.misses += 1
+                return None
+            try:
+                envelope = json.loads(raw)
+                if envelope.get("schema") != STORE_SCHEMA:
+                    raise SerializationError(
+                        f"unknown store schema {envelope.get('schema')!r}"
+                    )
+                if envelope.get("key") != cache_key_encoding(key):
+                    # Digest collision or a file moved between stores:
+                    # never serve somebody else's result.
+                    raise SerializationError("entry key mismatch")
+                result = result_from_dict(envelope["payload"])
+            except (
+                SerializationError,
+                json.JSONDecodeError,
+                KeyError,
+                TypeError,
+                ValueError,
+            ):
+                # Treat any malformed entry as a miss and drop the file
+                # so it cannot poison later lookups.
+                path.unlink(missing_ok=True)
+                self.stats.corrupt_dropped += 1
+                self.stats.misses += 1
+                return None
+            # Recency bump for eviction ordering.
+            try:
+                os.utime(path)
+            except OSError:  # pragma: no cover - best effort
+                pass
+            self.stats.hits += 1
+            return result
+
+    def put(self, key: Hashable, result: RunResult) -> bool:
+        """Persist ``result`` under ``key``; False if unserializable."""
+        path = self.path_for(key)
+        with self._lock:
+            try:
+                envelope = {
+                    "schema": STORE_SCHEMA,
+                    "key": cache_key_encoding(key),
+                    "stored_at": time.time(),
+                    "payload": result_to_dict(result),
+                }
+                text = json.dumps(envelope)
+            except (SerializationError, TypeError, ValueError):
+                self.stats.write_failures += 1
+                return False
+            temp = path.with_suffix(".tmp")
+            try:
+                temp.write_text(text)
+                temp.replace(path)
+            except OSError:  # pragma: no cover - disk trouble
+                temp.unlink(missing_ok=True)
+                self.stats.write_failures += 1
+                return False
+            self.stats.writes += 1
+            self._evict_overflow()
+            return True
+
+    # -- maintenance ---------------------------------------------------
+
+    def _evict_overflow(self) -> None:
+        """Delete least-recently-used entries until under both caps."""
+        entries = []
+        for path in self._entries():
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - raced unlink
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()
+        total = sum(size for _, size, _ in entries)
+        while entries and (
+            len(entries) > self.max_entries or total > self.max_bytes
+        ):
+            _, size, path = entries.pop(0)
+            path.unlink(missing_ok=True)
+            total -= size
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Delete every entry (counters are kept)."""
+        with self._lock:
+            for path in self._entries():
+                path.unlink(missing_ok=True)

@@ -1,0 +1,148 @@
+"""ResultCache concurrency hammer + the persistent-backing layering."""
+
+import threading
+
+import pytest
+
+from repro.execution import CacheBacking, ResultCache
+from repro.execution.cache import cache_key_digest, cache_key_encoding
+from repro.qudits import Qudit
+
+
+class DictBacking:
+    """Minimal in-memory CacheBacking for layering tests."""
+
+    def __init__(self):
+        self.entries = {}
+        self.puts = 0
+
+    def get(self, key):
+        return self.entries.get(key)
+
+    def put(self, key, result):
+        self.entries[key] = result
+        self.puts += 1
+        return True
+
+
+class TestThreadSafety:
+    def test_concurrent_hammer_keeps_invariants(self):
+        """8 threads × 500 mixed put/get ops on a 32-entry LRU: no
+        exceptions, size stays bounded, counters stay consistent."""
+        cache = ResultCache(max_entries=32)
+        threads = 8
+        ops = 500
+        errors = []
+        barrier = threading.Barrier(threads)
+
+        def hammer(worker):
+            try:
+                barrier.wait(timeout=10)
+                for index in range(ops):
+                    key = ("k", (worker * index) % 100)
+                    if index % 3 == 0:
+                        cache.put(key, f"value-{worker}-{index}")
+                    else:
+                        cache.get(key)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        pool = [threading.Thread(target=hammer, args=(w,))
+                for w in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=60)
+        assert errors == []
+        assert len(cache) <= 32
+        gets = threads * ops - threads * ((ops + 2) // 3)
+        assert cache.stats.lookups == gets
+        assert cache.stats.hits + cache.stats.misses == gets
+
+    def test_concurrent_put_single_key_last_write_wins(self):
+        cache = ResultCache(max_entries=4)
+        barrier = threading.Barrier(16)
+
+        def put(value):
+            barrier.wait(timeout=10)
+            cache.put("shared", value)
+
+        pool = [threading.Thread(target=put, args=(v,))
+                for v in range(16)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=30)
+        assert len(cache) == 1
+        assert cache.get("shared") in range(16)
+
+
+class TestBackingLayer:
+    def test_miss_falls_through_and_promotes(self):
+        backing = DictBacking()
+        backing.entries["key"] = "stored"
+        cache = ResultCache(backing=backing)
+        result, source = cache.get_with_source("key")
+        assert (result, source) == ("stored", "backing")
+        assert cache.stats.backing_hits == 1
+        # Promoted: the second lookup is a pure memory hit.
+        result, source = cache.get_with_source("key")
+        assert (result, source) == ("stored", "memory")
+        assert cache.stats.hits == 1
+
+    def test_put_writes_through(self):
+        backing = DictBacking()
+        cache = ResultCache(backing=backing)
+        cache.put("key", "fresh")
+        assert backing.entries["key"] == "fresh"
+        assert backing.puts == 1
+
+    def test_clear_keeps_backing(self):
+        backing = DictBacking()
+        cache = ResultCache(backing=backing)
+        cache.put("key", "fresh")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("key") == "fresh"  # restored from backing
+
+    def test_eviction_does_not_touch_backing(self):
+        backing = DictBacking()
+        cache = ResultCache(max_entries=2, backing=backing)
+        for index in range(5):
+            cache.put(index, f"v{index}")
+        assert len(cache) == 2
+        assert len(backing.entries) == 5
+
+    def test_miss_with_empty_backing(self):
+        cache = ResultCache(backing=DictBacking())
+        assert cache.get_with_source("nope") == (None, None)
+        assert cache.stats.misses == 1
+
+    def test_hit_rate_counts_both_levels(self):
+        backing = DictBacking()
+        backing.entries["key"] = "stored"
+        cache = ResultCache(backing=backing)
+        cache.get("key")      # backing hit
+        cache.get("key")      # memory hit
+        cache.get("absent")   # miss
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_protocol_runtime_check(self):
+        assert isinstance(DictBacking(), CacheBacking)
+
+
+class TestKeyEncoding:
+    def test_qudits_encode_structurally(self):
+        key = (("fp", Qudit(0, 3)), None, 5)
+        text = cache_key_encoding(key)
+        assert '"qudit"' in text and "3" in text
+        assert cache_key_encoding(key) == text  # deterministic
+
+    def test_distinct_keys_get_distinct_digests(self):
+        a = ("fp", (Qudit(0, 2),), 1)
+        b = ("fp", (Qudit(0, 3),), 1)
+        assert cache_key_digest(a) != cache_key_digest(b)
+
+    def test_digest_stable_across_calls(self):
+        key = ("fp", None, True, 2.5)
+        assert cache_key_digest(key) == cache_key_digest(key)

@@ -1,0 +1,105 @@
+"""JSON round-trip of every payload family a backend can produce."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.execution import execute
+from repro.execution.results import FidelityResult, RunResult
+from repro.noise.presets import SC
+from repro.qudits import qubits
+from repro.service import (
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+)
+
+
+def _roundtrip(result):
+    return result_from_json(result_to_json(result))
+
+
+class TestRoundTrip:
+    def test_classical_values(self):
+        result = execute("qutrit_tree", num_controls=3,
+                         backend="classical", initial=(1, 1, 1, 0))
+        back = _roundtrip(result)
+        assert back.values == result.values
+        assert back.backend == result.backend
+        assert back.wires == result.wires
+
+    def test_statevector_amplitudes(self):
+        result = execute("qutrit_tree", num_controls=3,
+                         backend="statevector")
+        back = _roundtrip(result)
+        np.testing.assert_allclose(back.state.tensor, result.state.tensor)
+        assert back.state.wires == result.state.wires
+
+    def test_measurement_samples(self):
+        result = execute("qutrit_tree", num_controls=3,
+                         backend="statevector", shots=64, seed=7)
+        back = _roundtrip(result)
+        np.testing.assert_array_equal(
+            back.measurements.samples, result.measurements.samples
+        )
+        assert back.measurements.samples.dtype == np.int64
+
+    def test_density_matrix(self):
+        result = execute("qutrit_tree", num_controls=3,
+                         backend="density", noise_model=SC)
+        back = _roundtrip(result)
+        np.testing.assert_allclose(
+            back.density.matrix, result.density.matrix
+        )
+
+    def test_fidelity_estimate(self):
+        result = execute("qutrit_tree", num_controls=3,
+                         backend="trajectory", noise_model=SC,
+                         trials=5, seed=11)
+        back = _roundtrip(result)
+        assert isinstance(back, FidelityResult)
+        assert back.estimate == result.estimate
+        assert back.mean_fidelity == result.mean_fidelity
+
+    def test_params_and_metadata_survive(self):
+        result = execute(
+            "qutrit_tree", num_controls=3, backend="classical",
+            initial=(1, 1, 1, 0),
+        ).with_params({"num_controls": 3})
+        back = _roundtrip(result)
+        assert dict(back.params) == {"num_controls": 3}
+        # JSON normalises tuples to lists on the way through.
+        assert dict(back.metadata) == json.loads(
+            json.dumps(dict(result.metadata))
+        )
+
+    def test_seed_survives(self):
+        result = execute("qutrit_tree", num_controls=3,
+                         backend="statevector", shots=8, seed=42)
+        assert _roundtrip(result).seed == result.seed
+
+
+class TestRejects:
+    def test_unknown_schema(self):
+        result = execute("qutrit_tree", num_controls=3,
+                         backend="statevector")
+        data = result_to_dict(result)
+        data["schema"] = "repro-result/v999"
+        with pytest.raises(SerializationError):
+            result_from_dict(data)
+
+    def test_malformed_json(self):
+        with pytest.raises(SerializationError):
+            result_from_json("{not json")
+
+    def test_unserializable_metadata(self):
+        wires = tuple(qubits(1))
+        result = RunResult(
+            backend="classical", wires=wires, values=(0,),
+            metadata={"payload": object()},
+        )
+        with pytest.raises(SerializationError):
+            result_to_dict(result)

@@ -1,0 +1,115 @@
+"""ResultStore: persistence, corruption tolerance, and bounded size."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.execution import execute
+from repro.qudits import qubits
+from repro.execution.results import RunResult
+from repro.service import ResultStore
+from repro.service.store import STORE_SCHEMA
+
+
+@pytest.fixture()
+def result():
+    return execute("qutrit_tree", num_controls=3, backend="statevector")
+
+
+KEY = ("fingerprint", "statevector", None, 3)
+OTHER = ("fingerprint", "statevector", None, 4)
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        assert store.put(KEY, result)
+        back = store.get(KEY)
+        np.testing.assert_allclose(back.state.tensor, result.state.tensor)
+        assert store.stats.writes == 1
+        assert store.stats.hits == 1
+
+    def test_survives_new_store_instance(self, tmp_path, result):
+        ResultStore(tmp_path).put(KEY, result)
+        reopened = ResultStore(tmp_path)
+        assert reopened.get(KEY) is not None
+        assert len(reopened) == 1
+
+    def test_miss_on_unknown_key(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(KEY) is None
+        assert store.stats.misses == 1
+
+    def test_clear(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(KEY, result)
+        store.clear()
+        assert len(store) == 0
+        assert store.get(KEY) is None
+
+
+class TestCorruptionTolerance:
+    def test_truncated_entry_is_dropped_miss(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(KEY, result)
+        store.path_for(KEY).write_text('{"schema": "repro-resu')
+        assert store.get(KEY) is None
+        assert store.stats.corrupt_dropped == 1
+        assert not store.path_for(KEY).exists()
+
+    def test_wrong_schema_is_dropped(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(KEY, result)
+        envelope = json.loads(store.path_for(KEY).read_text())
+        envelope["schema"] = "something-else/v1"
+        store.path_for(KEY).write_text(json.dumps(envelope))
+        assert store.get(KEY) is None
+        assert store.stats.corrupt_dropped == 1
+
+    def test_key_mismatch_never_serves_wrong_result(self, tmp_path, result):
+        """A file moved between names (or a digest collision) must miss."""
+        store = ResultStore(tmp_path)
+        store.put(KEY, result)
+        store.path_for(KEY).rename(store.path_for(OTHER))
+        assert store.get(OTHER) is None
+        assert store.stats.corrupt_dropped == 1
+
+    def test_unserializable_result_refused(self, tmp_path):
+        store = ResultStore(tmp_path)
+        bad = RunResult(
+            backend="classical", wires=tuple(qubits(1)), values=(0,),
+            metadata={"payload": object()},
+        )
+        assert store.put(KEY, bad) is False
+        assert store.stats.write_failures == 1
+        assert len(store) == 0
+
+
+class TestBoundedSize:
+    def test_entry_cap_evicts_oldest(self, tmp_path, result):
+        store = ResultStore(tmp_path, max_entries=2)
+        for index in range(4):
+            store.put(("key", index), result)
+        assert len(store) == 2
+        assert store.stats.evictions == 2
+        # The newest entries survive.
+        assert store.get(("key", 3)) is not None
+
+    def test_byte_cap_evicts(self, tmp_path, result):
+        entry_bytes = None
+        probe = ResultStore(tmp_path / "probe")
+        probe.put(KEY, result)
+        entry_bytes = probe.path_for(KEY).stat().st_size
+        store = ResultStore(tmp_path / "real",
+                            max_bytes=int(entry_bytes * 2.5))
+        for index in range(4):
+            store.put(("key", index), result)
+        assert store.total_bytes() <= entry_bytes * 2.5
+        assert store.stats.evictions >= 1
+
+    def test_invalid_caps_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path, max_entries=0)
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path, max_bytes=0)
