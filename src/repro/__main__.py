@@ -18,6 +18,14 @@ Usage::
     python -m repro bench --smoke     # CI-sized variant
     python -m repro bench --smoke --check-route BENCH_route.json  # CI gate
     python -m repro bench --smoke --check-serve BENCH_serve.json  # CI gate
+    python -m repro bench --smoke --check-opt BENCH_opt.json      # CI gate
+
+    # The rewrite engine: optimize a construction (or saved circuit),
+    # print per-pass statistics, verify against the equivalence oracles.
+    python -m repro optimize --construction he_tree --controls 5
+    python -m repro optimize --construction qubit_one_dirty --controls 5 \\
+        --pipeline hardware-line --passes cancel-inverses,fuse-phases
+    python -m repro optimize --file tree5.json --out tree5.opt.json
 
     # The execution service: async job queue over execute(), with
     # coalescing, a persistent result store, and fair scheduling.
@@ -43,6 +51,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+#: Named pipelines offered by ``run``, ``optimize`` and ``circuit
+#: save`` — mirrors :data:`repro.execution.facade.NAMED_PIPELINES`.
+PIPELINE_CHOICES = [
+    "lowering", "qutrit-promotion", "optimize",
+    "hardware-line", "hardware-grid", "hardware-heavy-hex",
+    "hardware-line-opt", "hardware-grid-opt", "hardware-heavy-hex-opt",
+]
 
 
 def _print_run_result(result) -> None:
@@ -285,13 +301,16 @@ def _cmd_bench(args: argparse.Namespace) -> None:
     from pathlib import Path
 
     from .analysis.bench import (
+        check_opt_regression,
         check_route_regression,
         check_serve_regression,
+        render_opt_report,
         render_report,
         render_route_report,
         render_serve_report,
         render_verify_report,
         run_bench,
+        run_opt_bench,
         run_route_bench,
         run_serve_bench,
         run_verify_bench,
@@ -331,6 +350,29 @@ def _cmd_bench(args: argparse.Namespace) -> None:
             raise SystemExit(1)
         print(
             f"\nrouting regression check passed against {args.check_route}"
+        )
+    opt_report = run_opt_bench(smoke=args.smoke)
+    print()
+    print(render_opt_report(opt_report))
+    if args.opt_out != "-":
+        path = write_report(opt_report, args.opt_out)
+        print(f"\nwrote {path}")
+    if args.check_opt is not None:
+        try:
+            committed = json.loads(Path(args.check_opt).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise SystemExit(
+                f"cannot read committed optimizer report "
+                f"{args.check_opt}: {error}"
+            )
+        failures = check_opt_regression(committed, opt_report)
+        if failures:
+            print("\noptimizer regression check FAILED:")
+            for failure in failures:
+                print(f"  {failure}")
+            raise SystemExit(1)
+        print(
+            f"\noptimizer regression check passed against {args.check_opt}"
         )
     serve_report = run_serve_bench(smoke=args.smoke, seed=args.seed)
     print()
@@ -469,6 +511,63 @@ def _cmd_route(args: argparse.Namespace) -> None:
             print(row)
 
 
+def _cmd_optimize(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from .execution import resolve_pipeline
+    from .optimize import RewriteEngine
+    from .toffoli.registry import construction_circuit
+
+    if args.file is not None:
+        circuit = _read_circuit(args.file)
+        label = args.file
+    else:
+        circuit = construction_circuit(args.construction, args.controls)
+        label = f"{args.construction}(N={args.controls})"
+    pipeline = resolve_pipeline(args.pipeline)
+    if pipeline is not None:
+        circuit = pipeline.compile(circuit).circuit
+
+    passes = None
+    if args.passes is not None:
+        passes = [p.strip() for p in args.passes.split(",") if p.strip()]
+    verify = False if args.verify == "off" else args.verify
+    engine = RewriteEngine(
+        passes=passes, cost_model=args.cost_model, verify=verify
+    )
+    optimized, report = engine.run(circuit)
+
+    print(f"optimizing {label} ({engine.cost_model.name} cost model)")
+    before, after = report.cost_before, report.cost_after
+    print(
+        f"  gates {before.total_gates} -> {after.total_gates}, "
+        f"two-qudit {before.two_qudit_gates} -> {after.two_qudit_gates}, "
+        f"non-Clifford {before.non_clifford_gates} -> "
+        f"{after.non_clifford_gates}, "
+        f"depth {before.depth} -> {after.depth} "
+        f"({report.iterations} sweep(s))"
+    )
+    print(
+        f"{'pass':>16s} {'applied':>8s} {'removed':>8s} "
+        f"{'fused':>6s} {'accepted':>9s}"
+    )
+    for name, stats in report.totals().items():
+        print(
+            f"{name:>16s} {stats.applications:8d} "
+            f"{stats.gates_removed:8d} {stats.gates_fused:6d} "
+            f"{'yes' if stats.accepted else 'no':>9s}"
+        )
+    if report.verified is not None:
+        print(f"equivalence: {report.verified}")
+    if args.out is not None:
+        text = optimized.to_json(indent=2 if args.pretty else None)
+        if args.out == "-":
+            print(text)
+        else:
+            Path(args.out).write_text(text + "\n")
+            print(f"wrote {args.out}: {_circuit_summary(optimized)}")
+
+
 def _cmd_verify(args: argparse.Namespace) -> None:
     from inspect import signature
 
@@ -529,11 +628,7 @@ def main(argv: list[str] | None = None) -> int:
         choices=["classical", "statevector", "density", "trajectory"],
     )
     run.add_argument(
-        "--pipeline", default=None,
-        choices=[
-            "lowering", "qutrit-promotion", "hardware-line",
-            "hardware-grid", "hardware-heavy-hex",
-        ],
+        "--pipeline", default=None, choices=PIPELINE_CHOICES,
     )
     run.add_argument(
         "--noise", default=None,
@@ -601,6 +696,17 @@ def main(argv: list[str] | None = None) -> int:
         help="compare the fresh routing report against this committed "
         "JSON and exit non-zero if a deterministic metric degraded >3x "
         "(the CI bench-regression gate)",
+    )
+    bench.add_argument(
+        "--opt-out", default="BENCH_opt.json",
+        help="optimizer-report path ('-' skips writing)",
+    )
+    bench.add_argument(
+        "--check-opt", default=None, metavar="BASELINE",
+        help="compare the fresh optimizer report against this committed "
+        "JSON and exit non-zero if a deterministic reduction shrank or "
+        "equivalence verification regressed (the CI bench-regression "
+        "gate)",
     )
     bench.add_argument(
         "--serve-out", default="BENCH_serve.json",
@@ -701,6 +807,48 @@ def main(argv: list[str] | None = None) -> int:
     route.add_argument("--seed", type=int, default=2019)
     route.set_defaults(func=_cmd_route)
 
+    optimize = sub.add_parser(
+        "optimize",
+        help="run the rewrite engine on a construction or saved circuit",
+    )
+    optimize.add_argument(
+        "--construction", default="qutrit_tree",
+        help="registry name (see 'verify' output for the list)",
+    )
+    optimize.add_argument("--controls", type=int, default=5)
+    optimize.add_argument(
+        "--file", default=None,
+        help="optimize a saved circuit JSON instead of a construction",
+    )
+    optimize.add_argument(
+        "--pipeline", default=None, choices=PIPELINE_CHOICES,
+        help="compile before optimizing (e.g. hardware-line to "
+        "optimize the routed circuit)",
+    )
+    optimize.add_argument(
+        "--passes", default=None, metavar="NAMES",
+        help="comma-separated pass list (default: "
+        "cancel-inverses,fuse-phases,pack-commuting)",
+    )
+    optimize.add_argument(
+        "--cost-model", default=None,
+        choices=["qutrit-clifford-t", "gate-count"],
+        help="accept/reject cost model (default qutrit-clifford-t)",
+    )
+    optimize.add_argument(
+        "--verify", default="auto", choices=["auto", "strict", "off"],
+        help="equivalence-oracle mode: auto skips infeasible widths, "
+        "strict raises instead, off trusts the passes",
+    )
+    optimize.add_argument(
+        "--out", default=None,
+        help="write the optimized circuit JSON ('-' prints to stdout)",
+    )
+    optimize.add_argument(
+        "--pretty", action="store_true", help="indent the JSON output"
+    )
+    optimize.set_defaults(func=_cmd_optimize)
+
     verify = sub.add_parser(
         "verify",
         help="exhaustively verify constructions (all, or one by name)",
@@ -737,11 +885,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     save.add_argument("--controls", type=int, default=5)
     save.add_argument(
-        "--pipeline", default=None,
-        choices=[
-            "lowering", "qutrit-promotion", "hardware-line",
-            "hardware-grid", "hardware-heavy-hex",
-        ],
+        "--pipeline", default=None, choices=PIPELINE_CHOICES,
         help="compile before saving (same pipelines as 'run')",
     )
     save.add_argument(

@@ -30,7 +30,13 @@ trajectory; CI re-runs the smoke variants on every push):
   depth inflation, and the closed-form noise-model fidelity proxy.
   Structural numbers (swaps, depths) are deterministic, so CI's
   bench-regression step compares a fresh smoke run against the
-  committed JSON (:func:`check_route_regression`).
+  committed JSON (:func:`check_route_regression`);
+* **optimizer** (``BENCH_opt.json``) — the rewrite engine
+  (:class:`~repro.optimize.RewriteEngine`) over the Fig. 9/10
+  constructions, logical and line-routed, recording gate/two-qudit/
+  depth reductions per pass and the equivalence-oracle verdict.
+  Reductions are deterministic, so CI gates on them the same way
+  (:func:`check_opt_regression`); wall-clock is recorded, never gated.
 
 All suites are seeded and deterministic in their *results*; timings are
 hardware-dependent (the JSON records the platform).
@@ -75,17 +81,22 @@ __all__ = [
     "VERIFY_SCHEMA",
     "ROUTE_SCHEMA",
     "SERVE_SCHEMA",
+    "OPT_SCHEMA",
     "run_bench",
     "run_verify_bench",
     "run_route_bench",
     "run_serve_bench",
+    "run_opt_bench",
     "render_report",
     "render_verify_report",
     "render_route_report",
     "render_serve_report",
+    "render_opt_report",
     "check_route_regression",
     "check_serve_regression",
+    "check_opt_regression",
     "route_record_key",
+    "opt_record_key",
     "write_report",
 ]
 
@@ -97,6 +108,9 @@ VERIFY_SCHEMA = "repro-bench-verify/v1"
 
 #: Schema tag of the routing report (``BENCH_route.json``).
 ROUTE_SCHEMA = "repro-bench-route/v1"
+
+#: Schema tag of the optimizer report (``BENCH_opt.json``).
+OPT_SCHEMA = "repro-bench-opt/v1"
 
 
 
@@ -599,6 +613,239 @@ def check_route_regression(
                     f"{metric} {record[metric]} exceeds {factor:g}x "
                     f"committed {base[metric]}"
                 )
+    return failures
+
+
+#: Optimizer sweep: the Figure 9/10 constructions with structure the
+#: rewrite passes can act on, plus the paper's tight qutrit circuits
+#: (which must come back *unchanged* at the logical stage — also a
+#: claim worth pinning).
+OPT_CONSTRUCTIONS: tuple[str, ...] = (
+    "qutrit_tree",
+    "he_tree",
+    "qubit_one_dirty",
+    "qubit_ancilla_free",
+)
+
+#: Control counts of the optimizer sweep (smoke keeps a prefix, so
+#: smoke records always join against the committed full report).
+OPT_WIDTHS: tuple[int, ...] = (3, 5, 7)
+OPT_SMOKE_WIDTHS: tuple[int, ...] = (3, 5)
+
+#: Optimizer stages benchmarked: the logical circuit as built, and the
+#: same circuit after lookahead routing onto a sized line (the worst
+#: zoo topology for these circuits, hence the richest SWAP structure).
+OPT_STAGES: tuple[str, ...] = ("logical", "routed")
+
+
+def bench_opt_case(
+    construction: str, num_controls: int, stage: str
+) -> dict:
+    """Optimize one construction at one stage; returns the record.
+
+    All structural outputs (gate/depth deltas, per-pass counts, the
+    oracle used) are deterministic for a given library version — that
+    is what the CI regression gate compares — while ``seconds`` records
+    wall-clock.  Verification runs in ``"auto"`` mode: every case whose
+    joint space fits an oracle is checked end to end, larger ones
+    record ``"skipped"``.
+    """
+    from ..arch.router import resolve_router
+    from ..arch.topology import sized_topology
+    from ..optimize import RewriteEngine, clear_commutation_cache
+
+    circuit = construction_circuit(construction, num_controls)
+    if stage == "routed":
+        wires = circuit.all_qudits()
+        topology = sized_topology("line", len(wires))
+        circuit = resolve_router("lookahead").route(
+            circuit, topology, wires=wires
+        ).circuit
+    elif stage != "logical":
+        raise ValueError(f"unknown optimizer bench stage {stage!r}")
+
+    clear_commutation_cache()
+    engine = RewriteEngine(verify="auto")
+    seconds, outcome = _best_of(1, lambda: engine.run(circuit))
+    _, report = outcome
+    passes = {
+        name: {
+            "applications": stats.applications,
+            "gates_removed": stats.gates_removed,
+            "gates_fused": stats.gates_fused,
+            "accepted": stats.accepted,
+        }
+        for name, stats in report.totals().items()
+    }
+    return {
+        "construction": construction,
+        "num_controls": num_controls,
+        "stage": stage,
+        "gates_before": report.cost_before.total_gates,
+        "gates_after": report.cost_after.total_gates,
+        "two_qudit_before": report.cost_before.two_qudit_gates,
+        "two_qudit_after": report.cost_after.two_qudit_gates,
+        "depth_before": report.cost_before.depth,
+        "depth_after": report.cost_after.depth,
+        "gates_removed": report.gates_removed,
+        "depth_removed": report.depth_removed,
+        "iterations": report.iterations,
+        "verified": report.verified,
+        "passes": passes,
+        "seconds": seconds,
+    }
+
+
+def opt_record_key(record: dict) -> tuple:
+    """The join key of one optimizer record (deterministic identity)."""
+    return (
+        record["construction"], record["num_controls"], record["stage"]
+    )
+
+
+def bench_opt(
+    constructions: tuple[str, ...] = OPT_CONSTRUCTIONS,
+    widths: tuple[int, ...] = OPT_WIDTHS,
+    stages: tuple[str, ...] = OPT_STAGES,
+) -> list[dict]:
+    """The full construction x width x stage optimizer sweep."""
+    return [
+        bench_opt_case(construction, num_controls, stage)
+        for construction in constructions
+        for num_controls in widths
+        for stage in stages
+    ]
+
+
+def _opt_headline(records: list[dict]) -> dict:
+    """The acceptance claims, precomputed from the record list.
+
+    For every rewrite pass: the cases where it was accepted (it
+    strictly improved the cost score on that circuit), so the committed
+    JSON proves each pass earns its keep on at least one Figure 9/10
+    construction; plus how many cases the equivalence oracles covered.
+    """
+    pass_wins: dict[str, list[dict]] = {}
+    for record in records:
+        for name, stats in record["passes"].items():
+            if not stats["accepted"]:
+                continue
+            pass_wins.setdefault(name, []).append(
+                {
+                    "construction": record["construction"],
+                    "num_controls": record["num_controls"],
+                    "stage": record["stage"],
+                    "gates_removed": record["gates_removed"],
+                    "depth_removed": record["depth_removed"],
+                }
+            )
+    verified = [r for r in records if r["verified"] in (
+        "classical", "statevector"
+    )]
+    return {
+        "pass_wins": pass_wins,
+        "cases": len(records),
+        "cases_verified": len(verified),
+        "total_gates_removed": sum(r["gates_removed"] for r in records),
+        "total_depth_removed": sum(r["depth_removed"] for r in records),
+    }
+
+
+def run_opt_bench(smoke: bool = False) -> dict:
+    """Run the optimizer suite and return the JSON-ready report.
+
+    ``smoke`` keeps the width prefix (:data:`OPT_SMOKE_WIDTHS`) so CI
+    finishes fast while every smoke record still joins against the
+    committed full report for the regression gate.
+    """
+    widths = OPT_SMOKE_WIDTHS if smoke else OPT_WIDTHS
+    records = bench_opt(widths=widths)
+    return {
+        "schema": OPT_SCHEMA,
+        "generated_by": "python -m repro bench"
+        + (" --smoke" if smoke else ""),
+        "smoke": smoke,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "records": records,
+        "headline": _opt_headline(records),
+    }
+
+
+def render_opt_report(report: dict) -> str:
+    """Human-readable summary of :func:`run_opt_bench` output."""
+    lines = [
+        f"optimizer bench ({'smoke' if report['smoke'] else 'full'})",
+        "",
+        f"{'construction':>18s} {'N':>3s} {'stage':>8s} "
+        f"{'gates':>11s} {'2q':>9s} {'depth':>11s} {'oracle':>12s}",
+    ]
+    for record in report["records"]:
+        lines.append(
+            f"{record['construction']:>18s} {record['num_controls']:3d} "
+            f"{record['stage']:>8s} "
+            f"{record['gates_before']:5d}>{record['gates_after']:<5d} "
+            f"{record['two_qudit_before']:4d}>{record['two_qudit_after']:<4d} "
+            f"{record['depth_before']:5d}>{record['depth_after']:<5d} "
+            f"{record['verified'] or '-':>12s}"
+        )
+    headline = report["headline"]
+    lines.append("")
+    lines.append(
+        f"totals: {headline['total_gates_removed']} gates and "
+        f"{headline['total_depth_removed']} depth removed across "
+        f"{headline['cases']} cases "
+        f"({headline['cases_verified']} oracle-verified)"
+    )
+    lines.append("pass wins (cases where the pass improved the score):")
+    for name, wins in headline["pass_wins"].items():
+        cells = ", ".join(
+            f"{w['construction']}/N={w['num_controls']}/{w['stage']}"
+            for w in wins[:4]
+        )
+        more = f" (+{len(wins) - 4} more)" if len(wins) > 4 else ""
+        lines.append(f"  {name:>16s}: {cells}{more}")
+    return "\n".join(lines)
+
+
+def check_opt_regression(committed: dict, fresh: dict) -> list[str]:
+    """Compare a fresh optimizer report against the committed baseline.
+
+    Joins records on :func:`opt_record_key` and flags any case whose
+    deterministic reductions shrank below the committed numbers
+    (``gates_removed`` / ``depth_removed``), or whose equivalence
+    verification regressed from an oracle to skipped/absent — the CI
+    bench-regression gate.  Wall-clock is never compared.  Records
+    present on only one side are skipped (the smoke sweep is a
+    width-prefix subset of the committed full sweep).  Returns the list
+    of failure messages (empty = pass).
+    """
+    baseline = {opt_record_key(r): r for r in committed["records"]}
+    failures = []
+    for record in fresh["records"]:
+        base = baseline.get(opt_record_key(record))
+        if base is None:
+            continue
+        label = (
+            f"{record['construction']} N={record['num_controls']} "
+            f"{record['stage']}"
+        )
+        for metric in ("gates_removed", "depth_removed"):
+            if record[metric] < base[metric]:
+                failures.append(
+                    f"{label}: {metric} {record[metric]} below "
+                    f"committed {base[metric]}"
+                )
+        oracles = ("classical", "statevector")
+        if base["verified"] in oracles and record["verified"] not in oracles:
+            failures.append(
+                f"{label}: equivalence verification regressed from "
+                f"{base['verified']} to {record['verified']}"
+            )
     return failures
 
 

@@ -50,6 +50,7 @@ from .metrics import (
     gate_error_proxy,
     routing_metrics,
 )
+from .cleanup import cleanup_routed, count_swaps
 
 __all__ = [
     "CouplingGraph",
@@ -77,4 +78,6 @@ __all__ = [
     "routing_metrics",
     "gate_error_proxy",
     "estimate_routed_fidelity",
+    "cleanup_routed",
+    "count_swaps",
 ]

@@ -1,0 +1,56 @@
+"""Post-routing cleanup: run the rewrite engine over a routed circuit.
+
+Routing inserts SWAP chains mechanically, and adjacent legs of
+back-to-back chains often cancel (a SWAP is its own inverse) or commute
+into earlier moments.  ``cleanup_routed`` re-optimizes a
+:class:`~repro.arch.routing.RoutedCircuit` in place of its circuit —
+placements are untouched because rewrite passes never change the net
+permutation of values over wires — and recounts the SWAP overhead so
+:mod:`~repro.arch.metrics` stays honest about what actually survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..circuits.circuit import Circuit
+from .routing import RoutedCircuit
+
+
+def count_swaps(circuit: Circuit) -> int:
+    """Number of router-inserted SWAP gates left in ``circuit``."""
+    return sum(
+        1
+        for op in circuit.all_operations()
+        if op.gate.name.startswith("SWAP")
+    )
+
+
+def cleanup_routed(
+    routed: RoutedCircuit, engine=None
+) -> "tuple[RoutedCircuit, object]":
+    """Optimize a routed circuit; returns ``(new routed, report)``.
+
+    ``engine`` is anything :func:`repro.optimize.resolve_engine`
+    accepts (default: the standard pass set).  The routed record keeps
+    its placements — rewrites preserve the circuit's unitary, so the
+    logical-to-physical story is unchanged — but ``swap_count`` is
+    recounted from the optimized circuit.
+    """
+    from ..optimize import resolve_engine
+
+    resolved = resolve_engine(True if engine is None else engine)
+    optimized, report = resolved.run(routed.circuit)
+    if optimized is routed.circuit:
+        return routed, report
+    return (
+        replace(
+            routed,
+            circuit=optimized,
+            swap_count=count_swaps(optimized),
+        ),
+        report,
+    )
+
+
+__all__ = ["cleanup_routed", "count_swaps"]

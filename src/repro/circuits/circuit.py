@@ -163,6 +163,74 @@ class Circuit:
             packed.append(self.all_operations())
         return packed
 
+    def _segment_bounds(self) -> list[int]:
+        """Moment indices bounding the barrier segments: ``[0, f1, .., end]``."""
+        end = len(self._moments)
+        interior = [f for f in self._barrier_history if 0 < f < end]
+        return [0, *interior, end]
+
+    def barrier_segments(self) -> list[tuple[Moment, ...]]:
+        """The circuit's moments partitioned at barrier floors.
+
+        Rewrites (the optimizer's passes, most prominently) must never
+        move an operation across a barrier, so they operate segment by
+        segment: each returned span may be reordered or rewritten
+        internally, and :meth:`with_replaced_moments` reassembles the
+        circuit with every floor replayed in place.  A circuit with no
+        interior barriers is a single segment (possibly empty).
+        """
+        bounds = self._segment_bounds()
+        return [
+            tuple(self._moments[lo:hi]) for lo, hi in zip(bounds, bounds[1:])
+        ]
+
+    def with_replaced_moments(
+        self,
+        segments: "Sequence[OpTree | Moment | Sequence[Moment]]",
+        preserve_floors: bool = True,
+    ) -> "Circuit":
+        """Rebuild the circuit from per-segment replacement content.
+
+        ``segments`` provides one entry per :meth:`barrier_segments`
+        span, in order.  An entry of :class:`Moment` objects is restored
+        verbatim (one moment each, no rescheduling); any other op-tree is
+        ASAP-appended, letting replacements pack tighter than the span
+        they replace.  With ``preserve_floors`` (the default) a barrier
+        is re-issued between consecutive segments — exactly the floors
+        :meth:`_replay_onto` replays for ``route_circuit`` and
+        ``Circuit.__add__`` — so no rewrite can silently drop a barrier;
+        without it the segments merge as the gate DAG allows.
+        """
+        replacements = [
+            [entry]
+            if isinstance(entry, (Moment, GateOperation))
+            else list(entry)
+            for entry in segments
+        ]
+        expected = len(self._segment_bounds()) - 1
+        if len(replacements) != expected:
+            raise ValueError(
+                f"need {expected} replacement segments (one per barrier "
+                f"segment), got {len(replacements)}"
+            )
+        result = Circuit()
+        for position, content in enumerate(replacements):
+            if position and preserve_floors:
+                result.barrier()
+            if any(isinstance(item, Moment) for item in content):
+                if not all(isinstance(item, Moment) for item in content):
+                    raise ValueError(
+                        "a replacement segment must be all moments or "
+                        "all operations, not a mix"
+                    )
+                for moment in content:
+                    result.append_moment(moment.operations)
+            else:
+                result.append(content)
+        if preserve_floors and self._barrier_floor >= len(self._moments):
+            result.barrier()
+        return result
+
     def inverse(self) -> "Circuit":
         """The inverse circuit (reversed moments of inverted gates)."""
         inv = Circuit()

@@ -39,3 +39,7 @@ class SimulationError(ReproError):
 
 class SerializationError(ReproError):
     """Circuit or gate data could not be serialized or deserialized."""
+
+
+class OptimizationError(ReproError):
+    """A rewrite pass produced an invalid or non-equivalent circuit."""

@@ -39,6 +39,7 @@ from .pipeline import (
     CompilePipeline,
     hardware_pipeline,
     lowering_pipeline,
+    optimize_pipeline,
     qutrit_promotion_pipeline,
 )
 from .results import FidelityResult, RunResult
@@ -55,13 +56,22 @@ RUN_PARAMS = frozenset({"shots", "trials", "seed", "initial"})
 
 #: Named pipelines accepted as ``pipeline="..."``.  The ``hardware-*``
 #: entries route through the lookahead engine onto a zoo topology sized
-#: to the circuit at compile time.
+#: to the circuit at compile time; the ``-opt`` variants additionally
+#: run the rewrite engine before and after routing.
 NAMED_PIPELINES: dict[str, Callable[[], CompilePipeline]] = {
     "lowering": lowering_pipeline,
     "qutrit-promotion": qutrit_promotion_pipeline,
+    "optimize": optimize_pipeline,
     "hardware-line": lambda: hardware_pipeline("line"),
     "hardware-grid": lambda: hardware_pipeline("grid_2d"),
     "hardware-heavy-hex": lambda: hardware_pipeline("heavy_hex"),
+    "hardware-line-opt": lambda: hardware_pipeline("line", optimize=True),
+    "hardware-grid-opt": lambda: hardware_pipeline(
+        "grid_2d", optimize=True
+    ),
+    "hardware-heavy-hex-opt": lambda: hardware_pipeline(
+        "heavy_hex", optimize=True
+    ),
 }
 
 #: Same seed-derivation constant as :mod:`repro.sim.parallel`, so facade
@@ -293,6 +303,7 @@ def execute(
     *,
     backend: str | Backend = "statevector",
     pipeline: CompilePipeline | str | None = None,
+    optimize: "bool | str | Sequence | object | None" = None,
     noise_model: NoiseModel | None = None,
     wires: Sequence[Qudit] | None = None,
     initial: StateVector | Sequence[int] | None = None,
@@ -325,8 +336,20 @@ def execute(
     were built.  Worker processes receive circuits as serialized specs
     (:meth:`Circuit.to_json`) and rebuild them through the gate
     registry.
+
+    ``optimize`` runs the :mod:`repro.optimize` rewrite engine on each
+    compiled circuit before execution: ``True`` uses the default pass
+    set, a string or sequence names passes (see
+    :func:`~repro.optimize.resolve_engine`), and a
+    :class:`~repro.optimize.RewriteEngine` passes through.  The cache
+    fingerprint is taken from the *optimized* circuit, so an optimized
+    run shares cache lines with any structurally equal optimized
+    circuit, never with its unoptimized form.
     """
+    from ..optimize import resolve_engine
+
     pipeline = resolve_pipeline(pipeline)
+    engine = resolve_engine(optimize)
     backend_spec = backend
     probe = resolve_backend(backend_spec, noise_model)
     # Note: an empty ResultCache is falsy (len 0), so test identity/type
@@ -378,6 +401,16 @@ def execute(
                 preferred_wires or circuit.all_qudits()
             ):
                 preferred_wires = None
+        if engine is not None:
+            circuit, opt_report = engine.run(circuit)
+            note.update(
+                optimize_passes=tuple(p.name for p in engine.passes),
+                optimize_gates_removed=opt_report.gates_removed,
+                optimize_depth_removed=opt_report.depth_removed,
+                optimize_iterations=opt_report.iterations,
+            )
+            if opt_report.verified is not None:
+                note["optimize_verified"] = opt_report.verified
         compile_notes.append(note)
 
         point_wires = wires if wires is not None else preferred_wires

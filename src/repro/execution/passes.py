@@ -264,6 +264,64 @@ class RouteToTopology(CompilePass):
         return routed.circuit
 
 
+class OptimizePass(CompilePass):
+    """Run the rewrite engine (:mod:`repro.optimize`) as a pipeline stage.
+
+    Wraps a :class:`~repro.optimize.RewriteEngine` — cancellation,
+    diagonal fusion and commutation packing to fixpoint under the cost
+    model — as a :class:`CompilePass`, so pipelines get pre- and
+    post-routing optimization slots.  ``label`` distinguishes the slots
+    in pipeline reports (``Optimize[pre-route]`` vs
+    ``Optimize[post-route]``); ``last_report`` keeps the engine's full
+    :class:`~repro.optimize.OptimizationReport` for the most recent
+    transform.
+    """
+
+    def __init__(
+        self,
+        passes: Sequence | None = None,
+        cost_model=None,
+        verify: "bool | str" = False,
+        label: str = "optimize",
+        engine=None,
+    ) -> None:
+        from ..optimize import RewriteEngine
+
+        if engine is None:
+            engine = RewriteEngine(
+                passes=passes, cost_model=cost_model, verify=verify
+            )
+        self._engine = engine
+        self._label = label
+        #: Engine report of the most recent transform (None before any).
+        self.last_report = None
+
+    @property
+    def name(self) -> str:
+        return f"Optimize[{self._label}]"
+
+    @property
+    def engine(self):
+        """The wrapped rewrite engine."""
+        return self._engine
+
+    def transform(self, circuit: Circuit) -> Circuit:
+        optimized, report = self._engine.run(circuit)
+        self.last_report = report
+        self.last_metadata = {
+            "passes": [p.name for p in self._engine.passes],
+            "iterations": report.iterations,
+            "gates_before": report.cost_before.total_gates,
+            "gates_after": report.cost_after.total_gates,
+            "two_qudit_before": report.cost_before.two_qudit_gates,
+            "two_qudit_after": report.cost_after.two_qudit_gates,
+            "depth_before": report.cost_before.depth,
+            "depth_after": report.cost_after.depth,
+            "verified": report.verified,
+        }
+        return optimized
+
+
 class ASAPReschedule(CompilePass):
     """Re-pack operations as early as the gate DAG allows.
 
@@ -301,6 +359,7 @@ __all__ = [
     "CompilePass",
     "transform_operations",
     "DecomposeToWidth2",
+    "OptimizePass",
     "PromoteQubitsToQutrits",
     "promote_gate",
     "RouteToTopology",

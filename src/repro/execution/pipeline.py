@@ -21,6 +21,7 @@ from .passes import (
     CompilePass,
     DecomposeToWidth2,
     MergeMoments,
+    OptimizePass,
     PromoteQubitsToQutrits,
     RouteToTopology,
 )
@@ -138,22 +139,41 @@ def qutrit_promotion_pipeline(dim: int = 3) -> CompilePipeline:
     )
 
 
+def optimize_pipeline(
+    passes: "Sequence | None" = None,
+    cost_model=None,
+    verify: "bool | str" = False,
+) -> CompilePipeline:
+    """Rewrite-engine optimization as a standalone pipeline."""
+    return CompilePipeline(
+        [OptimizePass(passes=passes, cost_model=cost_model, verify=verify)],
+        name="optimize",
+    )
+
+
 def hardware_pipeline(
     topology: "CouplingGraph | str | Callable[[int], CouplingGraph]",
     placement: dict[Qudit, int] | None = None,
     router: str | None = None,
+    optimize: bool = False,
 ) -> CompilePipeline:
     """Full lowering for a constrained device: decompose, route, repack.
 
     ``topology`` accepts everything :class:`RouteToTopology` does (zoo
     kind names size themselves to the circuit); ``router`` picks the
-    engine (default: the lookahead router).
+    engine (default: the lookahead router).  With ``optimize`` the
+    rewrite engine runs in both slots — after decomposition (shrink the
+    circuit the router sees) and after routing (clean up around the
+    inserted SWAPs) — which is what the ``hardware-*-opt`` named
+    pipelines expose.
     """
+    passes: list[CompilePass] = [DecomposeToWidth2()]
+    if optimize:
+        passes.append(OptimizePass(label="pre-route"))
+    passes.append(RouteToTopology(topology, placement, router=router))
+    if optimize:
+        passes.append(OptimizePass(label="post-route"))
+    passes.append(ASAPReschedule())
     return CompilePipeline(
-        [
-            DecomposeToWidth2(),
-            RouteToTopology(topology, placement, router=router),
-            ASAPReschedule(),
-        ],
-        name="hardware",
+        passes, name="hardware-opt" if optimize else "hardware"
     )

@@ -48,6 +48,7 @@ from .qutrit import (
     shift_gate,
 )
 from .controlled import ControlledGate, controlled
+from .inverse import INVERSE_RULES, inverse_spec, semantic_inverse
 from .decompositions import (
     decompose_controlled_controlled_u,
     decompose_operation,
@@ -66,6 +67,9 @@ __all__ = [
     "PhasedGate",
     "ControlledGate",
     "controlled",
+    "INVERSE_RULES",
+    "inverse_spec",
+    "semantic_inverse",
     # qubit gates
     "X",
     "Y",

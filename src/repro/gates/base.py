@@ -82,7 +82,24 @@ class Gate(ABC):
         return product
 
     def inverse(self) -> "Gate":
-        """The inverse gate.  Default: wrap the conjugate transpose."""
+        """The inverse gate.
+
+        A gate carrying a registered semantic spec inverts through the
+        registry inverse-rule table (:mod:`repro.gates.inverse`), so
+        e.g. ``shift(+1)`` inverts to ``shift(+2)`` and ``T`` to
+        ``T_DAG`` — named, serializable gates rather than anonymous
+        dagger matrices.  Everything else falls back to the structural
+        inverse of its gate class.
+        """
+        from .inverse import semantic_inverse
+
+        inverted = semantic_inverse(self)
+        if inverted is not None:
+            return inverted
+        return self._structural_inverse()
+
+    def _structural_inverse(self) -> "Gate":
+        """Class-level inverse fallback: wrap the conjugate transpose."""
         from .matrix import MatrixGate
 
         return MatrixGate(
@@ -212,6 +229,43 @@ class Gate(ABC):
         index = values_to_index(values, self.dims)
         return index_to_values(perm[index], self.dims)
 
+    # -- diagonal behaviour ---------------------------------------------
+    #
+    # Diagonal gates commute with each other and merge into a single
+    # phase gate, which is what the optimizer's fusion pass exploits
+    # (phase-gadget style, after arXiv:2204.13681).  Like classicality,
+    # diagonality is decided once per gate instance and cached.
+
+    #: False = not yet computed; None = not diagonal; ndarray = phases.
+    _diag_cache: "np.ndarray | None | bool" = False
+
+    def diagonal_phases(self) -> "np.ndarray | None":
+        """The gate's diagonal as a phase vector, or None if not diagonal.
+
+        A gate is *diagonal* when its unitary is a diagonal matrix in
+        the computational basis — it rephases every basis state without
+        mixing them.  The returned vector lists the phase applied to
+        each mixed-radix basis state (a fresh copy; safe to mutate).
+        """
+        if self._diag_cache is False:
+            unitary = self.unitary()
+            diag = np.diagonal(unitary).copy()
+            result = (
+                diag
+                if np.allclose(unitary, np.diag(diag), atol=1e-9)
+                else None
+            )
+            object.__setattr__(self, "_diag_cache", result)
+        cached = self._diag_cache
+        if cached is None:
+            return None
+        return np.array(cached, copy=True)
+
+    @property
+    def is_diagonal(self) -> bool:
+        """True iff the gate's unitary is diagonal (pure rephasing)."""
+        return self.diagonal_phases() is not None
+
     # -- construction helpers -------------------------------------------
 
     def on(self, *wires: "Qudit") -> "GateOperation":
@@ -295,7 +349,7 @@ class PermutationGate(Gate):
             self._dims,
         )
 
-    def inverse(self) -> "PermutationGate":
+    def _structural_inverse(self) -> "PermutationGate":
         inverse_map = [0] * len(self._mapping)
         for src, dst in enumerate(self._mapping):
             inverse_map[dst] = src
@@ -347,8 +401,11 @@ class PhasedGate(Gate):
             self._dims,
         )
 
-    def inverse(self) -> "PhasedGate":
+    def _structural_inverse(self) -> "PhasedGate":
         return PhasedGate(self._phases.conj(), self._dims, f"{self.name}^-1")
+
+    def diagonal_phases(self) -> np.ndarray:
+        return self._phases.copy()
 
 
 # -- structural constructors -------------------------------------------------

@@ -107,10 +107,20 @@ class ControlledGate(Gate):
         matrix[lo:hi, lo:hi] = sub_u
         return matrix
 
-    def inverse(self) -> "ControlledGate":
+    def _structural_inverse(self) -> "ControlledGate":
         return ControlledGate(
             self._sub_gate.inverse(), self._control_dims, self._control_values
         )
+
+    def diagonal_phases(self) -> "np.ndarray | None":
+        sub_phases = self._sub_gate.diagonal_phases()
+        if sub_phases is None:
+            return None
+        phases = np.ones(self.total_dim, dtype=complex)
+        active = values_to_index(self._control_values, self._control_dims)
+        sub_dim = self._sub_gate.total_dim
+        phases[active * sub_dim : (active + 1) * sub_dim] = sub_phases
+        return phases
 
     def _structural_spec(self) -> GateSpec:
         return GateSpec(

@@ -1,0 +1,133 @@
+"""Registry-level semantic inverse rules for the gate catalog.
+
+The optimizer's adjacent-inverse cancellation (:mod:`repro.optimize`)
+asks, for each gate, "what is your inverse's *canonical spec*?" — and two
+operations cancel exactly when one's canonical spec equals the other's
+inverse canonical spec.  For that question to have sharp answers the
+inverse of a semantic gate should itself be semantic: ``shift(+1)`` on a
+qutrit inverts to ``shift(+2)``, ``RX(theta)`` to ``RX(-theta)``,
+``T`` to ``T_DAG`` — not to an anonymous dagger matrix whose floating
+point entries only *approximately* match the named gate.
+
+This module holds the spec-name -> inverse-spec rule table.
+:meth:`repro.gates.base.Gate.inverse` consults it first and only then
+falls back to the structural inverse (permutation reversal, conjugated
+phases, matrix dagger), so every gate in ``GATE_REGISTRY`` inverts —
+semantically where a rule exists, structurally otherwise.
+
+Rules return a :class:`GateSpec`; the inverse gate is rebuilt through the
+registry, so it carries the semantic spec and round-trips like any other
+registered gate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TYPE_CHECKING
+
+from .spec import GATE_REGISTRY, GateSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .base import Gate
+
+#: A rule maps a semantic spec to the spec of its inverse (None = no rule
+#: for these particular params; fall back to the structural inverse).
+InverseRule = Callable[[GateSpec], "GateSpec | None"]
+
+
+def _self_inverse(spec: GateSpec) -> GateSpec:
+    return spec
+
+
+def _negate_param(spec: GateSpec) -> GateSpec:
+    """Single-parameter rotations/phases invert by negating the angle."""
+    (value,) = spec.params
+    return GateSpec(spec.name, (-value,), spec.dims)
+
+
+def _shift_inverse(spec: GateSpec) -> GateSpec:
+    (amount,) = spec.params
+    dim = spec.dims[0]
+    return GateSpec("shift", ((dim - amount) % dim,), spec.dims)
+
+
+def _phase_inverse(spec: GateSpec) -> GateSpec:
+    level, phi = spec.params
+    return GateSpec("phase", (level, -phi), spec.dims)
+
+
+def _flip_dag(name: str) -> str:
+    return name[:-4] if name.endswith("_DAG") else name + "_DAG"
+
+
+def _dag_pair(spec: GateSpec) -> GateSpec:
+    return GateSpec(_flip_dag(spec.name), (), spec.dims)
+
+
+def _embedded_inverse(spec: GateSpec) -> "GateSpec | None":
+    sub_spec, level_a, level_b = spec.params
+    sub_inverse = inverse_spec(sub_spec)
+    if sub_inverse is None:
+        return None
+    return GateSpec("embedded", (sub_inverse, level_a, level_b), spec.dims)
+
+
+def _root_pow_inverse(spec: GateSpec) -> GateSpec:
+    base_spec, k, d, name = spec.params
+    flipped = name[:-3] if name.endswith("^-1") else f"{name}^-1"
+    return GateSpec("U_root_pow", (base_spec, -k, d, flipped), spec.dims)
+
+
+#: spec name -> rule.  Covers every registered semantic name whose inverse
+#: is expressible as a registered semantic spec; the rest (``fourier`` and
+#: the structural ``__matrix__`` family) invert structurally.
+INVERSE_RULES: dict[str, InverseRule] = {
+    # -- qudit factories ------------------------------------------------
+    "identity": _self_inverse,
+    "level_swap": _self_inverse,
+    "shift": _shift_inverse,
+    "clock": _negate_param,
+    "phase": _phase_inverse,
+    "embedded": _embedded_inverse,
+    # -- qubit factories ------------------------------------------------
+    "P": _negate_param,
+    "RX": _negate_param,
+    "RY": _negate_param,
+    "RZ": _negate_param,
+    "X_pow": _negate_param,
+    "CX_pow": _negate_param,
+    # -- derived gates --------------------------------------------------
+    "U_root_pow": _root_pow_inverse,
+    # -- registered constants -------------------------------------------
+    "S": _dag_pair,
+    "S_DAG": _dag_pair,
+    "T": _dag_pair,
+    "T_DAG": _dag_pair,
+    "SQRT_X": _dag_pair,
+    "SQRT_X_DAG": _dag_pair,
+}
+
+for _name in ("I2", "X", "Y", "Z", "H", "CNOT", "CZ", "TOFFOLI", "SWAP"):
+    INVERSE_RULES[_name] = _self_inverse
+
+
+def inverse_spec(spec: GateSpec) -> "GateSpec | None":
+    """The semantic inverse spec of ``spec``, or None if no rule applies."""
+    rule = INVERSE_RULES.get(spec.name)
+    if rule is None:
+        return None
+    return rule(spec)
+
+
+def semantic_inverse(gate: "Gate") -> "Gate | None":
+    """Invert ``gate`` through the registry rule table, if possible.
+
+    Returns None when the gate carries no semantic spec or no rule covers
+    its spec name — callers fall back to the structural inverse.
+    """
+    spec = gate._spec_override
+    if spec is None:
+        return None
+    inv = inverse_spec(spec)
+    if inv is None:
+        return None
+    return GATE_REGISTRY.build(inv)

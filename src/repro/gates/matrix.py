@@ -39,7 +39,7 @@ class MatrixGate(Gate):
     def unitary(self) -> np.ndarray:
         return self._matrix.copy()
 
-    def inverse(self) -> "MatrixGate":
+    def _structural_inverse(self) -> "MatrixGate":
         return MatrixGate(
             self._matrix.conj().T, self._dims, name=f"{self._name}^-1"
         )

@@ -1,0 +1,103 @@
+"""Pairwise operation commutation, cached on structural identity.
+
+Every optimizer pass that moves an operation left — cancellation and
+fusion hunting for a non-adjacent partner, packing hunting for an
+earlier moment — needs one primitive: *may these two operations swap
+order without changing the circuit's unitary?*  Three tiers decide it:
+
+1. disjoint wires always commute;
+2. two diagonal gates always commute (they share the computational
+   eigenbasis — the phase-gadget observation of arXiv:2204.13681);
+3. otherwise the joint unitaries over the wire union are compared
+   directly, ``U_ab == U_ba``, capped at a small joint dimension.
+
+The dense check is memoised on ``(canonical spec, wire pattern)`` pairs,
+so a circuit full of repeated T/CNOT patterns pays for each shape once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..qudits import Qudit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..circuits.operation import GateOperation
+
+#: Largest joint dimension the dense commutation check will build
+#: (5 qutrit wires / 8 qubit wires).  Beyond it the answer is a
+#: conservative "no" — wider overlapping pairs never arise from the
+#: catalog's 1-3 wire gates anyway.
+MAX_JOINT_DIM = 256
+
+#: (spec_a, wires_a, spec_b, wires_b, dims) -> bool, process-wide.
+_COMMUTE_CACHE: dict[tuple, bool] = {}
+
+
+def clear_commutation_cache() -> None:
+    """Drop the memoised dense-check results (tests use this)."""
+    _COMMUTE_CACHE.clear()
+
+
+def _dense_commute(op_a: "GateOperation", op_b: "GateOperation") -> bool:
+    union = sorted(set(op_a.qudits) | set(op_b.qudits))
+    joint = 1
+    for wire in union:
+        joint *= wire.dimension
+    if joint > MAX_JOINT_DIM:
+        return False
+    position = {wire: k for k, wire in enumerate(union)}
+    key = (
+        op_a.gate.canonical_spec(),
+        tuple(position[w] for w in op_a.qudits),
+        op_b.gate.canonical_spec(),
+        tuple(position[w] for w in op_b.qudits),
+        tuple(w.dimension for w in union),
+    )
+    cached = _COMMUTE_CACHE.get(key)
+    if cached is None:
+        # Rebuild on fresh canonical wires so the cache never pins the
+        # caller's Qudit objects.
+        canon = [Qudit(k, w.dimension) for k, w in enumerate(union)]
+        a = op_a.gate.on(*(canon[position[w]] for w in op_a.qudits))
+        b = op_b.gate.on(*(canon[position[w]] for w in op_b.qudits))
+        u_ab = Circuit([a, b]).unitary(wire_order=canon)
+        u_ba = Circuit([b, a]).unitary(wire_order=canon)
+        cached = bool(np.allclose(u_ab, u_ba, atol=1e-9))
+        _COMMUTE_CACHE[key] = cached
+    return cached
+
+
+def operations_commute(
+    op_a: "GateOperation", op_b: "GateOperation"
+) -> bool:
+    """True iff applying ``op_a`` then ``op_b`` equals ``op_b`` then
+    ``op_a`` on the joint state space."""
+    if not set(op_a.qudits) & set(op_b.qudits):
+        return True
+    if op_a.gate.is_diagonal and op_b.gate.is_diagonal:
+        return True
+    return _dense_commute(op_a, op_b)
+
+
+def commutes_into(
+    ops: "list[GateOperation | None]", index: int, op: "GateOperation"
+) -> int:
+    """How far left ``op`` may slide through ``ops[:index]``.
+
+    Walks left from ``index`` past entries that commute with ``op``
+    (``None`` entries — holes left by a cancellation — are transparent)
+    and returns the smallest insertion position reachable.  This is the
+    shared "commute-back walk" the cancellation, fusion and packing
+    passes use to find non-adjacent partners.
+    """
+    position = index
+    while position > 0:
+        prev = ops[position - 1]
+        if prev is not None and not operations_commute(prev, op):
+            break
+        position -= 1
+    return position

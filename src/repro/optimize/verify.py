@@ -1,0 +1,174 @@
+"""Equivalence oracles for optimized circuits.
+
+Two modes, mirroring the PR 4 verification layer:
+
+* **classical** — both circuits lower to permutation tables; their full
+  :meth:`~repro.sim.classical_batch.BatchedClassicalSimulator
+  .permutation_vector` index arrays must be identical.  Linear in gate
+  count, exact, valid at any width — this is the oracle for the
+  undecomposed constructions.
+* **statevector** — the full basis advances through both circuits as
+  stacked ``(B, d_0, ..., d_{n-1})`` tensors (the trajectory engines'
+  vectorized contraction) and the resulting amplitude arrays must agree
+  elementwise.  This checks *exact* unitary equality — the optimizer's
+  rewrites preserve the unitary, not just its action up to phase — and
+  is capped at a joint dimension where the dense batch stays small.
+
+``equivalence_method`` picks the cheapest sound mode; ``None`` means the
+circuit is both non-classical and too wide to check densely, which
+callers (the engine's ``verify="auto"``, the bench) treat as "skip".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..exceptions import NotClassicalError, OptimizationError
+from ..qudits import Qudit
+from ..sim.classical_batch import BatchedClassicalSimulator
+from ..sim.fidelity import resolve_batch_size
+from ..sim.kernels import apply_block, gate_kernel
+
+#: Dense-oracle ceiling on the joint dimension (2^12 qubit states /
+#: 3^7 qutrit states): beyond it the stacked basis batch stops being
+#: cheap and callers should rely on the classical oracle or skip.
+MAX_DENSE_DIM = 4096
+
+
+def _joint_wires(
+    before: Circuit, after: Circuit, wires: "Sequence[Qudit] | None"
+) -> list[Qudit]:
+    if wires is not None:
+        return list(wires)
+    return sorted(set(before.all_qudits()) | set(after.all_qudits()))
+
+
+def equivalence_method(
+    before: Circuit,
+    after: Circuit,
+    wires: "Sequence[Qudit] | None" = None,
+) -> "str | None":
+    """The cheapest sound oracle for this pair: ``"classical"``,
+    ``"statevector"``, or None when neither applies."""
+    simulator = BatchedClassicalSimulator()
+    if simulator.is_classical_circuit(
+        before
+    ) and simulator.is_classical_circuit(after):
+        return "classical"
+    joint = 1
+    for wire in _joint_wires(before, after, wires):
+        joint *= wire.dimension
+    if joint <= MAX_DENSE_DIM:
+        return "statevector"
+    return None
+
+
+def _basis_states(
+    wires: Sequence[Qudit], rows: np.ndarray
+) -> np.ndarray:
+    dims = tuple(w.dimension for w in wires)
+    batch = np.zeros((len(rows),) + dims, dtype=complex)
+    member = (np.arange(len(rows)),) + tuple(
+        rows[:, k] for k in range(len(wires))
+    )
+    batch[member] = 1.0
+    return batch
+
+
+def _advance(
+    circuit: Circuit, wires: Sequence[Qudit], batch: np.ndarray
+) -> np.ndarray:
+    axis = {w: 1 + k for k, w in enumerate(wires)}
+    for op in circuit.all_operations():
+        kernel = gate_kernel(op)
+        batch = apply_block(
+            batch, kernel.block, [axis[w] for w in op.qudits]
+        )
+    return batch
+
+
+def circuits_equivalent(
+    before: Circuit,
+    after: Circuit,
+    wires: "Sequence[Qudit] | None" = None,
+    atol: float = 1e-8,
+    method: "str | None" = None,
+) -> bool:
+    """True iff the circuits implement the same unitary on ``wires``.
+
+    ``method`` forces an oracle; by default the cheapest sound one is
+    chosen.  Raises :class:`OptimizationError` when no oracle applies
+    (non-classical and too wide) — use :func:`equivalence_method` first
+    to probe feasibility.
+    """
+    joint_wires = _joint_wires(before, after, wires)
+    if method is None:
+        method = equivalence_method(before, after, joint_wires)
+    if method == "classical":
+        simulator = BatchedClassicalSimulator()
+        try:
+            vector_before = simulator.permutation_vector(
+                before, joint_wires
+            )
+            vector_after = simulator.permutation_vector(after, joint_wires)
+        except NotClassicalError:
+            return circuits_equivalent(
+                before, after, joint_wires, atol, method="statevector"
+            )
+        return bool(np.array_equal(vector_before, vector_after))
+    if method == "statevector":
+        joint = 1
+        for wire in joint_wires:
+            joint *= wire.dimension
+        if joint > MAX_DENSE_DIM:
+            raise OptimizationError(
+                f"joint dimension {joint} exceeds the dense oracle cap "
+                f"{MAX_DENSE_DIM}"
+            )
+        inputs = BatchedClassicalSimulator.input_space(joint_wires)
+        chunk = resolve_batch_size(None, joint_wires, len(inputs))
+        for start in range(0, len(inputs), chunk):
+            rows = inputs[start : start + chunk]
+            batch = _basis_states(joint_wires, rows)
+            out_before = _advance(before, joint_wires, batch)
+            out_after = _advance(
+                after, joint_wires, _basis_states(joint_wires, rows)
+            )
+            if not np.allclose(out_before, out_after, atol=atol):
+                return False
+        return True
+    raise OptimizationError(
+        "no equivalence oracle applies: circuits are not classical and "
+        f"the joint dimension exceeds {MAX_DENSE_DIM}"
+    )
+
+
+def assert_equivalent(
+    before: Circuit,
+    after: Circuit,
+    wires: "Sequence[Qudit] | None" = None,
+    atol: float = 1e-8,
+    context: str = "rewrite",
+) -> str:
+    """Raise :class:`OptimizationError` unless the circuits agree.
+
+    Returns the oracle used, for reporting.
+    """
+    joint_wires = _joint_wires(before, after, wires)
+    method = equivalence_method(before, after, joint_wires)
+    if method is None:
+        raise OptimizationError(
+            f"cannot verify {context}: no equivalence oracle applies "
+            f"(non-classical circuit wider than the dense cap)"
+        )
+    if not circuits_equivalent(
+        before, after, joint_wires, atol, method=method
+    ):
+        raise OptimizationError(
+            f"{context} changed the circuit's action "
+            f"({method} oracle mismatch)"
+        )
+    return method

@@ -1,0 +1,109 @@
+"""Barrier-segment helpers: the optimizer's moment-replacement surface.
+
+The regression these tests pin: rewrite passes replace each
+barrier-delimited span through ``with_replaced_moments`` and barriers
+must survive — a pass can reorder freely *inside* a span but must never
+move a gate across a floor the circuit author placed.
+"""
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.gates.qutrit import X01, X12, X_PLUS_1
+from repro.qudits import qutrits
+
+
+def _staged_circuit():
+    a, b = qutrits(2)
+    circuit = Circuit()
+    circuit.append(X01.on(a))
+    circuit.append(X12.on(b))
+    circuit.barrier()
+    circuit.append(X_PLUS_1.on(a))
+    circuit.barrier()
+    circuit.append(X01.on(b))
+    return circuit, (a, b)
+
+
+class TestBarrierSegments:
+    def test_segments_split_on_floors(self):
+        circuit, _ = _staged_circuit()
+        segments = circuit.barrier_segments()
+        assert len(segments) == 3
+        assert [
+            sum(len(moment) for moment in segment) for segment in segments
+        ] == [2, 1, 1]
+
+    def test_unbarriered_circuit_is_one_segment(self):
+        circuit, _ = _staged_circuit()
+        flat = Circuit()
+        for op in circuit.all_operations():
+            flat.append(op)
+        assert len(flat.barrier_segments()) == 1
+
+    def test_trailing_barrier_adds_no_empty_segment(self):
+        # A floor at the very end guards future appends; it delimits no
+        # span, so segmentation yields just the one populated segment
+        # (with_replaced_moments still re-issues the trailing floor).
+        a, = qutrits(1)
+        circuit = Circuit()
+        circuit.append(X01.on(a))
+        circuit.barrier()
+        assert [len(s) for s in circuit.barrier_segments()] == [1]
+
+
+class TestWithReplacedMoments:
+    def test_identity_replacement_preserves_floors(self):
+        circuit, _ = _staged_circuit()
+        rebuilt = circuit.with_replaced_moments(
+            circuit.barrier_segments()
+        )
+        assert rebuilt == circuit
+        assert rebuilt.barrier_floors == circuit.barrier_floors
+
+    def test_op_list_segments_respect_floors(self):
+        # The optimizer's shape: each segment handed back as a flat op
+        # list; gates must still not cross the original barriers.
+        circuit, (a, b) = _staged_circuit()
+        segments = [
+            [op for moment in segment for op in moment]
+            for segment in circuit.barrier_segments()
+        ]
+        rebuilt = circuit.with_replaced_moments(segments)
+        assert rebuilt.barrier_floors == circuit.barrier_floors
+        assert list(rebuilt.all_operations()) == list(
+            circuit.all_operations()
+        )
+
+    def test_shrunken_segment_moves_floors_up(self):
+        circuit, (a, b) = _staged_circuit()
+        segments = [
+            [op for moment in segment for op in moment]
+            for segment in circuit.barrier_segments()
+        ]
+        segments[0] = segments[0][:1]  # drop one gate from span 0
+        rebuilt = circuit.with_replaced_moments(segments)
+        assert rebuilt.num_operations == circuit.num_operations - 1
+        assert len(rebuilt.barrier_floors) == len(circuit.barrier_floors)
+
+    def test_preserve_floors_false_drops_barriers(self):
+        circuit, _ = _staged_circuit()
+        rebuilt = circuit.with_replaced_moments(
+            circuit.barrier_segments(), preserve_floors=False
+        )
+        assert rebuilt.barrier_floors == ()
+
+    def test_trailing_barrier_survives(self):
+        a, = qutrits(1)
+        circuit = Circuit()
+        circuit.append(X01.on(a))
+        circuit.barrier()
+        rebuilt = circuit.with_replaced_moments(
+            circuit.barrier_segments()
+        )
+        assert rebuilt.barrier_floors == circuit.barrier_floors
+
+    def test_wrong_segment_count_raises(self):
+        circuit, _ = _staged_circuit()
+        with pytest.raises(ValueError):
+            circuit.with_replaced_moments(circuit.barrier_segments()[:-1])

@@ -1,0 +1,105 @@
+"""Tests for Gate.inverse(): semantic rules, fallbacks, round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.gates import (
+    CNOT,
+    GATE_REGISTRY,
+    H,
+    MatrixGate,
+    S,
+    S_DAG,
+    T,
+    T_DAG,
+    GateSpec,
+    inverse_spec,
+    semantic_inverse,
+    shift_gate,
+)
+from repro.gates.base import PhasedGate
+from repro.gates.qutrit import X01, clock_gate, phase_gate
+
+from .test_spec import GATE_CATALOG
+
+
+@pytest.mark.parametrize("gate", GATE_CATALOG.values(), ids=GATE_CATALOG)
+class TestCatalogInverseRoundTrip:
+    def test_product_is_identity(self, gate):
+        product = gate.inverse().unitary() @ gate.unitary()
+        assert np.allclose(product, np.eye(product.shape[0]), atol=1e-9)
+
+    def test_inverse_preserves_dims(self, gate):
+        assert gate.inverse().dims == gate.dims
+
+    def test_double_inverse_matches_unitary(self, gate):
+        twice = gate.inverse().inverse()
+        assert np.allclose(twice.unitary(), gate.unitary(), atol=1e-9)
+
+
+class TestSemanticInverses:
+    """Known gates invert to their *named* partners, not opaque daggers."""
+
+    @pytest.mark.parametrize(
+        "gate, partner",
+        [(T, T_DAG), (T_DAG, T), (S, S_DAG), (S_DAG, S)],
+        ids=["T", "T_DAG", "S", "S_DAG"],
+    )
+    def test_dag_pairs(self, gate, partner):
+        assert gate.inverse().canonical_spec() == partner.canonical_spec()
+
+    def test_self_inverse_constants(self):
+        for gate in (H, CNOT, X01):
+            assert (
+                gate.inverse().canonical_spec() == gate.canonical_spec()
+            )
+
+    def test_shift_inverse_is_complementary_shift(self):
+        assert (
+            shift_gate(3, 1).inverse().canonical_spec()
+            == shift_gate(3, 2).canonical_spec()
+        )
+
+    def test_phase_inverse_negates_angle(self):
+        assert (
+            phase_gate(3, 2, 0.5).inverse().canonical_spec()
+            == phase_gate(3, 2, -0.5).canonical_spec()
+        )
+
+    def test_clock_inverse_round_trips_through_registry(self):
+        gate = clock_gate(3, 1)
+        inverted = gate.inverse()
+        # The inverse keeps a semantic, serializable spec (clock at the
+        # negated power), not an opaque dagger.
+        assert inverted.spec().name == "clock"
+        rebuilt = GATE_REGISTRY.build(inverted.spec())
+        assert np.allclose(
+            rebuilt.unitary() @ gate.unitary(), np.eye(3), atol=1e-9
+        )
+
+    def test_inverse_spec_unknown_name_returns_none(self):
+        assert inverse_spec(GateSpec("no-such-gate", (), (2,))) is None
+
+    def test_semantic_inverse_skips_structural_gates(self):
+        bare = MatrixGate(np.eye(2), (2,), name="opaque")
+        assert semantic_inverse(bare) is None
+
+
+class TestStructuralFallback:
+    def test_matrix_gate_falls_back_to_dagger(self):
+        gate = MatrixGate(
+            np.array([[1, 0], [0, 1j]]), (2,), name="custom"
+        )
+        inverted = gate.inverse()
+        assert inverted.name == "custom^-1"
+        assert np.allclose(
+            inverted.unitary() @ gate.unitary(), np.eye(2), atol=1e-12
+        )
+
+    def test_phased_gate_inverse_conjugates_phases(self):
+        gate = PhasedGate([1, 1j, -1], (3,), "diag")
+        assert np.allclose(
+            gate.inverse().unitary() @ gate.unitary(),
+            np.eye(3),
+            atol=1e-12,
+        )

@@ -1,0 +1,101 @@
+"""Tests for the 3-tier commutation check and the insertion walk."""
+
+import numpy as np
+
+from repro.gates import CNOT, H, S, T, X, Z
+from repro.gates.qutrit import X01, clock_gate, phase_gate
+from repro.optimize import (
+    clear_commutation_cache,
+    commutes_into,
+    operations_commute,
+)
+from repro.optimize.commutation import MAX_JOINT_DIM, _COMMUTE_CACHE
+from repro.qudits import qubits, qutrits
+
+
+class TestOperationsCommute:
+    def setup_method(self):
+        clear_commutation_cache()
+
+    def test_disjoint_wires_always_commute(self):
+        a, b = qubits(2)
+        assert operations_commute(H.on(a), T.on(b))
+
+    def test_diagonal_gates_commute_on_shared_wires(self):
+        a, = qutrits(1)
+        assert operations_commute(
+            phase_gate(3, 1, 0.3).on(a), clock_gate(3).on(a)
+        )
+
+    def test_anticommuting_paulis_do_not_commute(self):
+        a, = qubits(2)[:1]
+        assert not operations_commute(X.on(a), Z.on(a))
+
+    def test_dense_check_catches_control_structure(self):
+        a, b, c = qubits(3)
+        # CNOTs sharing only their control commute; sharing the target
+        # of one with the control of the other they do not.
+        assert operations_commute(CNOT.on(a, b), CNOT.on(a, c))
+        assert not operations_commute(CNOT.on(a, b), CNOT.on(b, c))
+
+    def test_z_commutes_with_cnot_control(self):
+        a, b = qubits(2)
+        assert operations_commute(Z.on(a), CNOT.on(a, b))
+        assert not operations_commute(Z.on(b), CNOT.on(a, b))
+
+    def test_dense_results_are_cached_canonically(self):
+        clear_commutation_cache()
+        a, b = qubits(2)
+        c, d = qubits(2)
+        assert operations_commute(CNOT.on(a, b), CNOT.on(a, b))
+        cached = len(_COMMUTE_CACHE)
+        assert cached >= 1
+        # Same gates on different wires with the same overlap pattern
+        # hit the cache instead of re-simulating.
+        assert operations_commute(CNOT.on(c, d), CNOT.on(c, d))
+        assert len(_COMMUTE_CACHE) == cached
+
+    def test_joint_dim_above_cap_is_conservative(self):
+        wires = qubits(10)
+        from repro.gates import MatrixGate
+
+        dim = 2 ** 9
+        assert dim * 2 > MAX_JOINT_DIM
+        wide = np.kron(H.unitary(), np.eye(dim // 2))
+        big = MatrixGate(wide, tuple([2] * 9), name="wide")
+        other = H.on(wires[9])
+        joint = big.on(*wires[:9])
+        # Overlapping (adds wire 9 to the joint space via wire 8) and
+        # non-diagonal, so only the capped dense tier could decide it.
+        overlapping = MatrixGate(
+            np.kron(H.unitary(), np.eye(2)), (2, 2), name="pair"
+        ).on(wires[8], wires[9])
+        assert not operations_commute(joint, overlapping)
+        assert operations_commute(joint, other)  # disjoint stays exact
+
+
+class TestCommutesInto:
+    def test_walks_past_commuting_predecessors(self):
+        a, b, c = qubits(3)
+        ops = [H.on(a), T.on(b), S.on(b)]
+        # X on c commutes with everything: lands at position 0.
+        assert commutes_into(ops, len(ops), X.on(c)) == 0
+
+    def test_blocked_by_non_commuting_gate(self):
+        a, = qubits(1)
+        ops = [H.on(a), Z.on(a)]
+        # X anticommutes with both H (dense) and Z: stays at the end.
+        assert commutes_into(ops, len(ops), X.on(a)) == len(ops)
+
+    def test_partial_walk(self):
+        a, b = qubits(2)
+        ops = [H.on(a), Z.on(b), S.on(b)]
+        # T on b commutes with diagonal Z/S but the walk stops at H?
+        # No: H is on a different wire, so T walks all the way home.
+        assert commutes_into(ops, len(ops), T.on(b)) == 0
+
+    def test_stops_at_blocker_mid_list(self):
+        a, b = qubits(2)
+        ops = [H.on(b), H.on(a), S.on(b)]
+        # T on b slides past diagonal S, then hits H on b at index 0.
+        assert commutes_into(ops, len(ops), T.on(b)) == 1

@@ -1,0 +1,122 @@
+"""Tests for the optimizer cost models."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.gates import CNOT, H, MatrixGate, S, T, T_DAG
+from repro.gates.qutrit import QUTRIT_H, X01, X_PLUS_1, phase_gate
+from repro.optimize import (
+    COST_MODELS,
+    CircuitCost,
+    CostModel,
+    GateCountCostModel,
+    QutritCliffordTCostModel,
+    resolve_cost_model,
+)
+from repro.qudits import qubits, qutrits
+
+
+class TestCircuitCost:
+    def test_score_orders_two_qudit_first(self):
+        light = CircuitCost(
+            depth=100, total_gates=100, two_qudit_gates=1,
+            non_clifford_gates=50,
+        )
+        heavy = CircuitCost(
+            depth=1, total_gates=2, two_qudit_gates=2,
+            non_clifford_gates=0,
+        )
+        assert light.score() < heavy.score()
+
+    def test_depth_breaks_full_ties(self):
+        shallow = CircuitCost(
+            depth=3, total_gates=5, two_qudit_gates=2,
+            non_clifford_gates=1,
+        )
+        deep = CircuitCost(
+            depth=4, total_gates=5, two_qudit_gates=2,
+            non_clifford_gates=1,
+        )
+        assert shallow.score() < deep.score()
+
+    def test_to_dict_round_trips_fields(self):
+        cost = CircuitCost(
+            depth=2, total_gates=3, two_qudit_gates=1,
+            non_clifford_gates=0,
+        )
+        assert cost.to_dict() == {
+            "depth": 2,
+            "total_gates": 3,
+            "two_qudit_gates": 1,
+            "non_clifford_gates": 0,
+        }
+
+
+class TestQutritCliffordT:
+    def test_qubit_clifford_set(self):
+        model = QutritCliffordTCostModel()
+        for gate in (H, S, CNOT, X01):
+            assert model.is_clifford(gate), gate.name
+
+    def test_t_gates_are_non_clifford(self):
+        model = QutritCliffordTCostModel()
+        assert not model.is_clifford(T)
+        assert not model.is_clifford(T_DAG)
+
+    def test_qutrit_shift_and_hadamard_are_clifford(self):
+        model = QutritCliffordTCostModel()
+        assert model.is_clifford(X_PLUS_1)
+        assert model.is_clifford(QUTRIT_H)
+
+    def test_qutrit_phase_grid(self):
+        model = QutritCliffordTCostModel()
+        # 2 pi / 3 sits on the qutrit Clifford grid; 2 pi / 9 is the
+        # T-level grid; an irrational angle is neither.
+        assert model.is_clifford(phase_gate(3, 1, 2 * np.pi / 3))
+        assert not model.is_clifford(phase_gate(3, 1, 2 * np.pi / 9))
+        assert not model.is_clifford(phase_gate(3, 1, 0.123))
+
+    def test_opaque_wide_matrix_counts_as_non_clifford(self):
+        model = QutritCliffordTCostModel()
+        wide = np.kron(H.unitary(), np.eye(4))
+        gate = MatrixGate(wide, (2, 2, 2), name="opaque3")
+        assert not model.is_clifford(gate)
+
+    def test_cost_counts_a_mixed_circuit(self):
+        a, b = qubits(2)
+        circuit = Circuit()
+        circuit.append(H.on(a))
+        circuit.append(T.on(b))
+        circuit.append(CNOT.on(a, b))
+        cost = QutritCliffordTCostModel().cost(circuit)
+        assert cost.total_gates == 3
+        assert cost.two_qudit_gates == 1
+        assert cost.non_clifford_gates == 1
+        assert cost.depth == circuit.depth
+
+
+class TestResolution:
+    def test_default_is_qutrit_clifford_t(self):
+        assert (
+            resolve_cost_model(None).name
+            == QutritCliffordTCostModel().name
+        )
+
+    def test_names_resolve(self):
+        for name in COST_MODELS:
+            model = resolve_cost_model(name)
+            assert isinstance(model, CostModel)
+            assert model.name == name
+
+    def test_gate_count_model_ignores_clifford_structure(self):
+        a, = qutrits(1)
+        circuit = Circuit()
+        circuit.append(X_PLUS_1.on(a))
+        cost = GateCountCostModel().cost(circuit)
+        assert cost.non_clifford_gates == 0
+        assert cost.total_gates == 1
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            resolve_cost_model("no-such-model")

@@ -185,6 +185,59 @@ class TestRouteCommand:
         assert "grid" in out
 
 
+def _stub_bench_suites(monkeypatch, *, keep=()):
+    # Stub every bench suite except the ones under test, so the bench
+    # command stays fast and never rewrites a committed BENCH_*.json
+    # from the test run's working directory.
+    from repro.analysis import bench as bench_module
+
+    stubs = {
+        "noise": (
+            ("run_bench", lambda smoke, seed: {"smoke": smoke}),
+            ("render_report", lambda report: "noise stub"),
+        ),
+        "verify": (
+            ("run_verify_bench", lambda smoke: {"smoke": smoke}),
+            ("render_verify_report", lambda report: "verify stub"),
+        ),
+        "route": (
+            ("run_route_bench", lambda smoke: {"smoke": smoke}),
+            ("render_route_report", lambda report: "route stub"),
+        ),
+        "opt": (
+            ("run_opt_bench", lambda smoke: {"smoke": smoke}),
+            ("render_opt_report", lambda report: "opt stub"),
+        ),
+        "serve": (
+            ("run_serve_bench", lambda smoke, seed: {"smoke": smoke}),
+            ("render_serve_report", lambda report: "serve stub"),
+        ),
+    }
+    for suite, patches in stubs.items():
+        if suite in keep:
+            continue
+        for name, stub in patches:
+            monkeypatch.setattr(bench_module, name, stub)
+
+
+#: Silence every per-suite report file the bench command would write.
+_BENCH_NO_FILES = [
+    "--out", "-", "--verify-out", "-", "--route-out", "-",
+    "--opt-out", "-", "--serve-out", "-",
+]
+
+
+def _bench_args(**overrides):
+    args = ["bench", "--smoke", *_BENCH_NO_FILES]
+    for flag, value in overrides.items():
+        name = "--" + flag.replace("_", "-")
+        if name in args:
+            args[args.index(name) + 1] = value
+        else:
+            args.extend([name, value])
+    return args
+
+
 class TestBenchRouteCheck:
     def _fresh_smoke_report(self):
         from repro.analysis.bench import run_route_bench
@@ -193,24 +246,7 @@ class TestBenchRouteCheck:
 
     @staticmethod
     def _stub_heavy_suites(monkeypatch):
-        # Only the routing suite matters here: stub the heavy noise and
-        # verification suites out of the bench command.
-        from repro.analysis import bench as bench_module
-
-        monkeypatch.setattr(
-            bench_module, "run_bench",
-            lambda smoke, seed: {"smoke": smoke, "seed": seed},
-        )
-        monkeypatch.setattr(
-            bench_module, "run_verify_bench", lambda smoke: {"smoke": smoke}
-        )
-        monkeypatch.setattr(
-            bench_module, "render_report", lambda report: "noise stub"
-        )
-        monkeypatch.setattr(
-            bench_module, "render_verify_report",
-            lambda report: "verify stub",
-        )
+        _stub_bench_suites(monkeypatch, keep={"route"})
 
     def test_check_route_passes_against_identical_baseline(
         self, tmp_path, capsys, monkeypatch
@@ -222,11 +258,10 @@ class TestBenchRouteCheck:
         baseline.write_text(json.dumps(report))
         self._stub_heavy_suites(monkeypatch)
         assert main(
-            [
-                "bench", "--smoke", "--out", "-", "--verify-out", "-",
-                "--route-out", str(tmp_path / "fresh.json"),
-                "--check-route", str(baseline),
-            ]
+            _bench_args(
+                route_out=str(tmp_path / "fresh.json"),
+                check_route=str(baseline),
+            )
         ) == 0
         out = capsys.readouterr().out
         assert "regression check passed" in out
@@ -246,32 +281,139 @@ class TestBenchRouteCheck:
         baseline.write_text(json.dumps(shrunk))
         self._stub_heavy_suites(monkeypatch)
         with pytest.raises(SystemExit):
-            main(
-                [
-                    "bench", "--smoke", "--out", "-", "--verify-out", "-",
-                    "--route-out", "-", "--check-route", str(baseline),
-                ]
-            )
+            main(_bench_args(check_route=str(baseline)))
         out = capsys.readouterr().out
         assert "regression check FAILED" in out
 
     def test_check_route_unreadable_baseline(self, tmp_path, monkeypatch):
-        from repro.analysis import bench as bench_module
-
-        self._stub_heavy_suites(monkeypatch)
-        monkeypatch.setattr(
-            bench_module, "run_route_bench",
-            lambda smoke: {"smoke": smoke, "records": []},
-        )
-        monkeypatch.setattr(
-            bench_module, "render_route_report",
-            lambda report: "route stub",
-        )
+        _stub_bench_suites(monkeypatch)
         with pytest.raises(SystemExit, match="cannot read"):
-            main(
-                [
-                    "bench", "--smoke", "--out", "-", "--verify-out", "-",
-                    "--route-out", "-",
-                    "--check-route", str(tmp_path / "missing.json"),
-                ]
+            main(_bench_args(check_route=str(tmp_path / "missing.json")))
+
+
+class TestBenchOptCheck:
+    @pytest.fixture(scope="class")
+    def smoke_report(self):
+        from repro.analysis.bench import run_opt_bench
+
+        return run_opt_bench(smoke=True)
+
+    def test_check_opt_passes_against_identical_baseline(
+        self, smoke_report, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        baseline = tmp_path / "BENCH_opt.json"
+        baseline.write_text(json.dumps(smoke_report))
+        _stub_bench_suites(monkeypatch, keep={"opt"})
+        assert main(
+            _bench_args(
+                opt_out=str(tmp_path / "fresh.json"),
+                check_opt=str(baseline),
             )
+        ) == 0
+        out = capsys.readouterr().out
+        assert "optimizer regression check passed" in out
+        assert (tmp_path / "fresh.json").exists()
+
+    def test_check_opt_fails_on_inflated_baseline(
+        self, smoke_report, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        inflated = json.loads(json.dumps(smoke_report))
+        for record in inflated["records"]:
+            record["gates_removed"] += 5
+        baseline = tmp_path / "BENCH_opt.json"
+        baseline.write_text(json.dumps(inflated))
+        _stub_bench_suites(monkeypatch, keep={"opt"})
+        with pytest.raises(SystemExit):
+            main(_bench_args(check_opt=str(baseline)))
+        out = capsys.readouterr().out
+        assert "optimizer regression check FAILED" in out
+
+    def test_check_opt_unreadable_baseline(self, tmp_path, monkeypatch):
+        _stub_bench_suites(monkeypatch)
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(_bench_args(check_opt=str(tmp_path / "missing.json")))
+
+
+class TestOptimizeCommand:
+    def test_optimize_reports_reduction(self, capsys):
+        assert main(
+            ["optimize", "--construction", "he_tree", "--controls", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "optimizing he_tree(N=3)" in out
+        assert "gates 61 -> 41" in out
+        assert "cancel-inverses" in out
+        assert "equivalence: statevector" in out
+
+    def test_optimize_pass_selection(self, capsys):
+        assert main(
+            [
+                "optimize", "--construction", "he_tree", "--controls", "3",
+                "--passes", "cancel-inverses",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cancel-inverses" in out
+        assert "fuse-phases" not in out
+
+    def test_optimize_verify_off(self, capsys):
+        assert main(
+            [
+                "optimize", "--construction", "he_tree", "--controls", "3",
+                "--verify", "off",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "equivalence:" not in out
+
+    def test_optimize_after_pipeline(self, capsys):
+        assert main(
+            [
+                "optimize", "--construction", "he_tree", "--controls", "3",
+                "--pipeline", "hardware-line",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "optimizing he_tree(N=3)" in out
+
+    def test_optimize_writes_circuit(self, tmp_path, capsys):
+        from repro.circuits.circuit import Circuit
+
+        path = tmp_path / "opt.json"
+        assert main(
+            [
+                "optimize", "--construction", "he_tree", "--controls", "3",
+                "--out", str(path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"wrote {path}" in out
+        assert Circuit.from_json(path.read_text()).num_operations == 41
+
+    def test_optimize_saved_circuit_file(self, tmp_path, capsys):
+        path = tmp_path / "c.json"
+        assert main(
+            [
+                "circuit", "save", "--construction", "he_tree",
+                "--controls", "3", "--out", str(path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["optimize", "--file", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"optimizing {path}" in out
+        assert "gates 61 -> 41" in out
+
+    def test_optimize_gate_count_cost_model(self, capsys):
+        assert main(
+            [
+                "optimize", "--construction", "he_tree", "--controls", "3",
+                "--cost-model", "gate-count",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gate-count cost model" in out
