@@ -19,6 +19,7 @@ Usage::
     python -m repro bench --smoke --check-route BENCH_route.json  # CI gate
     python -m repro bench --smoke --check-serve BENCH_serve.json  # CI gate
     python -m repro bench --smoke --check-opt BENCH_opt.json      # CI gate
+    python -m repro bench --smoke --check-state BENCH_state.json  # CI gate
 
     # The rewrite engine: optimize a construction (or saved circuit),
     # print per-pass statistics, verify against the equivalence oracles.
@@ -304,15 +305,18 @@ def _cmd_bench(args: argparse.Namespace) -> None:
         check_opt_regression,
         check_route_regression,
         check_serve_regression,
+        check_state_regression,
         render_opt_report,
         render_report,
         render_route_report,
         render_serve_report,
+        render_state_report,
         render_verify_report,
         run_bench,
         run_opt_bench,
         run_route_bench,
         run_serve_bench,
+        run_state_bench,
         run_verify_bench,
         write_report,
     )
@@ -373,6 +377,30 @@ def _cmd_bench(args: argparse.Namespace) -> None:
             raise SystemExit(1)
         print(
             f"\noptimizer regression check passed against {args.check_opt}"
+        )
+    state_report = run_state_bench(smoke=args.smoke)
+    print()
+    print(render_state_report(state_report))
+    if args.state_out != "-":
+        path = write_report(state_report, args.state_out)
+        print(f"\nwrote {path}")
+    if args.check_state is not None:
+        try:
+            committed = json.loads(Path(args.check_state).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise SystemExit(
+                f"cannot read committed statevector report "
+                f"{args.check_state}: {error}"
+            )
+        failures = check_state_regression(committed, state_report)
+        if failures:
+            print("\nstatevector regression check FAILED:")
+            for failure in failures:
+                print(f"  {failure}")
+            raise SystemExit(1)
+        print(
+            f"\nstatevector regression check passed against "
+            f"{args.check_state}"
         )
     serve_report = run_serve_bench(smoke=args.smoke, seed=args.seed)
     print()
@@ -707,6 +735,18 @@ def main(argv: list[str] | None = None) -> int:
         "JSON and exit non-zero if a deterministic reduction shrank or "
         "equivalence verification regressed (the CI bench-regression "
         "gate)",
+    )
+    bench.add_argument(
+        "--state-out", default="BENCH_state.json",
+        help="statevector-report path ('-' skips writing)",
+    )
+    bench.add_argument(
+        "--check-state", default=None, metavar="BASELINE",
+        help="check the fresh statevector report's deterministic "
+        "invariants (fast-path parity, sampler agreement and "
+        "determinism, chi-square GOF, complex64 bound) against this "
+        "committed JSON and exit non-zero on violation; speedups are "
+        "recorded, never gated",
     )
     bench.add_argument(
         "--serve-out", default="BENCH_serve.json",

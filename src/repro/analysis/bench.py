@@ -36,7 +36,16 @@ trajectory; CI re-runs the smoke variants on every push):
   constructions, logical and line-routed, recording gate/two-qudit/
   depth reductions per pass and the equivalence-oracle verdict.
   Reductions are deterministic, so CI gates on them the same way
-  (:func:`check_opt_regression`); wall-clock is recorded, never gated.
+  (:func:`check_opt_regression`); wall-clock is recorded, never gated;
+* **state** (``BENCH_state.json``) — the statevector-v2 engine: the
+  permutation fast path vs the preserved dense-kernel oracle on an
+  undecomposed qutrit tree (timed, with an exactness check), the
+  batched counts sampler vs the per-shot reference (timed, with exact
+  agreement / determinism / chi-square invariants), and the complex64
+  bulk mode vs complex128 (timed, against the documented parity
+  bound).  The boolean invariants are deterministic and CI gates on
+  them (:func:`check_state_regression`); speedups are recorded, never
+  gated.
 
 All suites are seeded and deterministic in their *results*; timings are
 hardware-dependent (the JSON records the platform).
@@ -69,7 +78,10 @@ from ..service.loadgen import (
 from ..sim.dense_reference import DenseDensityMatrixSimulator
 from ..sim.density import DensityMatrixSimulator
 from ..sim.fidelity import estimate_circuit_fidelity
+from ..sim.kernels import mixed_radix_weights
+from ..sim.measurement import sample_counts, sample_state
 from ..sim.state import StateVector
+from ..sim.statevector import StateVectorSimulator
 from ..toffoli.registry import build_toffoli, construction_circuit
 from ..toffoli.verification import (
     verify_classical,
@@ -82,21 +94,26 @@ __all__ = [
     "ROUTE_SCHEMA",
     "SERVE_SCHEMA",
     "OPT_SCHEMA",
+    "STATE_SCHEMA",
     "run_bench",
     "run_verify_bench",
     "run_route_bench",
     "run_serve_bench",
     "run_opt_bench",
+    "run_state_bench",
     "render_report",
     "render_verify_report",
     "render_route_report",
     "render_serve_report",
     "render_opt_report",
+    "render_state_report",
     "check_route_regression",
     "check_serve_regression",
     "check_opt_regression",
+    "check_state_regression",
     "route_record_key",
     "opt_record_key",
+    "state_record_key",
     "write_report",
 ]
 
@@ -111,6 +128,9 @@ ROUTE_SCHEMA = "repro-bench-route/v1"
 
 #: Schema tag of the optimizer report (``BENCH_opt.json``).
 OPT_SCHEMA = "repro-bench-opt/v1"
+
+#: Schema tag of the statevector report (``BENCH_state.json``).
+STATE_SCHEMA = "repro-bench-state/v1"
 
 
 
@@ -846,6 +866,334 @@ def check_opt_regression(committed: dict, fresh: dict) -> list[str]:
                 f"{label}: equivalence verification regressed from "
                 f"{base['verified']} to {record['verified']}"
             )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# Statevector suite (BENCH_state.json)
+# ----------------------------------------------------------------------
+
+
+def _ghz_circuit(width: int):
+    """H + CNOT chain over ``width`` qubits — the sampling workload."""
+    from ..circuits.circuit import Circuit
+    from ..gates import CNOT, H
+    from ..qudits import qubits
+
+    wires = qubits(width)
+    operations = [H.on(wires[0])]
+    operations.extend(
+        CNOT.on(wires[k], wires[k + 1]) for k in range(width - 1)
+    )
+    return Circuit(operations)
+
+
+def bench_state_fastpath(
+    num_controls: int = 10,
+    repeats: int = 3,
+    construction: str = "qutrit_tree",
+    seed: int = 20190608,
+) -> dict:
+    """Permutation fast path vs the dense-kernel oracle on one circuit.
+
+    The default (``num_controls=10``) is the acceptance workload: the
+    undecomposed qutrit tree — every gate a 27x27 three-wire basis
+    permutation — applied to a Haar-random state.  The fast path moves
+    amplitudes by one table gather per gate; the oracle pays the full
+    tensordot.  Both final states must agree *exactly* (a permutation
+    contraction multiplies by exact ones and zeros), which is the gated
+    invariant; the speedup is recorded, never gated.
+    """
+    result = build_toffoli(construction, num_controls, decompose=False)
+    circuit = result.circuit
+    wires = circuit.all_qudits()
+    initial = StateVector.random(wires, np.random.default_rng(seed))
+    fast_sim = StateVectorSimulator()
+    dense_sim = StateVectorSimulator(permutation_fast_path=False)
+    # Warm the table and kernel caches outside the timed region.
+    fast_state = fast_sim.run(circuit, initial)
+    dense_state = dense_sim.run(circuit, initial)
+    parity = float(np.abs(fast_state.vector - dense_state.vector).max())
+    fast_seconds, _ = _best_of(
+        repeats, lambda: fast_sim.run(circuit, initial)
+    )
+    dense_seconds, _ = _best_of(
+        repeats, lambda: dense_sim.run(circuit, initial)
+    )
+    return {
+        "case": "fastpath",
+        "workload": (
+            f"{construction}(N={num_controls}) state-vector evolution"
+        ),
+        "construction": construction,
+        "num_controls": num_controls,
+        "wires": len(wires),
+        "hilbert_dim": int(np.prod([w.dimension for w in wires])),
+        "operations": circuit.num_operations,
+        "seed": seed,
+        "fast_seconds": fast_seconds,
+        "dense_seconds": dense_seconds,
+        "speedup": dense_seconds / fast_seconds,
+        "parity_max_abs_diff": parity,
+        "invariants": {"fastpath_parity_exact": bool(parity <= 1e-12)},
+    }
+
+
+def bench_state_sampling(
+    width: int = 12,
+    shots: int = 500_000,
+    repeats: int = 3,
+    seed: int = 20190608,
+) -> dict:
+    """Batched counts sampling vs the per-shot reference on a GHZ state.
+
+    One state, two surfaces: :func:`~repro.sim.measurement.sample_counts`
+    (chunked draws, unique-merge, no sample array) against
+    :func:`~repro.sim.measurement.sample_state` followed by the
+    vectorized histogram.  Gated invariants: the two agree exactly at
+    one seed, counts are batch-size independent and re-run
+    deterministic, and a chi-square GOF against the exact probabilities
+    passes (all deterministic for the fixed seed).  Speedup recorded,
+    never gated.
+    """
+    circuit = _ghz_circuit(width)
+    state = StateVectorSimulator().run(circuit)
+
+    batched = sample_counts(state, shots, rng=seed)
+    looped = sample_state(state, shots, rng=seed)
+    rebatched = sample_counts(
+        state, shots, rng=seed, batch_size=max(1, shots // 7)
+    )
+    counts = batched.counts()
+    agree = counts == looped.counts()
+    batch_invariant = counts == rebatched.counts()
+    deterministic = counts == sample_counts(state, shots, rng=seed).counts()
+
+    # Chi-square GOF against the exact |amplitude|^2 distribution.
+    # Deterministic for the fixed seed; critical value hardcoded
+    # (alpha=0.01) because CI has no scipy.
+    probabilities = np.abs(state.vector) ** 2
+    expected = probabilities * shots
+    support = expected > 0
+    observed = np.zeros(probabilities.size, dtype=np.int64)
+    dims = [w.dimension for w in state.wires]
+    weights = mixed_radix_weights(dims)
+    for outcome, count in counts.items():
+        observed[int(np.dot(outcome, weights))] = count
+    impossible = int(observed[~support].sum())
+    statistic = float(
+        (((observed[support] - expected[support]) ** 2)
+         / expected[support]).sum()
+    )
+    dof = int(support.sum()) - 1
+    critical = _chi2_critical_001.get(dof, float(dof + 4 * np.sqrt(dof)))
+    chi_square_pass = impossible == 0 and statistic <= critical
+
+    batched_seconds, _ = _best_of(
+        repeats, lambda: sample_counts(state, shots, rng=seed)
+    )
+    looped_seconds, _ = _best_of(
+        repeats, lambda: sample_state(state, shots, rng=seed).counts()
+    )
+    return {
+        "case": "sampling",
+        "workload": f"GHZ({width}) x {shots} shots",
+        "width": width,
+        "shots": shots,
+        "seed": seed,
+        "distinct_outcomes": len(counts),
+        "batched_seconds": batched_seconds,
+        "looped_seconds": looped_seconds,
+        "speedup": looped_seconds / batched_seconds,
+        "chi_square_statistic": statistic,
+        "chi_square_dof": dof,
+        "chi_square_critical": critical,
+        "invariants": {
+            "batched_equals_looped": bool(agree),
+            "batch_size_invariant": bool(batch_invariant),
+            "seed_deterministic": bool(deterministic),
+            "chi_square_pass": bool(chi_square_pass),
+        },
+    }
+
+
+#: chi-square critical values at alpha = 0.01 (no scipy in CI).
+_chi2_critical_001 = {
+    1: 6.635, 2: 9.210, 3: 11.345, 4: 13.277, 5: 15.086,
+    6: 16.812, 7: 18.475, 8: 20.090, 9: 21.666, 10: 23.209,
+}
+
+
+def bench_state_dtype(
+    num_controls: int = 7,
+    repeats: int = 3,
+    construction: str = "qubit_ancilla_free",
+    seed: int = 20190608,
+) -> dict:
+    """complex64 bulk mode vs complex128 on a dense-gate circuit.
+
+    The qubit ancilla-free construction decomposes into H/T/CNOT —
+    plenty of genuinely dense kernels — so this times the per-precision
+    cached contraction, not the (rounding-free) permutation gather.
+    The gated invariant is the documented parity bound of
+    docs/SIMULATORS.md: ``max |psi64 - psi128| <= operations *
+    sqrt(hilbert_dim) * 1e-7``.  Speedup recorded, never gated.
+    """
+    circuit = construction_circuit(construction, num_controls)
+    wires = circuit.all_qudits()
+    initial = StateVector.random(wires, np.random.default_rng(seed))
+    sim128 = StateVectorSimulator()
+    sim64 = StateVectorSimulator(dtype=np.complex64)
+    state128 = sim128.run(circuit, initial)
+    state64 = sim64.run(circuit, initial)
+    max_diff = float(
+        np.abs(
+            state64.vector.astype(np.complex128) - state128.vector
+        ).max()
+    )
+    hilbert_dim = int(np.prod([w.dimension for w in wires]))
+    bound = circuit.num_operations * np.sqrt(hilbert_dim) * 1e-7
+    seconds128, _ = _best_of(repeats, lambda: sim128.run(circuit, initial))
+    seconds64, _ = _best_of(repeats, lambda: sim64.run(circuit, initial))
+    return {
+        "case": "dtype",
+        "workload": (
+            f"{construction}(N={num_controls}) complex64 vs complex128"
+        ),
+        "construction": construction,
+        "num_controls": num_controls,
+        "wires": len(wires),
+        "hilbert_dim": hilbert_dim,
+        "operations": circuit.num_operations,
+        "seed": seed,
+        "complex128_seconds": seconds128,
+        "complex64_seconds": seconds64,
+        "speedup": seconds128 / seconds64,
+        "max_abs_diff": max_diff,
+        "documented_bound": float(bound),
+        "invariants": {"within_documented_bound": bool(max_diff <= bound)},
+    }
+
+
+def state_record_key(record: dict) -> str:
+    """The join key of one statevector record (the case name)."""
+    return record["case"]
+
+
+def run_state_bench(smoke: bool = False) -> dict:
+    """Run the statevector suite and return the JSON-ready report.
+
+    ``smoke`` shrinks every case (narrower circuits, fewer shots,
+    single timing repeat) so CI finishes in a couple of seconds; the
+    record *cases* are the same, so the smoke run always joins against
+    the committed full report for the invariant gate.
+    """
+    if smoke:
+        records = [
+            bench_state_fastpath(num_controls=6, repeats=1),
+            bench_state_sampling(width=8, shots=20_000, repeats=1),
+            bench_state_dtype(num_controls=5, repeats=1),
+        ]
+    else:
+        records = [
+            bench_state_fastpath(num_controls=10, repeats=3),
+            bench_state_sampling(width=12, shots=500_000, repeats=3),
+            bench_state_dtype(num_controls=7, repeats=3),
+        ]
+    return {
+        "schema": STATE_SCHEMA,
+        "generated_by": "python -m repro bench"
+        + (" --smoke" if smoke else ""),
+        "smoke": smoke,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "records": records,
+    }
+
+
+def render_state_report(report: dict) -> str:
+    """Human-readable summary of :func:`run_state_bench` output."""
+    by_case = {state_record_key(r): r for r in report["records"]}
+    fastpath = by_case["fastpath"]
+    sampling = by_case["sampling"]
+    dtype = by_case["dtype"]
+    lines = [
+        f"statevector bench ({'smoke' if report['smoke'] else 'full'})",
+        "",
+        f"fastpath  {fastpath['workload']} "
+        f"({fastpath['operations']} ops, dim {fastpath['hilbert_dim']}):",
+        f"  fast       {fastpath['fast_seconds'] * 1000:8.1f} ms",
+        f"  dense      {fastpath['dense_seconds'] * 1000:8.1f} ms",
+        f"  speedup    {fastpath['speedup']:8.1f} x   "
+        f"(parity {fastpath['parity_max_abs_diff']:.1e})",
+        "",
+        f"sampling  {sampling['workload']}:",
+        f"  batched    {sampling['batched_seconds'] * 1000:8.1f} ms",
+        f"  looped     {sampling['looped_seconds'] * 1000:8.1f} ms",
+        f"  speedup    {sampling['speedup']:8.1f} x   "
+        f"(chi2 {sampling['chi_square_statistic']:.2f} <= "
+        f"{sampling['chi_square_critical']:.2f})",
+        "",
+        f"dtype     {dtype['workload']} "
+        f"({dtype['operations']} ops, dim {dtype['hilbert_dim']}):",
+        f"  complex128 {dtype['complex128_seconds'] * 1000:8.1f} ms",
+        f"  complex64  {dtype['complex64_seconds'] * 1000:8.1f} ms",
+        f"  speedup    {dtype['speedup']:8.1f} x   "
+        f"(diff {dtype['max_abs_diff']:.1e} <= "
+        f"{dtype['documented_bound']:.1e})",
+    ]
+    invariants = {
+        name: value
+        for record in report["records"]
+        for name, value in record["invariants"].items()
+    }
+    failed = [name for name, value in invariants.items() if not value]
+    lines.append("")
+    lines.append(
+        "invariants: "
+        + (
+            "all pass"
+            if not failed
+            else "FAILED " + ", ".join(failed)
+        )
+    )
+    return "\n".join(lines)
+
+
+def check_state_regression(committed: dict, fresh: dict) -> list[str]:
+    """Compare a fresh statevector report against the committed baseline.
+
+    Joins records on :func:`state_record_key` and checks every boolean
+    invariant of the fresh run holds — exact fast-path parity, exact
+    batched/looped sampler agreement, batch-size invariance, seeded
+    determinism, the chi-square GOF, and the complex64 parity bound.
+    All are deterministic; wall-clock and speedups are never compared.
+    An invariant the committed report records but the fresh run no
+    longer reports also fails (silent coverage loss).  Returns the list
+    of failure messages (empty = pass).
+    """
+    baseline = {state_record_key(r): r for r in committed["records"]}
+    failures = []
+    for record in fresh["records"]:
+        base = baseline.get(state_record_key(record))
+        if base is None:
+            continue
+        for name in base["invariants"]:
+            if name not in record["invariants"]:
+                failures.append(
+                    f"{record['case']}: invariant {name} present in the "
+                    f"committed report but missing from the fresh run"
+                )
+        for name, value in record["invariants"].items():
+            if not value:
+                failures.append(
+                    f"{record['case']}: invariant {name} failed "
+                    f"({record['workload']})"
+                )
     return failures
 
 

@@ -31,7 +31,7 @@ from ..qudits import Qudit
 from ..sim.classical_batch import BatchedClassicalSimulator
 from ..sim.density import DensityMatrixSimulator
 from ..sim.fidelity import estimate_circuit_fidelity
-from ..sim.measurement import sample_state
+from ..sim.measurement import sample_counts
 from ..sim.state import StateVector
 from ..sim.statevector import StateVectorSimulator
 from ..sim.trajectory import TrajectorySimulator
@@ -158,7 +158,14 @@ class ClassicalBackend:
 
 
 class StateVectorBackend:
-    """Noise-free dense state-vector evolution, with optional sampling."""
+    """Noise-free dense state-vector evolution, with optional sampling.
+
+    ``shots`` sampling draws outcome *counts* directly from the final
+    state's probabilities (:func:`repro.sim.measurement.sample_counts`):
+    one circuit execution serves any shot budget without materialising a
+    per-shot sample array, and the counts are deterministic for a fixed
+    ``seed``.
+    """
 
     name = "statevector"
     capabilities = BackendCapabilities(
@@ -185,7 +192,7 @@ class StateVectorBackend:
         measurements = None
         if shots:
             rng = np.random.default_rng(seed)
-            measurements = sample_state(state, shots, rng)
+            measurements = sample_counts(state, shots, rng)
         return RunResult(
             backend=self.name,
             wires=tuple(state.wires),

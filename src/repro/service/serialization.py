@@ -89,10 +89,22 @@ def result_to_dict(result: RunResult) -> dict:
             "matrix": _complex_to_data(result.density.matrix),
         }
     if result.measurements is not None:
-        data["measurements"] = {
-            "wires": _wires_to_data(result.measurements.wires),
-            "samples": result.measurements.samples.tolist(),
-        }
+        measurements = result.measurements
+        if measurements.is_counts_backed:
+            # Counts-backed results serialize as the histogram itself:
+            # U outcome rows + counts, not shots x wires samples — a
+            # million-shot record stays a few lines of JSON.
+            counter = measurements.counts()
+            data["measurements"] = {
+                "wires": _wires_to_data(measurements.wires),
+                "outcomes": [list(k) for k in counter],
+                "counts": [int(v) for v in counter.values()],
+            }
+        else:
+            data["measurements"] = {
+                "wires": _wires_to_data(measurements.wires),
+                "samples": measurements.samples.tolist(),
+            }
     if isinstance(result, FidelityResult):
         estimate = result.estimate
         data["estimate"] = None
@@ -135,10 +147,21 @@ def result_from_dict(data: Mapping) -> RunResult:
         )
     measurements = None
     if data.get("measurements") is not None:
-        measurements = MeasurementResult(
-            _wires_from_data(data["measurements"]["wires"]),
-            np.asarray(data["measurements"]["samples"], dtype=np.int64),
-        )
+        measured = data["measurements"]
+        measured_wires = _wires_from_data(measured["wires"])
+        if "samples" in measured:
+            measurements = MeasurementResult(
+                measured_wires,
+                np.asarray(measured["samples"], dtype=np.int64),
+            )
+        else:
+            measurements = MeasurementResult(
+                measured_wires,
+                outcomes=np.asarray(
+                    measured["outcomes"], dtype=np.int64
+                ).reshape(-1, len(measured_wires)),
+                counts=np.asarray(measured["counts"], dtype=np.int64),
+            )
     common = dict(
         backend=data["backend"],
         wires=wires,

@@ -35,7 +35,7 @@ from .kernels import (
     mixed_radix_weights,
     permutation_kernel,
 )
-from .measurement import MeasurementResult, sample_state
+from .measurement import MeasurementResult, sample_counts, sample_state
 from .parallel import estimate_circuit_fidelity_parallel, merge_estimates
 
 __all__ = [
@@ -58,6 +58,7 @@ __all__ = [
     "DenseDensityMatrix",
     "DenseDensityMatrixSimulator",
     "MeasurementResult",
+    "sample_counts",
     "sample_state",
     "gate_kernel",
     "channel_kernel",

@@ -98,6 +98,11 @@ class PermutationKernel:
     % dims[k]`` — precomputed so the batched classical engine encodes and
     decodes whole ``(B, k)`` blocks with vectorized arithmetic.
 
+    ``inverse`` is the inverse permutation (``inverse[table[i]] = i``).
+    The state-vector fast path moves amplitudes by *gathering*:
+    ``psi'[j] = psi[inverse[j]]`` is one fancy-indexing pass, where the
+    forward table would need a scatter.
+
     ``table is None`` marks a gate that is *not* a basis permutation.
     Lowering decides this from the gate's whole-domain action, so the
     kernel is also the single source of truth for circuit classicality
@@ -110,6 +115,8 @@ class PermutationKernel:
     table: np.ndarray | None
     #: Mixed-radix encode weights (``weights[k] = prod(dims[k+1:])``).
     weights: np.ndarray
+    #: Inverse permutation (gather form), or None for non-permutations.
+    inverse: np.ndarray | None = None
 
     @property
     def is_permutation(self) -> bool:
@@ -149,9 +156,11 @@ def apply_block(
     return np.moveaxis(moved, range(k), axes)
 
 
-#: canonical GateSpec -> GateKernel.  Process-wide; specs are immutable
-#: values, so entries never go stale.
-_GATE_KERNELS: dict[GateSpec, GateKernel] = {}
+#: (canonical GateSpec, dtype char) -> GateKernel.  Process-wide; specs
+#: are immutable values, so entries never go stale.  complex64 variants
+#: (the bulk-sweep mode) get their own entries, cast once from the
+#: complex128 block.
+_GATE_KERNELS: dict[tuple[GateSpec, str], GateKernel] = {}
 
 #: canonical GateSpec -> PermutationKernel (including negative results:
 #: "not a permutation" is cached too, so classicality checks of circuits
@@ -164,27 +173,50 @@ _CHANNEL_KERNELS: "weakref.WeakKeyDictionary[object, ChannelKernel]" = (
     weakref.WeakKeyDictionary()
 )
 
+#: (canonical GateSpec, touched axes, register shape) -> full-register
+#: gather indices.  Entries are O(register size) ints, so this cache is
+#: the memory-heaviest of the family — clear_kernel_caches() drops it
+#: with the rest, and entries only exist for (gate, placement, register)
+#: combos the state-vector fast path actually executed.
+_PERM_GATHERS: dict[
+    tuple[GateSpec, tuple[int, ...], tuple[int, ...]], np.ndarray
+] = {}
+
+#: (tuple of (canonical spec, axes) steps, register shape) -> composed
+#: full-register gather indices for a whole run of consecutive
+#: permutation operations.  Same memory note as _PERM_GATHERS; only
+#: multi-op segments are cached (single ops live in _PERM_GATHERS).
+_SEGMENT_GATHERS: dict[tuple, np.ndarray] = {}
+
 
 def _as_block(matrix: np.ndarray, dims: tuple[int, ...]) -> np.ndarray:
     block = np.ascontiguousarray(matrix, dtype=complex)
     return block.reshape(dims + dims)
 
 
-def gate_kernel(op: GateOperation) -> GateKernel:
+def gate_kernel(
+    op: GateOperation, dtype: "np.dtype | type" = np.complex128
+) -> GateKernel:
     """The cached kernel for ``op``'s gate (built on first use).
 
     Building the kernel also pays the gate's ``unitary()`` cost (which,
     for decomposed/controlled gates, multiplies out the construction), so
     repeated applications of a structurally identical gate never
-    recompute the matrix.
+    recompute the matrix.  ``dtype`` selects the precision of the cached
+    block (``complex64`` for the bulk-sweep mode); each precision is its
+    own cache entry, cast once.
     """
+    dtype = np.dtype(dtype)
     spec = op.gate.canonical_spec()
-    kernel = _GATE_KERNELS.get(spec)
+    key = (spec, dtype.char)
+    kernel = _GATE_KERNELS.get(key)
     if kernel is None:
         dims = tuple(op.gate.dims)
         block = _as_block(op.unitary(), dims)
+        if dtype != np.dtype(np.complex128):
+            block = block.astype(dtype)
         kernel = GateKernel(dims, block, block.conj())
-        _GATE_KERNELS[spec] = kernel
+        _GATE_KERNELS[key] = kernel
     return kernel
 
 
@@ -210,9 +242,121 @@ def permutation_kernel(op: GateOperation) -> PermutationKernel:
         except NotClassicalError:
             table = None
         weights.setflags(write=False)
-        kernel = PermutationKernel(dims, table, weights)
+        inverse = None
+        if table is not None:
+            inverse = np.empty_like(table)
+            inverse[table] = np.arange(table.size, dtype=np.int64)
+            inverse.setflags(write=False)
+        kernel = PermutationKernel(dims, table, weights, inverse)
         _PERM_KERNELS[spec] = kernel
     return kernel
+
+
+def _build_permutation_gather(
+    kernel: PermutationKernel,
+    axes: Sequence[int],
+    shape: Sequence[int],
+) -> np.ndarray:
+    """Lift a gate's inverse table to full-register gather indices.
+
+    Decodes the touched-axis digits of every joint index, routes them
+    through the inverse table, and re-encodes — a few vectorized
+    integer passes over the register.  Callers cache the result.
+    """
+    full_weights = mixed_radix_weights(shape)
+    gate_weights = kernel.weights
+    size = 1
+    for d in shape:
+        size *= d
+    index = np.arange(size, dtype=np.int64)
+    digits = [(index // full_weights[a]) % shape[a] for a in axes]
+    gate_index = digits[0] * gate_weights[0]
+    for t in range(1, len(axes)):
+        gate_index += digits[t] * gate_weights[t]
+    mapped = kernel.inverse[gate_index]
+    gather = index
+    for t, a in enumerate(axes):
+        new_digit = (mapped // gate_weights[t]) % kernel.dims[t]
+        gather += (new_digit - digits[t]) * full_weights[a]
+    return gather
+
+
+def permutation_gather(
+    op: GateOperation,
+    axes: Sequence[int],
+    shape: Sequence[int],
+) -> np.ndarray:
+    """Full-register gather indices for a permutation gate on ``axes``.
+
+    The returned array ``g`` moves amplitudes in one fancy-indexing pass
+    over the *flat* state vector: ``psi'[j] = psi[g[j]]`` for every
+    joint index ``j`` of a register of the given ``shape``.  This is the
+    state-vector fast path's whole per-application cost — one contiguous
+    gather, no moveaxis shuffling, no ``D x D`` contraction — and the
+    index map is cached on ``(canonical spec, axes, shape)``, so a gate
+    that repeats at one placement (across moments, runs, or sweeps)
+    builds it once.
+
+    Raises :class:`NotClassicalError` for non-permutation gates.
+    """
+    spec = op.gate.canonical_spec()
+    key = (spec, tuple(axes), tuple(shape))
+    gather = _PERM_GATHERS.get(key)
+    if gather is None:
+        kernel = permutation_kernel(op)
+        if kernel.inverse is None:
+            raise NotClassicalError(
+                f"gate {op.gate} is not a basis permutation"
+            )
+        gather = _build_permutation_gather(kernel, axes, shape)
+        gather.setflags(write=False)
+        _PERM_GATHERS[key] = gather
+    return gather
+
+
+def segment_permutation_gather(
+    steps: Sequence[tuple[GateOperation, Sequence[int]]],
+    shape: Sequence[int],
+) -> np.ndarray:
+    """Composed gather indices for a run of permutation operations.
+
+    A contiguous stretch of permutation gates is itself one basis
+    permutation of the register, so the whole segment collapses to a
+    single fancy-indexing pass: applying ``g1`` then ``g2`` to the
+    state equals one gather through ``g1[g2]``.  The composed map is
+    cached on the sequence of ``(canonical spec, axes)`` steps plus the
+    register shape — a circuit (or sweep) that repeats the same
+    permutation stretch pays the composition once and every subsequent
+    run is one pass over the amplitudes, however deep the stretch.
+
+    Composition runs over int64 indices (half the traffic of complex
+    amplitudes), so even the first run costs no more than applying the
+    gates one by one.
+    """
+    if len(steps) == 1:
+        op, axes = steps[0]
+        return permutation_gather(op, axes, shape)
+    key = (
+        tuple(
+            (op.gate.canonical_spec(), tuple(axes)) for op, axes in steps
+        ),
+        tuple(shape),
+    )
+    gather = _SEGMENT_GATHERS.get(key)
+    if gather is None:
+        total: np.ndarray | None = None
+        for op, axes in steps:
+            kernel = permutation_kernel(op)
+            if kernel.inverse is None:
+                raise NotClassicalError(
+                    f"gate {op.gate} is not a basis permutation"
+                )
+            step = _build_permutation_gather(kernel, axes, shape)
+            total = step if total is None else total[step]
+        gather = total
+        gather.setflags(write=False)
+        _SEGMENT_GATHERS[key] = gather
+    return gather
 
 
 def kraus_operators(
@@ -263,6 +407,8 @@ def clear_kernel_caches() -> None:
     _GATE_KERNELS.clear()
     _CHANNEL_KERNELS.clear()
     _PERM_KERNELS.clear()
+    _PERM_GATHERS.clear()
+    _SEGMENT_GATHERS.clear()
 
 
 def kernel_cache_stats() -> dict[str, int]:
@@ -271,4 +417,6 @@ def kernel_cache_stats() -> dict[str, int]:
         "gate_kernels": len(_GATE_KERNELS),
         "channel_kernels": len(_CHANNEL_KERNELS),
         "permutation_kernels": len(_PERM_KERNELS),
+        "permutation_gathers": len(_PERM_GATHERS),
+        "segment_gathers": len(_SEGMENT_GATHERS),
     }

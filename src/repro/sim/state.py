@@ -28,16 +28,49 @@ from ..exceptions import DimensionMismatchError, SimulationError
 from ..linalg import random_state_vector
 from ..qudits import Qudit
 from ..circuits.operation import GateOperation
-from .kernels import apply_block, gate_kernel
+from .kernels import (
+    apply_block,
+    gate_kernel,
+    permutation_kernel,
+    segment_permutation_gather,
+)
 
 
 class StateVector:
-    """A pure state over an ordered list of wires."""
+    """A pure state over an ordered list of wires.
 
-    def __init__(self, wires: Sequence[Qudit], tensor: np.ndarray) -> None:
+    Amplitudes are stored at ``complex128`` by default; pass
+    ``dtype=np.complex64`` (or hand in a ``complex64`` tensor) for the
+    bulk-sweep half-precision mode.  A ``complex64`` state stays
+    ``complex64`` through every operation — kernels are cast once per
+    precision in the process-wide cache — with amplitude error bounded
+    by roughly ``gates * sqrt(dim) * 1e-7`` (see docs/SIMULATORS.md for
+    the documented parity bounds the test suite enforces).
+    """
+
+    def __init__(
+        self,
+        wires: Sequence[Qudit],
+        tensor: np.ndarray,
+        dtype: "np.dtype | type | None" = None,
+    ) -> None:
         wires = list(wires)
         shape = tuple(w.dimension for w in wires)
-        tensor = np.asarray(tensor, dtype=complex)
+        tensor = np.asarray(tensor)
+        if dtype is None:
+            # Preserve an explicit complex64 tensor; promote everything
+            # else (float, int, complex128) to the exact default.
+            dtype = (
+                np.complex64
+                if tensor.dtype == np.complex64
+                else np.complex128
+            )
+        tensor = np.asarray(tensor, dtype=np.dtype(dtype))
+        if tensor.dtype not in (np.complex64, np.complex128):
+            raise ValueError(
+                f"state dtype must be complex64 or complex128, "
+                f"got {tensor.dtype}"
+            )
         if tensor.shape != shape:
             if tensor.size == int(np.prod(shape)):
                 tensor = tensor.reshape(shape)
@@ -56,7 +89,10 @@ class StateVector:
 
     @classmethod
     def computational_basis(
-        cls, wires: Sequence[Qudit], values: Sequence[int]
+        cls,
+        wires: Sequence[Qudit],
+        values: Sequence[int],
+        dtype: "np.dtype | type" = np.complex128,
     ) -> "StateVector":
         """|values> on the given wires."""
         wires = list(wires)
@@ -65,7 +101,7 @@ class StateVector:
                 f"{len(wires)} wires but {len(values)} values"
             )
         shape = tuple(w.dimension for w in wires)
-        tensor = np.zeros(shape, dtype=complex)
+        tensor = np.zeros(shape, dtype=np.dtype(dtype))
         for value, wire in zip(values, wires):
             if not 0 <= value < wire.dimension:
                 raise ValueError(f"value {value} invalid for wire {wire}")
@@ -73,9 +109,13 @@ class StateVector:
         return cls(wires, tensor)
 
     @classmethod
-    def zero(cls, wires: Sequence[Qudit]) -> "StateVector":
+    def zero(
+        cls,
+        wires: Sequence[Qudit],
+        dtype: "np.dtype | type" = np.complex128,
+    ) -> "StateVector":
         """|00...0>."""
-        return cls.computational_basis(wires, [0] * len(wires))
+        return cls.computational_basis(wires, [0] * len(wires), dtype)
 
     @classmethod
     def random(
@@ -127,13 +167,24 @@ class StateVector:
         """Flat state vector (first wire most significant)."""
         return self._tensor.reshape(-1)
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Amplitude dtype (``complex128``, or ``complex64`` in bulk mode)."""
+        return self._tensor.dtype
+
     def norm(self) -> float:
         """Euclidean norm of the state."""
         return float(np.linalg.norm(self._tensor))
 
     def copy(self) -> "StateVector":
-        """Deep copy."""
+        """Deep copy (dtype preserved)."""
         return StateVector(self._wires, self._tensor.copy())
+
+    def astype(self, dtype: "np.dtype | type") -> "StateVector":
+        """The same state at another amplitude precision (always a copy)."""
+        return StateVector(
+            self._wires, self._tensor.astype(np.dtype(dtype), copy=True)
+        )
 
     def probability_of(self, values: Sequence[int]) -> float:
         """Probability of measuring the basis state ``values``."""
@@ -176,14 +227,63 @@ class StateVector:
     # ------------------------------------------------------------------
 
     def apply_operation(self, op: GateOperation) -> None:
-        """Apply a gate operation in place via tensor contraction.
+        """Apply a gate operation in place, structure permitting.
 
-        The operator comes from the process-wide kernel cache
+        Permutation gates — the bulk of the Toffoli catalog — are
+        dispatched to the fancy-indexing fast path: the cached lookup
+        table (:func:`repro.sim.kernels.permutation_kernel`, the PR 4
+        cache) is lifted once to full-register gather indices
+        (:func:`repro.sim.kernels.permutation_gather`) and amplitudes
+        move in one flat gather over the mixed-radix joint index —
+        no dense contraction, no axis shuffling.  Everything else
+        falls back to :meth:`apply_operation_dense`.  Both the verdict
+        and the index maps are cached process-wide on the gate's
+        canonical spec, so dispatch costs one dict lookup per
+        application.
+        """
+        kernel = permutation_kernel(op)
+        if kernel.is_permutation:
+            self.apply_permutation_ops([op])
+            return
+        self.apply_operation_dense(op)
+
+    def apply_permutation_ops(self, ops: Sequence[GateOperation]) -> None:
+        """Apply a run of permutation operations as one flat gather.
+
+        The whole segment composes to a single basis permutation of the
+        register (:func:`repro.sim.kernels.segment_permutation_gather`),
+        so however deep the stretch, the amplitudes move in exactly one
+        fancy-indexing pass — this is what makes permutation-heavy
+        circuits (the undecomposed Toffoli constructions) asymptotically
+        cheaper than the dense contraction per gate.  The simulator's
+        run loop batches consecutive permutation gates into these calls;
+        every op must be a basis permutation
+        (:class:`~repro.exceptions.NotClassicalError` otherwise).
+        """
+        if not ops:
+            return
+        steps = [
+            (op, [self._axis[w] for w in op.qudits]) for op in ops
+        ]
+        gather = segment_permutation_gather(steps, self._tensor.shape)
+        shape = self._tensor.shape
+        # ravel() copies only if a prior dense op left a view; the
+        # gather output is always contiguous, so permutation runs
+        # stay copy-free between dense ops.
+        self._tensor = self._tensor.ravel()[gather].reshape(shape)
+
+    def apply_operation_dense(self, op: GateOperation) -> None:
+        """Apply a gate operation via dense tensor contraction.
+
+        The pre-v2 hot path, preserved verbatim as the parity oracle for
+        the permutation fast path (``BENCH_state.json`` and the property
+        suite pin the two against each other).  The operator comes from
+        the process-wide kernel cache
         (:func:`repro.sim.kernels.gate_kernel`), so a gate that repeats
         across moments, basis inputs, or runs pays its ``unitary()``
         and reshape cost once per canonical spec, not per application.
         """
-        kernel = gate_kernel(op)
+        kernel = gate_kernel(op, self._tensor.dtype)
         axes = [self._axis[w] for w in op.qudits]
         self._tensor = apply_block(self._tensor, kernel.block, axes)
 
@@ -193,11 +293,14 @@ class StateVector:
         """Apply an arbitrary (not necessarily unitary) matrix to ``wires``.
 
         Non-unitary matrices arise as Kraus operators during trajectory
-        simulation; callers renormalise afterwards.
+        simulation; callers renormalise afterwards.  The state's dtype
+        is preserved (the matrix is cast to it).
         """
         axes = [self._axis[w] for w in wires]
         dims = tuple(w.dimension for w in wires)
-        block = np.asarray(matrix, dtype=complex).reshape(dims + dims)
+        block = np.asarray(matrix, dtype=self._tensor.dtype).reshape(
+            dims + dims
+        )
         self._tensor = apply_block(self._tensor, block, axes)
 
     def apply_diagonal(self, diagonal: np.ndarray, wire: Qudit) -> None:
@@ -210,7 +313,8 @@ class StateVector:
         axis = self._axis[wire]
         shape = [1] * self._tensor.ndim
         shape[axis] = len(diagonal)
-        self._tensor = self._tensor * np.asarray(diagonal).reshape(shape)
+        diagonal = np.asarray(diagonal, dtype=self._tensor.dtype)
+        self._tensor = self._tensor * diagonal.reshape(shape)
 
     def renormalize(self) -> float:
         """Scale the state back to unit norm; returns the prior norm."""

@@ -9,19 +9,24 @@ from repro.analysis.bench import (
     ROUTE_SMOKE_WIDTHS,
     ROUTE_WIDTHS,
     SCHEMA,
+    STATE_SCHEMA,
     VERIFY_SCHEMA,
     bench_density,
     bench_route_case,
     bench_verify_speedup,
     bench_verify_width14,
     check_route_regression,
+    check_state_regression,
     render_report,
     render_route_report,
+    render_state_report,
     render_verify_report,
     route_record_key,
     run_bench,
     run_route_bench,
+    run_state_bench,
     run_verify_bench,
+    state_record_key,
     write_report,
 )
 
@@ -244,3 +249,84 @@ class TestRouteRegressionCheck:
         fresh = self._report(1000, 1000)
         fresh["records"][0]["num_controls"] = 99
         assert check_route_regression(self._report(10, 40), fresh) == []
+
+
+@pytest.fixture(scope="module")
+def state_report():
+    return run_state_bench(smoke=True)
+
+
+@pytest.mark.slow
+class TestStateBench:
+    def test_report_shape(self, state_report, tmp_path):
+        assert state_report["schema"] == STATE_SCHEMA
+        assert state_report["smoke"] is True
+        cases = [record["case"] for record in state_report["records"]]
+        assert cases == ["fastpath", "sampling", "dtype"]
+        path = write_report(state_report, tmp_path / "BENCH_state.json")
+        assert json.loads(path.read_text())["schema"] == STATE_SCHEMA
+        text = render_state_report(state_report)
+        assert "fastpath" in text and "invariants" in text
+
+    def test_every_invariant_passes(self, state_report):
+        for record in state_report["records"]:
+            for name, value in record["invariants"].items():
+                assert value is True, f"{record['case']}: {name}"
+
+    def test_fastpath_record_is_exact(self, state_report):
+        record = state_report["records"][0]
+        assert record["parity_max_abs_diff"] == 0.0
+        assert record["fast_seconds"] > 0
+        assert record["dense_seconds"] > 0
+
+    def test_sampling_record_is_deterministic(self, state_report):
+        record = state_report["records"][1]
+        assert record["chi_square_statistic"] <= (
+            record["chi_square_critical"]
+        )
+        assert record["distinct_outcomes"] >= 2
+
+    def test_record_keys_join_smoke_to_full(self, state_report):
+        # The CI gate joins the smoke run against the committed full
+        # report on the case name, so the names must be stable.
+        keys = [state_record_key(r) for r in state_report["records"]]
+        assert keys == ["fastpath", "sampling", "dtype"]
+
+
+class TestStateRegressionCheck:
+    def _report(self, invariants):
+        return {
+            "records": [
+                {
+                    "case": "fastpath",
+                    "workload": "qutrit_tree(N=6)",
+                    "invariants": invariants,
+                }
+            ]
+        }
+
+    def test_identical_reports_pass(self):
+        report = self._report({"fastpath_parity_exact": True})
+        assert check_state_regression(report, report) == []
+
+    def test_failed_invariant_fails(self):
+        failures = check_state_regression(
+            self._report({"fastpath_parity_exact": True}),
+            self._report({"fastpath_parity_exact": False}),
+        )
+        assert len(failures) == 1
+        assert "fastpath_parity_exact" in failures[0]
+
+    def test_dropped_invariant_fails(self):
+        failures = check_state_regression(
+            self._report({"fastpath_parity_exact": True}),
+            self._report({}),
+        )
+        assert len(failures) == 1
+        assert "missing" in failures[0]
+
+    def test_unmatched_records_are_skipped(self):
+        fresh = self._report({"fastpath_parity_exact": False})
+        fresh["records"][0]["case"] = "unknown"
+        committed = self._report({"fastpath_parity_exact": True})
+        assert check_state_regression(committed, fresh) == []

@@ -103,6 +103,8 @@ class TestChannelKernels:
             "gate_kernels": 0,
             "channel_kernels": 0,
             "permutation_kernels": 0,
+            "permutation_gathers": 0,
+            "segment_gathers": 0,
         }
 
 

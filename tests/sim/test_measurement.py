@@ -90,3 +90,103 @@ class TestResultAccessors:
         )
         samples = sample_state(state, 200, rng)
         assert samples.counts() == {(1, 1, 1, 1): 200}
+
+
+class TestVectorizedCounts:
+    def test_counts_match_per_row_reference(self, rng):
+        # The np.unique(axis=0) histogram must be bit-identical to the
+        # historical per-row Counter loop.
+        wires = qutrits(3)
+        state = StateVector.random(wires, rng)
+        result = sample_state(state, 2_000, rng)
+        from collections import Counter
+
+        reference = Counter(
+            tuple(int(v) for v in row) for row in result.samples
+        )
+        assert result.counts() == reference
+
+    def test_zero_shot_counts(self):
+        result = MeasurementResult(qubits(2), np.zeros((0, 2)))
+        assert result.counts() == {}
+        assert result.shots == 0
+
+    def test_zero_wire_counts(self, rng):
+        # Degenerate but well-defined: every shot measures the empty
+        # tuple.
+        result = MeasurementResult([], np.zeros((7, 0)))
+        assert result.counts() == {(): 7}
+
+
+class TestCountsBackedResults:
+    def test_from_counts_roundtrip(self):
+        wires = qubits(2)
+        result = MeasurementResult.from_counts(
+            wires, {(1, 1): 3, (0, 0): 5}
+        )
+        assert result.is_counts_backed
+        assert result.shots == 8
+        assert result.counts() == {(0, 0): 5, (1, 1): 3}
+
+    def test_samples_materialize_lexicographically(self):
+        wires = qubits(2)
+        result = MeasurementResult.from_counts(
+            wires, {(1, 0): 2, (0, 1): 1}
+        )
+        assert result.samples.tolist() == [[0, 1], [1, 0], [1, 0]]
+        assert result.samples.dtype == np.int64
+
+    def test_sample_backed_result_reports_mode(self, rng):
+        state = StateVector.zero(qubits(1))
+        assert not sample_state(state, 3, rng).is_counts_backed
+
+    def test_accessors_agree_across_modes(self, rng):
+        wires = qutrits(2)
+        state = StateVector.random(wires, rng)
+        sampled = sample_state(state, 1_000, np.random.default_rng(3))
+        rebuilt = MeasurementResult.from_counts(
+            wires, sampled.counts()
+        )
+        assert rebuilt.shots == sampled.shots
+        assert rebuilt.counts() == sampled.counts()
+        assert rebuilt.most_common(2) == sampled.most_common(2)
+        for outcome in sampled.counts():
+            assert rebuilt.probability_of(outcome) == (
+                sampled.probability_of(outcome)
+            )
+
+    def test_both_storage_modes_rejected(self):
+        wires = qubits(1)
+        with pytest.raises(ValueError):
+            MeasurementResult(
+                wires,
+                np.zeros((2, 1)),
+                outcomes=np.zeros((1, 1)),
+                counts=np.array([2]),
+            )
+        with pytest.raises(ValueError):
+            MeasurementResult(wires)
+
+    def test_counts_shape_validation(self):
+        wires = qubits(2)
+        with pytest.raises(ValueError):
+            MeasurementResult(
+                wires,
+                outcomes=np.zeros((2, 3)),
+                counts=np.array([1, 1]),
+            )
+        with pytest.raises(ValueError):
+            MeasurementResult(
+                wires,
+                outcomes=np.zeros((2, 2)),
+                counts=np.array([1, 1, 1]),
+            )
+
+    def test_nonpositive_counts_rejected(self):
+        wires = qubits(1)
+        with pytest.raises(ValueError):
+            MeasurementResult(
+                wires,
+                outcomes=np.array([[0], [1]]),
+                counts=np.array([3, 0]),
+            )

@@ -1,0 +1,221 @@
+"""Statistical battery for batched shot sampling.
+
+Everything here is deterministic: fixed seeds make the chi-square
+statistics reproducible, so the goodness-of-fit thresholds are real
+assertions, not flaky tolerances.  Critical values are hardcoded at
+alpha = 0.01 (CI has numpy and pytest only — no scipy).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.gates.qubit import CNOT, H
+from repro.gates.qutrit import QUTRIT_H, X_PLUS_1
+from repro.qudits import qubits, qutrits
+from repro.sim.measurement import sample_counts, sample_state
+from repro.sim.state import StateVector
+from repro.sim.statevector import StateVectorSimulator
+
+#: chi-square critical values at alpha = 0.01, indexed by dof.
+CHI2_CRITICAL_001 = {
+    1: 6.635, 2: 9.210, 3: 11.345, 4: 13.277, 5: 15.086,
+    6: 16.812, 7: 18.475, 8: 20.090, 9: 21.666, 10: 23.209,
+}
+
+
+def chi_square_statistic(counts, state, shots):
+    """(statistic, dof) of observed counts vs the exact distribution."""
+    probabilities = np.abs(state.vector) ** 2
+    dims = [w.dimension for w in state.wires]
+    observed = np.zeros(probabilities.size)
+    for outcome, count in counts.items():
+        flat = 0
+        for value, dim in zip(outcome, dims):
+            flat = flat * dim + value
+        observed[flat] = count
+    support = probabilities * shots > 0
+    assert observed[~support].sum() == 0, "impossible outcome sampled"
+    expected = probabilities[support] * shots
+    statistic = float(((observed[support] - expected) ** 2 / expected).sum())
+    return statistic, int(support.sum()) - 1
+
+
+def bell_state():
+    a, b = qubits(2)
+    return StateVectorSimulator().run(Circuit([H.on(a), CNOT.on(a, b)]))
+
+
+class TestDeterminism:
+    def test_same_seed_same_counts(self):
+        state = bell_state()
+        first = sample_counts(state, 10_000, rng=7)
+        second = sample_counts(state, 10_000, rng=7)
+        assert first.counts() == second.counts()
+
+    def test_different_seeds_differ(self):
+        state = bell_state()
+        first = sample_counts(state, 10_000, rng=7)
+        second = sample_counts(state, 10_000, rng=8)
+        assert first.counts() != second.counts()
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 97, 1_000, 10_000, None])
+    def test_counts_independent_of_batch_size(self, batch_size):
+        # Generator.random draws sequentially, so chunked uniforms
+        # concatenate to the unchunked stream: any batch size yields
+        # bit-identical counts for one seed.
+        state = bell_state()
+        reference = sample_counts(state, 1_000, rng=11)
+        chunked = sample_counts(state, 1_000, rng=11, batch_size=batch_size)
+        assert chunked.counts() == reference.counts()
+
+    def test_generator_and_int_seed_agree(self):
+        state = bell_state()
+        by_int = sample_counts(state, 500, rng=3)
+        by_generator = sample_counts(
+            state, 500, rng=np.random.default_rng(3)
+        )
+        assert by_int.counts() == by_generator.counts()
+
+
+class TestBatchedVersusLooped:
+    def test_counts_match_per_shot_reference_exactly(self):
+        # sample_counts and sample_state share one flat-outcome
+        # primitive, so at the same seed the batched histogram equals
+        # the per-shot sample array exactly — not just statistically.
+        state = bell_state()
+        batched = sample_counts(state, 5_000, rng=13)
+        looped = sample_state(state, 5_000, rng=13)
+        assert batched.counts() == looped.counts()
+
+    def test_marginal_counts_match_reference(self):
+        wires = qutrits(3)
+        state = StateVector.random(wires, np.random.default_rng(2))
+        subset = [wires[2], wires[0]]
+        batched = sample_counts(state, 3_000, rng=17, wires=subset)
+        looped = sample_state(state, 3_000, rng=17, wires=subset)
+        assert batched.counts() == looped.counts()
+
+
+class TestGoodnessOfFit:
+    def test_bell_state_chi_square(self):
+        state = bell_state()
+        shots = 100_000
+        counts = sample_counts(state, shots, rng=20190608).counts()
+        statistic, dof = chi_square_statistic(counts, state, shots)
+        assert statistic <= CHI2_CRITICAL_001[dof]
+
+    def test_qutrit_superposition_chi_square(self):
+        wire = qutrits(1)[0]
+        state = StateVectorSimulator().run(Circuit([QUTRIT_H.on(wire)]))
+        shots = 90_000
+        counts = sample_counts(state, shots, rng=20190608).counts()
+        statistic, dof = chi_square_statistic(counts, state, shots)
+        assert dof == 2
+        assert statistic <= CHI2_CRITICAL_001[dof]
+
+    def test_skewed_distribution_chi_square(self):
+        wires = qubits(2)
+        amplitudes = np.sqrt([0.7, 0.2, 0.09, 0.01])
+        state = StateVector(wires, amplitudes.astype(complex))
+        shots = 50_000
+        counts = sample_counts(state, shots, rng=99).counts()
+        statistic, dof = chi_square_statistic(counts, state, shots)
+        assert statistic <= CHI2_CRITICAL_001[dof]
+
+
+class TestQutritPopulations:
+    def test_binary_inputs_yield_binary_outputs(self):
+        # The paper's convention: qutrit circuits compute on binary
+        # inputs and outputs; |2> appears only transiently inside the
+        # circuit.  Sampling the tree output must never show level 2.
+        from repro.toffoli.registry import build_toffoli
+
+        result = build_toffoli("qutrit_tree", 4)
+        wires = result.controls + [result.target]
+        state = StateVectorSimulator().run_basis(
+            result.circuit, wires, (1, 1, 1, 1, 0)
+        )
+        counts = sample_counts(state, 2_000, rng=5).counts()
+        assert counts == {(1, 1, 1, 1, 1): 2_000}
+
+    def test_intermediate_level_two_is_visible(self):
+        # An undone X_PLUS_1 leaves |2> populated; sampling must
+        # report it (the sampler covers the full qutrit alphabet).
+        wire = qutrits(1)[0]
+        circuit = Circuit([X_PLUS_1.on(wire), X_PLUS_1.on(wire)])
+        state = StateVectorSimulator().run(circuit)
+        counts = sample_counts(state, 100, rng=1).counts()
+        assert counts == {(2,): 100}
+
+    def test_level_two_population_fraction(self):
+        # Equal qutrit superposition: the |2> marginal must be close
+        # to 1/3 (binomial 5-sigma band at 90k shots: ~0.8%).
+        wire = qutrits(1)[0]
+        state = StateVectorSimulator().run(
+            Circuit([QUTRIT_H.on(wire)])
+        )
+        shots = 90_000
+        counts = sample_counts(state, shots, rng=42).counts()
+        fraction = counts[(2,)] / shots
+        assert abs(fraction - 1 / 3) < 0.008
+
+
+class TestEdgeCases:
+    def test_zero_shots(self):
+        state = bell_state()
+        result = sample_counts(state, 0, rng=1)
+        assert result.shots == 0
+        assert result.counts() == {}
+        assert result.samples.shape == (0, 2)
+
+    def test_negative_shots_rejected(self):
+        with pytest.raises(ValueError):
+            sample_counts(bell_state(), -1, rng=1)
+
+    def test_unknown_marginal_wire_rejected(self):
+        with pytest.raises(ValueError):
+            sample_counts(bell_state(), 10, rng=1, wires=qutrits(1))
+
+    def test_marginal_wire_order_respected(self):
+        wires = qubits(2)
+        state = StateVector.computational_basis(wires, (1, 0))
+        result = sample_counts(
+            state, 10, rng=1, wires=[wires[1], wires[0]]
+        )
+        assert result.counts() == {(0, 1): 10}
+
+    def test_complex64_state_samples(self):
+        # Probabilities are computed in float64 even for complex64
+        # amplitudes, so normalisation round-off cannot skew the draw.
+        state = bell_state().astype(np.complex64)
+        counts = sample_counts(state, 4_000, rng=9).counts()
+        assert set(counts) == {(0, 0), (1, 1)}
+        assert sum(counts.values()) == 4_000
+
+
+class TestSimulatorSurface:
+    def test_simulator_sample_counts_runs_circuit(self):
+        a, b = qubits(2)
+        circuit = Circuit([H.on(a), CNOT.on(a, b)])
+        result = StateVectorSimulator().sample_counts(
+            circuit, 1_000, seed=21
+        )
+        assert set(result.counts()) == {(0, 0), (1, 1)}
+
+    def test_simulator_seed_determinism(self):
+        a, b = qubits(2)
+        circuit = Circuit([H.on(a), CNOT.on(a, b)])
+        sim = StateVectorSimulator()
+        first = sim.sample_counts(circuit, 500, seed=4)
+        second = sim.sample_counts(circuit, 500, seed=4, batch_size=37)
+        assert first.counts() == second.counts()
+
+    def test_simulator_measure_wires(self):
+        a, b = qubits(2)
+        circuit = Circuit([H.on(a), CNOT.on(a, b)])
+        result = StateVectorSimulator().sample_counts(
+            circuit, 300, seed=6, measure_wires=[b]
+        )
+        assert set(result.counts()) <= {(0,), (1,)}
+        assert result.wires == [b]

@@ -59,10 +59,80 @@ class TestRun:
         for level in range(3):
             assert np.isclose(state.probability_of((level,)), 1 / 3)
 
+    def test_empty_circuit_is_identity(self, state_sim):
+        wires = qutrits(2)
+        initial = StateVector.computational_basis(wires, (2, 1))
+        state = state_sim.run(Circuit([]), initial)
+        assert state.probability_of((2, 1)) == 1.0
+        state = state_sim.run(Circuit([]), wires=wires)
+        assert state.probability_of((0, 0)) == 1.0
+
+    def test_single_wire_register(self, state_sim):
+        a = qutrits(1)[0]
+        state = state_sim.run(Circuit([X_PLUS_1.on(a)]))
+        assert state.wires == [a]
+        assert state.probability_of((1,)) == 1.0
+
+    def test_initial_state_may_cover_extra_wires(self, state_sim):
+        a, b, c = qubits(3)
+        circuit = Circuit([CNOT.on(a, b)])
+        initial = StateVector.computational_basis([a, b, c], (1, 0, 1))
+        state = state_sim.run(circuit, initial)
+        assert state.probability_of((1, 1, 1)) == 1.0
+
+
+class TestEngineKnobs:
+    """The v2 constructor knobs: dtype and the permutation fast path."""
+
+    def test_default_knobs(self):
+        from repro.sim.statevector import StateVectorSimulator
+
+        sim = StateVectorSimulator()
+        assert sim.dtype is None
+        assert sim.permutation_fast_path
+
+    def test_dtype_forces_complex64(self):
+        from repro.sim.statevector import StateVectorSimulator
+
+        a, b = qubits(2)
+        circuit = Circuit([H.on(a), CNOT.on(a, b)])
+        sim = StateVectorSimulator(dtype=np.complex64)
+        assert sim.dtype == np.complex64
+        state = sim.run(circuit)
+        assert state.dtype == np.complex64
+        # An explicit complex128 initial state is converted, not
+        # mutated.
+        initial = StateVector.zero([a, b])
+        state = sim.run(circuit, initial)
+        assert state.dtype == np.complex64
+        assert initial.dtype == np.complex128
+
+    def test_default_dtype_follows_initial_state(self, state_sim):
+        a = qubits(1)[0]
+        initial = StateVector.zero([a]).astype(np.complex64)
+        state = state_sim.run(Circuit([H.on(a)]), initial)
+        assert state.dtype == np.complex64
+
+    def test_dense_oracle_matches_fast_path(self, rng):
+        from repro.sim.statevector import StateVectorSimulator
+        from repro.toffoli.registry import build_toffoli
+
+        result = build_toffoli("qutrit_tree", 4, decompose=False)
+        wires = result.circuit.all_qudits()
+        initial = StateVector.random(wires, rng)
+        dense_sim = StateVectorSimulator(permutation_fast_path=False)
+        assert not dense_sim.permutation_fast_path
+        fast = StateVectorSimulator().run(result.circuit, initial)
+        dense = dense_sim.run(result.circuit, initial)
+        # Permutation gathers move amplitudes without arithmetic, so
+        # parity with the dense contraction is exact.
+        assert np.array_equal(fast.vector, dense.vector)
+
 
 class TestKernelCacheRouting:
-    """apply_operation goes through the process-wide gate-kernel cache:
-    a repeated gate pays ``unitary()`` once per canonical spec."""
+    """apply_operation lowers each canonical gate once, process-wide:
+    permutation gates land in the permutation-table cache (the v2 fast
+    path), everything else in the dense gate-kernel cache."""
 
     def test_repeated_gate_lowers_once(self, state_sim):
         from repro.sim.kernels import clear_kernel_caches, kernel_cache_stats
@@ -73,8 +143,13 @@ class TestKernelCacheRouting:
             [H.on(a), CNOT.on(a, b), H.on(b), CNOT.on(b, c), H.on(c)]
         )
         state_sim.run(circuit)
-        # Five operations, two distinct canonical gates.
-        assert kernel_cache_stats()["gate_kernels"] == 2
+        # Five operations, two distinct canonical gates.  CNOT is a
+        # permutation, so it lowers to a table and never enters the
+        # dense cache; H gets the dense kernel plus a cached negative
+        # permutation verdict.
+        stats = kernel_cache_stats()
+        assert stats["gate_kernels"] == 1
+        assert stats["permutation_kernels"] == 2
 
     def test_unitary_not_recomputed_on_cache_hit(self, state_sim):
         from repro.gates.matrix import MatrixGate
@@ -94,7 +169,10 @@ class TestKernelCacheRouting:
         a = qubits(1)[0]
         circuit = Circuit([gate.on(a), gate.on(a), gate.on(a)])
         state = state_sim.run(circuit)
-        assert calls == 1
+        # Once for the (cached, negative) permutation check, once to
+        # build the dense kernel — O(1) per canonical spec, never per
+        # application.
+        assert calls == 2
         # Three H's = one H worth of amplitudes.
         assert np.isclose(state.probability_of((0,)), 0.5)
 
