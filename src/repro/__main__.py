@@ -20,6 +20,7 @@ Usage::
     python -m repro bench --smoke --check-serve BENCH_serve.json  # CI gate
     python -m repro bench --smoke --check-opt BENCH_opt.json      # CI gate
     python -m repro bench --smoke --check-state BENCH_state.json  # CI gate
+    python -m repro bench --smoke --check-chaos BENCH_chaos.json  # CI gate
 
     # The rewrite engine: optimize a construction (or saved circuit),
     # print per-pass statistics, verify against the equivalence oracles.
@@ -302,10 +303,12 @@ def _cmd_bench(args: argparse.Namespace) -> None:
     from pathlib import Path
 
     from .analysis.bench import (
+        check_chaos_regression,
         check_opt_regression,
         check_route_regression,
         check_serve_regression,
         check_state_regression,
+        render_chaos_report,
         render_opt_report,
         render_report,
         render_route_report,
@@ -313,6 +316,7 @@ def _cmd_bench(args: argparse.Namespace) -> None:
         render_state_report,
         render_verify_report,
         run_bench,
+        run_chaos_bench,
         run_opt_bench,
         run_route_bench,
         run_serve_bench,
@@ -424,6 +428,29 @@ def _cmd_bench(args: argparse.Namespace) -> None:
             raise SystemExit(1)
         print(
             f"\nserve regression check passed against {args.check_serve}"
+        )
+    chaos_report = run_chaos_bench(smoke=args.smoke, seed=args.seed)
+    print()
+    print(render_chaos_report(chaos_report))
+    if args.chaos_out != "-":
+        path = write_report(chaos_report, args.chaos_out)
+        print(f"\nwrote {path}")
+    if args.check_chaos is not None:
+        try:
+            committed = json.loads(Path(args.check_chaos).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise SystemExit(
+                f"cannot read committed chaos report "
+                f"{args.check_chaos}: {error}"
+            )
+        failures = check_chaos_regression(committed, chaos_report)
+        if failures:
+            print("\nchaos regression check FAILED:")
+            for failure in failures:
+                print(f"  {failure}")
+            raise SystemExit(1)
+        print(
+            f"\nchaos regression check passed against {args.check_chaos}"
         )
 
 
@@ -757,6 +784,18 @@ def main(argv: list[str] | None = None) -> int:
         help="check the fresh serve report's sharing invariants "
         "(exactly-once execution, restart served from the store) "
         "against this committed JSON and exit non-zero on violation",
+    )
+    bench.add_argument(
+        "--chaos-out", default="BENCH_chaos.json",
+        help="chaos-report path ('-' skips writing)",
+    )
+    bench.add_argument(
+        "--check-chaos", default=None, metavar="BASELINE",
+        help="check the fresh chaos report's resilience invariants "
+        "(no lost handles, capped retries, exactly-once fan-out, "
+        "corruption containment) against this committed JSON and exit "
+        "non-zero on violation; timings and injection counts are never "
+        "gated",
     )
     bench.add_argument("--seed", type=int, default=2019)
     bench.set_defaults(func=_cmd_bench)

@@ -69,6 +69,12 @@ from ..noise.presets import (
     SC_T1_GATES,
     TI_QUBIT,
 )
+from ..resilience.chaos import (
+    CHAOS_SCHEMA,
+    check_chaos_regression,
+    render_chaos_report,
+    run_chaos_bench,
+)
 from ..service.loadgen import (
     SERVE_SCHEMA,
     check_serve_regression,
@@ -93,22 +99,26 @@ __all__ = [
     "VERIFY_SCHEMA",
     "ROUTE_SCHEMA",
     "SERVE_SCHEMA",
+    "CHAOS_SCHEMA",
     "OPT_SCHEMA",
     "STATE_SCHEMA",
     "run_bench",
     "run_verify_bench",
     "run_route_bench",
     "run_serve_bench",
+    "run_chaos_bench",
     "run_opt_bench",
     "run_state_bench",
     "render_report",
     "render_verify_report",
     "render_route_report",
     "render_serve_report",
+    "render_chaos_report",
     "render_opt_report",
     "render_state_report",
     "check_route_regression",
     "check_serve_regression",
+    "check_chaos_regression",
     "check_opt_regression",
     "check_state_regression",
     "route_record_key",

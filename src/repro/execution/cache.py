@@ -112,6 +112,9 @@ class CacheStats:
     #: Misses served by the persistent backing layer (still hits from
     #: the caller's point of view — the run was not re-executed).
     backing_hits: int = 0
+    #: Backing calls that raised: absorbed as misses / dropped writes,
+    #: because a broken second level must never break the first.
+    backing_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -177,7 +180,12 @@ class ResultCache:
                 self.stats.hits += 1
                 return result, "memory"
             if self.backing is not None:
-                result = self.backing.get(key)
+                try:
+                    result = self.backing.get(key)
+                except Exception:
+                    # A flaky backing degrades to a miss, never an error.
+                    self.stats.backing_errors += 1
+                    result = None
                 if result is not None:
                     self.stats.backing_hits += 1
                     self._insert(key, result)
@@ -190,7 +198,12 @@ class ResultCache:
         with self._lock:
             self._insert(key, result)
             if self.backing is not None:
-                self.backing.put(key, result)
+                try:
+                    self.backing.put(key, result)
+                except Exception:
+                    # Write-through is best effort: losing persistence
+                    # must not lose the in-memory entry or the result.
+                    self.stats.backing_errors += 1
 
     def _insert(self, key: Hashable, result: RunResult) -> None:
         """Memory-level insert + eviction; caller holds the lock."""

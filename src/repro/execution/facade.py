@@ -23,6 +23,7 @@ everything else feeds the circuit builder.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, replace
 from itertools import product
 from typing import Callable, Iterable, Mapping, Sequence
@@ -30,6 +31,12 @@ from typing import Callable, Iterable, Mapping, Sequence
 from ..circuits.circuit import Circuit
 from ..noise.model import NoiseModel
 from ..qudits import Qudit
+from ..resilience.deadlines import (
+    Deadline,
+    JobTimeoutError,
+    resolve_deadline,
+)
+from ..resilience.faults import maybe_inject
 from ..sim.state import StateVector
 from ..toffoli.registry import build_toffoli
 from ..toffoli.spec import ConstructionResult
@@ -315,6 +322,7 @@ def execute(
     parallel: bool = False,
     workers: int = 4,
     cache: bool | ResultCache = False,
+    timeout: "float | Deadline | None" = None,
     **build_kwargs,
 ) -> RunResult | list[RunResult]:
     """Compile and run a circuit (or a sweep of circuits) on a backend.
@@ -345,9 +353,18 @@ def execute(
     fingerprint is taken from the *optimized* circuit, so an optimized
     run shares cache lines with any structurally equal optimized
     circuit, never with its unoptimized form.
+
+    ``timeout`` is a cooperative budget in seconds (or a
+    :class:`~repro.resilience.Deadline`): it is checked between sweep
+    tasks and while waiting on process shards, and raises the typed
+    :class:`~repro.resilience.JobTimeoutError` when it expires.
+    Nothing is killed mid-flight — a single task that overruns still
+    completes, and a run that finishes just past its deadline still
+    returns (completion wins the race).
     """
     from ..optimize import resolve_engine
 
+    deadline = resolve_deadline(timeout)
     pipeline = resolve_pipeline(pipeline)
     engine = resolve_engine(optimize)
     backend_spec = backend
@@ -447,7 +464,8 @@ def execute(
 
     # -- run ------------------------------------------------------------
     results = _run_tasks(
-        tasks, probe, parallel=parallel, workers=workers, cache=cache_store
+        tasks, probe, parallel=parallel, workers=workers,
+        cache=cache_store, deadline=deadline,
     )
     for index, note in enumerate(compile_notes):
         if note:
@@ -490,6 +508,7 @@ def _run_tasks(
     parallel: bool,
     workers: int,
     cache: ResultCache | None,
+    deadline: Deadline | None = None,
 ) -> list[RunResult]:
     shards_trials = probe.capabilities.supports_trials
     results: dict[int, RunResult] = {}
@@ -517,12 +536,16 @@ def _run_tasks(
         else:
             expanded = pending
         if parallel and (len(expanded) > 1):
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                raw = list(
-                    pool.map(_run_task, map(_serialized, expanded))
-                )
+            raw = _run_pool(expanded, workers, deadline)
         else:
-            raw = [_run_task(task) for task in expanded]
+            raw = []
+            for task in expanded:
+                # Cooperative deadline: checked *between* tasks, so a
+                # task that overruns still completes.
+                if deadline is not None:
+                    deadline.check("execute")
+                maybe_inject("facade.task")
+                raw.append(_run_task(task))
 
         by_point: dict[int, list[RunResult]] = {}
         for task, result in zip(expanded, raw):
@@ -540,3 +563,45 @@ def _run_tasks(
                 cache.put(key, merged)
 
     return [results[index] for index in range(len(tasks))]
+
+
+def _run_pool(
+    expanded: list[_Task],
+    workers: int,
+    deadline: Deadline | None,
+) -> list[RunResult]:
+    """Run tasks across a process pool, honouring the deadline while
+    waiting on shards.
+
+    The ``facade.task`` chaos site fires in the parent per dispatched
+    task (worker processes have no ambient injector).  On expiry,
+    not-yet-started shards are cancelled, running ones are left to
+    finish in the background (cooperative semantics: nothing is killed
+    mid-flight), and the typed :class:`JobTimeoutError` is raised.
+    """
+    serialized = [_serialized(task) for task in expanded]
+    for _ in serialized:
+        maybe_inject("facade.task")
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        futures = [pool.submit(_run_task, task) for task in serialized]
+        raw: list[RunResult] = []
+        for future in futures:
+            budget = (
+                deadline.remaining() if deadline is not None else None
+            )
+            if budget is not None and budget <= 0.0:
+                raise JobTimeoutError(
+                    "deadline expired while waiting on process shards"
+                )
+            try:
+                raw.append(future.result(timeout=budget))
+            except FuturesTimeoutError:
+                raise JobTimeoutError(
+                    "deadline expired while waiting on process shards"
+                ) from None
+    except BaseException:
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
+    return raw

@@ -1,0 +1,130 @@
+"""A circuit breaker for flaky dependencies (the persistent store).
+
+The classic three-state machine:
+
+* **closed** — traffic flows; consecutive failures are counted and
+  ``failure_threshold`` of them trips the breaker **open**;
+* **open** — calls are refused up front (:meth:`allow` returns False)
+  so a corrupt or dying disk cannot drag every lookup through its
+  failure path; after ``reset_timeout`` seconds the breaker lets
+  probes through;
+* **half-open** — up to ``half_open_probes`` trial calls pass; one
+  success closes the breaker (healthy again), one failure re-opens it
+  and restarts the cooldown.
+
+The service wires one of these around the
+:class:`~repro.service.store.ResultStore`: with the breaker open the
+job queue keeps serving from the in-memory LRU and re-executing — a
+degraded but correct mode — instead of hammering a broken disk.
+
+Deterministic by construction: the clock is injectable, so every
+transition is unit-testable without sleeping, and a fixed call sequence
+at a fixed clock walks a fixed state sequence.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open recovery probes."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probes_in_flight = 0
+        # Lifetime counters (JSON-ready via to_dict).
+        self.opens = 0
+        self.closes = 0
+        self.refusals = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half_open"`` (refreshing the
+        open -> half-open transition on read)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = HALF_OPEN
+            self._probes_in_flight = 0
+
+    def allow(self) -> bool:
+        """Whether the protected call may proceed right now."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN:
+                if self._probes_in_flight < self.half_open_probes:
+                    self._probes_in_flight += 1
+                    return True
+            self.refusals += 1
+            return False
+
+    def record_success(self) -> None:
+        """A protected call succeeded: heal."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state != CLOSED:
+                self._state = CLOSED
+                self._opened_at = None
+                self._probes_in_flight = 0
+                self.closes += 1
+
+    def record_failure(self) -> None:
+        """A protected call failed: count, and maybe trip open."""
+        with self._lock:
+            self._maybe_half_open()
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN or (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probes_in_flight = 0
+                self.opens += 1
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot for stats surfaces."""
+        return {
+            "state": self.state,
+            "failure_threshold": self.failure_threshold,
+            "reset_timeout": self.reset_timeout,
+            "consecutive_failures": self._consecutive_failures,
+            "opens": self.opens,
+            "closes": self.closes,
+            "refusals": self.refusals,
+        }

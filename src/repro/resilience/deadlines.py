@@ -1,0 +1,99 @@
+"""Deadlines: cooperative time budgets for jobs and executions.
+
+A :class:`Deadline` is an absolute point on a monotonic clock plus the
+helpers every cooperative checkpoint needs: ``remaining()`` for handing
+a shrinking budget down a call chain, ``expired()`` for cheap polling,
+and ``check()`` for raising the one typed error —
+:class:`JobTimeoutError` — that every layer of the stack agrees on.
+
+"Cooperative" is a semantic contract, not a weakness: nothing is ever
+killed mid-flight.  The worker loop checks a job's deadline before
+running it, :func:`repro.execute` checks between sweep tasks and while
+waiting on process shards, and :meth:`repro.service.Job.result` raises
+the same typed error when its own wait runs out.  A computation that
+finishes just as its deadline passes still delivers its result —
+completion wins the race, because the result already exists and
+discarding it helps nobody.
+
+The clock is injectable so every transition is unit-testable without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..exceptions import ReproError
+
+
+class JobTimeoutError(ReproError, TimeoutError):
+    """A deadline or wait budget expired before the work completed.
+
+    Subclasses :class:`TimeoutError` so pre-existing ``except
+    TimeoutError`` call sites (the serve protocol's ``result`` op, test
+    harnesses) keep working, while new code can catch the typed form.
+    """
+
+
+class Deadline:
+    """An absolute expiry instant on a monotonic clock.
+
+    Build one with :meth:`after` (relative seconds) or the constructor
+    (absolute instant).  ``None`` budgets are represented by *absence*
+    — APIs take ``Deadline | None`` — so there is no sentinel
+    "infinite" deadline to special-case arithmetic around.
+    """
+
+    __slots__ = ("expires_at", "_clock")
+
+    def __init__(
+        self,
+        expires_at: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.expires_at = float(expires_at)
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls,
+        seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        """The deadline ``seconds`` from now (must be positive)."""
+        if seconds <= 0:
+            raise ValueError(
+                f"deadline must be a positive number of seconds, "
+                f"got {seconds!r}"
+            )
+        return cls(clock() + float(seconds), clock)
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self.expires_at - self._clock()
+
+    def expired(self) -> bool:
+        """True once the instant has passed."""
+        return self.remaining() <= 0.0
+
+    def check(self, label: str = "operation") -> None:
+        """Raise :class:`JobTimeoutError` if the deadline has passed."""
+        overdue = -self.remaining()
+        if overdue >= 0.0:
+            raise JobTimeoutError(
+                f"{label} exceeded its deadline by {overdue:.3f}s"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Deadline {self.remaining():+.3f}s>"
+
+
+def resolve_deadline(
+    timeout: "float | Deadline | None",
+    clock: Callable[[], float] = time.monotonic,
+) -> Deadline | None:
+    """Accept a relative budget in seconds, a deadline, or None."""
+    if timeout is None or isinstance(timeout, Deadline):
+        return timeout
+    return Deadline.after(float(timeout), clock)

@@ -1,0 +1,169 @@
+"""Deterministic, seedable fault injection — chaos as a first-class layer.
+
+Every failure path the serving stack claims to survive must be
+*exercisable*, or the claim is folklore.  A :class:`FaultInjector` is a
+seeded source of injected failures: each call site names itself
+(``inject("store.read")``), the injector decides — deterministically
+for a fixed seed and per-site call count — whether that call fails, and
+if so raises the configured exception (default
+:class:`~repro.resilience.retry.TransientServiceError`).
+
+The wired sites (:data:`INJECTION_SITES`):
+
+* ``worker.run``    — the service worker loop, before each attempt;
+* ``facade.task``   — :func:`repro.execute`'s per-task runner;
+* ``store.read`` / ``store.write`` — the persistent
+  :class:`~repro.service.store.ResultStore` paths (injected failures
+  are absorbed as IO errors: counted, fed to the circuit breaker,
+  never propagated to callers);
+* ``protocol.request`` — the serve protocol dispatcher (surfaces as a
+  structured ``{"ok": false}`` response, never kills the loop).
+
+Injection decisions draw from one seeded per-site stream guarded by a
+lock, so for a fixed seed and a single-threaded call order the exact
+fault sequence is reproducible — what the hypothesis failure-matrix
+tests rely on.  Under concurrency the per-site *decision sequence* is
+still fixed; only its assignment to callers varies with interleaving.
+
+Activation is either explicit (pass the injector to the component) or
+ambient (:func:`install_injector` / the :func:`injected` context
+manager); :func:`maybe_inject` is the no-op-when-inactive check sites
+call.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator, Mapping
+
+from .retry import TransientServiceError
+
+#: Every call site wired into the stack, for iteration in tests/benches.
+INJECTION_SITES: tuple[str, ...] = (
+    "worker.run",
+    "facade.task",
+    "store.read",
+    "store.write",
+    "protocol.request",
+)
+
+
+class FaultInjector:
+    """Seeded chaos: raise at named sites with per-site probability.
+
+    ``rate`` is a global probability or a mapping ``site -> rate``
+    (missing sites never fire; ``{"*": r}`` sets a default).  The
+    exception factory receives ``(site, ordinal)`` so injected errors
+    identify themselves.
+    """
+
+    def __init__(
+        self,
+        rate: "float | Mapping[str, float]" = 0.0,
+        seed: int = 0,
+        exc_factory: Callable[[str, int], BaseException] | None = None,
+    ) -> None:
+        if isinstance(rate, Mapping):
+            self._rates = dict(rate)
+            self._default_rate = float(self._rates.pop("*", 0.0))
+        else:
+            self._rates = {}
+            self._default_rate = float(rate)
+        for site, value in self._rates.items():
+            self._rates[site] = float(value)
+        for value in (self._default_rate, *self._rates.values()):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"fault rates must be probabilities in [0, 1], "
+                    f"got {value!r}"
+                )
+        self.seed = seed
+        self._exc_factory = exc_factory or (
+            lambda site, ordinal: TransientServiceError(
+                f"injected fault at {site} (#{ordinal})"
+            )
+        )
+        self._lock = threading.Lock()
+        self._streams: dict[str, random.Random] = {}
+        self.calls: dict[str, int] = {}
+        self.injections: dict[str, int] = {}
+
+    def rate_for(self, site: str) -> float:
+        """The injection probability at ``site``."""
+        return self._rates.get(site, self._default_rate)
+
+    def should_inject(self, site: str) -> bool:
+        """Advance ``site``'s decision stream by one call."""
+        with self._lock:
+            self.calls[site] = self.calls.get(site, 0) + 1
+            rate = self.rate_for(site)
+            if rate <= 0.0:
+                return False
+            stream = self._streams.get(site)
+            if stream is None:
+                # One independent stream per site, derived from the
+                # injector seed — sites never perturb each other.
+                stream = random.Random(f"{self.seed}|{site}")
+                self._streams[site] = stream
+            fire = stream.random() < rate
+            if fire:
+                self.injections[site] = self.injections.get(site, 0) + 1
+            return fire
+
+    def inject(self, site: str) -> None:
+        """Raise the configured fault at ``site``, or return quietly."""
+        if self.should_inject(site):
+            raise self._exc_factory(site, self.injections[site])
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot: per-site call and injection counts."""
+        sites = sorted(set(self.calls) | set(self.injections))
+        return {
+            "seed": self.seed,
+            "rates": {site: self.rate_for(site) for site in sites},
+            "calls": dict(sorted(self.calls.items())),
+            "injections": dict(sorted(self.injections.items())),
+        }
+
+
+#: The ambient injector (None = chaos off, the production default).
+_ACTIVE: FaultInjector | None = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+def install_injector(injector: FaultInjector | None) -> None:
+    """Set (or with None, clear) the process-wide ambient injector."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE = injector
+
+
+def current_injector() -> FaultInjector | None:
+    """The ambient injector, if one is installed."""
+    return _ACTIVE
+
+
+@contextmanager
+def injected(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Scope an ambient injector to a with-block (restores the prior)."""
+    with _ACTIVE_LOCK:
+        global _ACTIVE
+        previous = _ACTIVE
+        _ACTIVE = injector
+    try:
+        yield injector
+    finally:
+        with _ACTIVE_LOCK:
+            _ACTIVE = previous
+
+
+def maybe_inject(
+    site: str, injector: FaultInjector | None = None
+) -> None:
+    """The check every wired site calls: explicit injector first, then
+    the ambient one, else a no-op."""
+    active = injector if injector is not None else _ACTIVE
+    if active is not None:
+        active.inject(site)

@@ -1,0 +1,137 @@
+"""Retry policies: bounded attempts, exponential backoff, seeded jitter.
+
+Transient failures — an OOM-killed process shard, a flaky disk read, an
+injected chaos fault — deserve another attempt; logic errors do not.
+:class:`RetryPolicy` packages the three decisions a retry loop needs:
+
+* **classification** — :meth:`RetryPolicy.retryable` consults an
+  explicit tuple of exception types (default:
+  :class:`TransientServiceError`, :class:`ConnectionError`, and
+  non-file-missing :class:`OSError`).  Deadline expiry
+  (:class:`~repro.resilience.deadlines.JobTimeoutError`) is *never*
+  retryable: the budget is gone, more attempts only overshoot further.
+* **backoff** — attempt ``k`` (1-based) waits
+  ``min(base * multiplier**(k-1), max_delay)`` plus jitter.
+* **deterministic jitter** — the jitter fraction is derived by hashing
+  ``(seed, token, attempt)``, not by sampling shared RNG state, so the
+  full backoff sequence of any job is reproducible from its token alone
+  and property tests can assert it exactly.
+
+An :class:`AttemptRecord` is the serializable trace of one failed
+attempt; the service keeps the list on every :class:`~repro.service.Job`
+so a retried job's history survives into ``stats`` and the protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..exceptions import ReproError
+from .deadlines import JobTimeoutError
+
+
+class TransientServiceError(ReproError):
+    """A failure expected to clear on retry (and the default fault the
+    chaos layer injects)."""
+
+
+def _default_retryable(error: BaseException) -> bool:
+    if isinstance(error, JobTimeoutError):
+        return False
+    if isinstance(error, TransientServiceError):
+        return True
+    if isinstance(error, FileNotFoundError):
+        return False
+    return isinstance(error, (OSError, ConnectionError))
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One failed attempt of a retried execution."""
+
+    attempt: int
+    error_type: str
+    message: str
+    #: Backoff waited *after* this attempt (0.0 for the final one).
+    delay: float
+    #: False when this failure exhausted the policy (job went terminal).
+    retried: bool
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (stats op / attempt history)."""
+        return {
+            "attempt": self.attempt,
+            "error_type": self.error_type,
+            "message": self.message,
+            "delay": self.delay,
+            "retried": self.retried,
+        }
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic seeded jitter.
+
+    ``max_attempts`` counts *total* executions (1 = never retry).
+    ``retryable`` replaces the default exception classification with an
+    explicit tuple of types; :class:`JobTimeoutError` stays
+    non-retryable even when listed, since a spent deadline cannot be
+    waited out.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    #: Jitter as a fraction of the capped delay, in ``[0, jitter)``.
+    jitter: float = 0.5
+    seed: int = 0
+    retryable_types: tuple[type, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def retryable(self, error: BaseException) -> bool:
+        """Whether ``error`` is worth another attempt."""
+        if isinstance(error, JobTimeoutError):
+            return False
+        if self.retryable_types is not None:
+            return isinstance(error, self.retryable_types)
+        return _default_retryable(error)
+
+    def _jitter_fraction(self, token: str, attempt: int) -> float:
+        payload = f"{self.seed}|{token}|{attempt}".encode()
+        digest = hashlib.sha256(payload).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def delay(self, attempt: int, token: str = "") -> float:
+        """Backoff after failed attempt ``attempt`` (1-based).
+
+        Deterministic: the same ``(seed, token, attempt)`` always
+        yields the same delay.
+        """
+        if attempt < 1:
+            raise ValueError("attempt numbering starts at 1")
+        base = min(
+            self.base_delay * self.multiplier ** (attempt - 1),
+            self.max_delay,
+        )
+        return base * (1.0 + self.jitter * self._jitter_fraction(
+            token, attempt
+        ))
+
+    def backoff_sequence(self, token: str = "") -> list[float]:
+        """Every backoff delay the policy would wait for ``token``
+        (one entry per retryable failure; empty when never retrying)."""
+        return [
+            self.delay(attempt, token)
+            for attempt in range(1, self.max_attempts)
+        ]

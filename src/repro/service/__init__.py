@@ -21,13 +21,29 @@ aging priorities), and the bounded queue applies reject-or-block
 backpressure.  ``python -m repro serve`` exposes the same queue over a
 line-delimited JSON protocol; see :mod:`repro.service.protocol` and
 ``docs/SERVICE.md``.
+
+The service degrades gracefully under failure — per-job deadlines,
+retries with deterministic backoff, a circuit breaker on the
+persistent store, admission control, and seeded fault injection all
+come from :mod:`repro.resilience`; see ``docs/RESILIENCE.md``.
 """
 
+from ..resilience import (
+    AdmissionError,
+    AdmissionPolicy,
+    CircuitBreaker,
+    Deadline,
+    FaultInjector,
+    JobTimeoutError,
+    RetryPolicy,
+    TransientServiceError,
+)
 from .jobs import (
     Job,
     JobCancelledError,
     JobFailedError,
     JobState,
+    QueueClosedError,
     QueueFullError,
     ServiceError,
 )
@@ -64,8 +80,17 @@ __all__ = [
     "ServiceStats",
     "ServiceError",
     "QueueFullError",
+    "QueueClosedError",
     "JobFailedError",
     "JobCancelledError",
+    "JobTimeoutError",
+    "Deadline",
+    "RetryPolicy",
+    "TransientServiceError",
+    "FaultInjector",
+    "CircuitBreaker",
+    "AdmissionPolicy",
+    "AdmissionError",
     "FairScheduler",
     "ResultStore",
     "StoreStats",

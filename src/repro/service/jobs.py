@@ -3,13 +3,21 @@
 A :class:`Job` is the caller's view of one submitted run: a small
 thread-safe handle that tracks the lifecycle
 
-    QUEUED -> RUNNING -> DONE | FAILED | CANCELLED
+    QUEUED -> RUNNING -> DONE | FAILED | CANCELLED | TIMED_OUT
 
 and blocks on :meth:`Job.result` until a worker (or a cache hit, or a
 coalesced leader) completes it.  Jobs are created by
 :meth:`repro.service.JobQueue.submit`; all state transitions go through
 the queue, which owns the locking discipline — the handle itself only
 exposes reads and the completion event.
+
+Resilience surfaces on the handle (see ``docs/RESILIENCE.md``): a job
+submitted with a deadline carries it here, expiry lands it in the
+terminal ``TIMED_OUT`` state (``result()`` raises the typed
+:class:`~repro.resilience.JobTimeoutError`), retried attempts leave
+their :class:`~repro.resilience.AttemptRecord` history on
+``job.attempts``, and admission-control downgrades are recorded on
+``job.degraded``.
 """
 
 from __future__ import annotations
@@ -21,9 +29,11 @@ from enum import Enum
 from typing import TYPE_CHECKING
 
 from ..exceptions import ReproError
+from ..resilience.deadlines import Deadline, JobTimeoutError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..execution.results import RunResult
+    from ..resilience.retry import AttemptRecord
 
 
 class ServiceError(ReproError):
@@ -32,6 +42,14 @@ class ServiceError(ReproError):
 
 class QueueFullError(ServiceError):
     """The bounded queue rejected a submission (backpressure)."""
+
+
+class QueueClosedError(ServiceError, RuntimeError):
+    """The queue is shut down or draining and refuses admissions.
+
+    Subclasses :class:`RuntimeError` for compatibility with callers of
+    the original shutdown behaviour.
+    """
 
 
 class JobFailedError(ServiceError):
@@ -56,11 +74,17 @@ class JobState(str, Enum):
     DONE = "DONE"
     FAILED = "FAILED"
     CANCELLED = "CANCELLED"
+    TIMED_OUT = "TIMED_OUT"
 
     @property
     def terminal(self) -> bool:
         """True once the state can no longer change."""
-        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+        return self in (
+            JobState.DONE,
+            JobState.FAILED,
+            JobState.CANCELLED,
+            JobState.TIMED_OUT,
+        )
 
 
 _JOB_IDS = itertools.count(1)
@@ -83,6 +107,7 @@ class Job:
         submitter: str = "default",
         priority: int = 0,
         label: str = "",
+        deadline: Deadline | None = None,
     ) -> None:
         self.id = f"job-{next(_JOB_IDS):06d}"
         #: Coalescing key: circuit fingerprint + run-parameter digest.
@@ -91,10 +116,18 @@ class Job:
         self.priority = priority
         #: Human-readable description (e.g. "qutrit_tree(N=5)").
         self.label = label
+        #: Cooperative expiry budget (None = unbounded).
+        self.deadline = deadline
         self.state = JobState.QUEUED
         #: Cache level that served the job, when it never ran:
         #: "memory", "backing", or "coalesced"; None for executed jobs.
         self.served_from: str | None = None
+        #: One record per failed attempt of a retried execution.
+        self.attempts: "list[AttemptRecord]" = []
+        #: Admission-control ladder steps applied at submit time.
+        self.degraded: tuple[str, ...] = ()
+        #: Why a CANCELLED job was cancelled (e.g. "queue shut down").
+        self.cancel_reason: str | None = None
         self.submitted_at = time.perf_counter()
         self.started_at: float | None = None
         self.finished_at: float | None = None
@@ -118,15 +151,23 @@ class Job:
 
         Raises :class:`JobFailedError` (with the captured worker
         traceback) when execution failed, :class:`JobCancelledError`
-        when the job was cancelled, and :class:`TimeoutError` when
-        ``timeout`` expires first.
+        when the job was cancelled, and the typed
+        :class:`~repro.resilience.JobTimeoutError` either when the job
+        itself TIMED_OUT (its deadline expired) or when ``timeout``
+        seconds pass without a terminal state.
         """
         if not self._done.wait(timeout):
-            raise TimeoutError(
+            raise JobTimeoutError(
                 f"{self.id} still {self.state.value} after {timeout}s"
             )
+        if self.state is JobState.TIMED_OUT:
+            raise JobTimeoutError(
+                f"{self.id} timed out: "
+                f"{self._error or 'deadline expired before completion'}"
+            )
         if self.state is JobState.CANCELLED:
-            raise JobCancelledError(f"{self.id} was cancelled")
+            reason = f" ({self.cancel_reason})" if self.cancel_reason else ""
+            raise JobCancelledError(f"{self.id} was cancelled{reason}")
         if self._error is not None:
             raise JobFailedError(
                 f"{self.id} failed: {self._error!r}", self._traceback
@@ -163,6 +204,7 @@ class Job:
         result: "RunResult | None" = None,
         error: BaseException | None = None,
         traceback: str | None = None,
+        reason: str | None = None,
     ) -> None:
         """Terminal transition; sets the completion event exactly once."""
         if self._done.is_set():  # pragma: no cover - defensive
@@ -171,6 +213,8 @@ class Job:
         self._result = result
         self._error = error
         self._traceback = traceback
+        if reason is not None:
+            self.cancel_reason = reason
         self.finished_at = time.perf_counter()
         self._done.set()
 

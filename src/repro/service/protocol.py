@@ -17,12 +17,20 @@ Requests are objects with an ``op`` and optional ``id`` (echoed back)::
     {"op": "result", "job": "job-000001", "timeout": 30}
     {"op": "cancel", "job": "job-000001"}
     {"op": "stats"}
+    {"op": "drain", "timeout": 30}
     {"op": "shutdown"}
 
 Responses always carry ``ok``; failures add ``error`` (and
 ``traceback`` for FAILED jobs).  ``submit`` returns the job id and
 state; with ``"wait": true`` it blocks and inlines the serialized
 result (:func:`~repro.service.serialization.result_to_dict`).
+
+The loop is hardened against hostile or broken peers: a malformed or
+oversized request line gets a structured ``{"ok": false}`` response, an
+unexpected dispatch error is reported as ``"internal": true`` instead
+of killing the server, and a peer that disconnects mid-request just
+closes its own connection.  ``drain`` stops admissions and waits for
+in-flight work (new submits then fail with ``"closed": true``).
 """
 
 from __future__ import annotations
@@ -34,10 +42,14 @@ import sys
 import threading
 from typing import Callable, Iterable, TextIO
 
+from ..resilience.degradation import AdmissionError
+from ..resilience.faults import maybe_inject
+from ..resilience.retry import TransientServiceError
 from .jobs import (
     JobCancelledError,
     JobFailedError,
     JobState,
+    QueueClosedError,
     QueueFullError,
 )
 from .queue import JobQueue
@@ -45,6 +57,10 @@ from .serialization import result_to_dict
 
 #: Protocol version announced in the hello line.
 PROTOCOL = "repro-serve/v1"
+
+#: Requests longer than this are refused unparsed — a missing newline
+#: or a hostile client must not buffer the server into the ground.
+MAX_LINE_BYTES = 1 << 20
 
 
 def _resolve_noise(name: str | None):
@@ -79,6 +95,7 @@ def _submit(queue: JobQueue, request: dict) -> dict:
         parallel=bool(request.get("parallel", False)),
         submitter=str(request.get("submitter", "default")),
         priority=int(request.get("priority", 0)),
+        deadline=request.get("deadline"),
         **build,
     )
     response = {"ok": True, "job": job.id, "state": job.state.value}
@@ -107,6 +124,8 @@ def _await_result(job, timeout, response: dict) -> dict:
         )
         if job.latency is not None:
             response["latency_ms"] = round(job.latency * 1000, 3)
+    if job.attempts:
+        response["attempts"] = [a.to_dict() for a in job.attempts]
     return response
 
 
@@ -114,6 +133,7 @@ def handle_request(queue: JobQueue, request: dict) -> dict:
     """Dispatch one decoded request; always returns a response dict."""
     op = request.get("op")
     try:
+        maybe_inject("protocol.request")
         if op == "submit":
             response = _submit(queue, request)
         elif op == "status":
@@ -134,18 +154,36 @@ def handle_request(queue: JobQueue, request: dict) -> dict:
             response = {"ok": True, "stats": dict(queue.describe())}
         elif op == "ping":
             response = {"ok": True, "pong": True}
+        elif op == "drain":
+            timeout = request.get("timeout")
+            drained = queue.drain(
+                float(timeout) if timeout is not None else None
+            )
+            response = {"ok": True, "drained": drained}
         elif op == "shutdown":
             response = {"ok": True, "shutdown": True}
         else:
             response = {
                 "ok": False,
                 "error": f"unknown op {op!r}; expected submit/status/"
-                "result/cancel/stats/ping/shutdown",
+                "result/cancel/stats/ping/drain/shutdown",
             }
     except QueueFullError as error:
         response = {"ok": False, "error": str(error), "rejected": True}
+    except AdmissionError as error:
+        response = {"ok": False, "error": str(error), "rejected": True}
+    except QueueClosedError as error:
+        response = {"ok": False, "error": str(error), "closed": True}
+    except TransientServiceError as error:
+        response = {"ok": False, "error": str(error), "transient": True}
     except (KeyError, ValueError, TypeError) as error:
         response = {"ok": False, "error": str(error)}
+    except Exception as error:  # noqa: BLE001 - the loop must survive
+        response = {
+            "ok": False,
+            "error": f"internal error: {error!r}",
+            "internal": True,
+        }
     if "id" in request:
         response["id"] = request["id"]
     return response
@@ -169,6 +207,12 @@ def serve_lines(
             "workers": len(queue._threads),
         }))
     for line in lines:
+        if len(line) > MAX_LINE_BYTES:
+            write(json.dumps({
+                "ok": False,
+                "error": f"request line exceeds {MAX_LINE_BYTES} bytes",
+            }))
+            continue
         line = line.strip()
         if not line:
             continue
@@ -221,10 +265,15 @@ def serve_socket(queue: JobQueue, path: str) -> None:
                 except (BrokenPipeError, OSError):  # pragma: no cover
                     pass
 
-            lines = (raw.decode() for raw in self.rfile)
+            lines = (raw.decode(errors="replace") for raw in self.rfile)
             # EOF just closes this connection; an acknowledged
-            # shutdown op stops the whole server.
-            if serve_lines(queue, lines, write) == "shutdown":
+            # shutdown op stops the whole server.  A peer that vanishes
+            # mid-request closes its own connection and nothing else.
+            try:
+                outcome = serve_lines(queue, lines, write)
+            except (ConnectionError, OSError):  # pragma: no cover
+                return
+            if outcome == "shutdown":
                 stop.set()
 
     class Server(socketserver.ThreadingUnixStreamServer):

@@ -23,8 +23,30 @@
 Lifecycle summary (see :class:`~repro.service.jobs.JobState`):
 submissions start QUEUED, move to RUNNING when a worker picks their
 group up, and finish DONE / FAILED (with the captured traceback) /
-CANCELLED.  Cancelling a QUEUED job succeeds immediately; cancelling a
-RUNNING job returns False (executions are not interrupted mid-flight).
+CANCELLED / TIMED_OUT.  Cancelling a QUEUED job succeeds immediately;
+cancelling a RUNNING job returns False (executions are not interrupted
+mid-flight).
+
+The resilience layer (``docs/RESILIENCE.md``) threads through here:
+
+* **deadlines** — ``submit(deadline=...)`` attaches a cooperative
+  expiry; workers check it before running a group (an expired queued
+  group goes straight to TIMED_OUT) and hand the remaining budget to
+  the runner, which :func:`repro.execute` enforces between tasks and
+  across process shards.  A run that *completes* just as its deadline
+  passes still delivers — completion wins the race.
+* **retries** — a :class:`~repro.resilience.RetryPolicy` re-runs
+  transient failures with deterministic seeded backoff; each failed
+  attempt is recorded on every handle of the group
+  (:attr:`Job.attempts`) and counted in :class:`ServiceStats`.
+* **admission control** — an
+  :class:`~repro.resilience.AdmissionPolicy` estimates the run's
+  memory from the circuit dims at submit time and downgrades
+  (``parallel`` -> serial, batched -> looped trajectories) or rejects
+  (:class:`~repro.resilience.AdmissionError`) instead of OOM-ing.
+* **fault injection** — the ``worker.run`` site raises seeded chaos
+  faults inside the attempt loop, so the whole retry/failure fan-out
+  machinery is exercisable from tests and the chaos bench.
 """
 
 from __future__ import annotations
@@ -50,8 +72,20 @@ from ..execution.facade import (
 from ..execution.results import RunResult
 from ..noise.model import NoiseModel
 from ..qudits import Qudit
+from ..resilience.deadlines import (
+    Deadline,
+    JobTimeoutError,
+    resolve_deadline,
+)
+from ..resilience.degradation import (
+    DEFAULT_ADMISSION,
+    AdmissionError,
+    AdmissionPolicy,
+)
+from ..resilience.faults import FaultInjector, maybe_inject
+from ..resilience.retry import AttemptRecord, RetryPolicy
 from ..sim.state import StateVector
-from .jobs import Job, JobState, QueueFullError
+from .jobs import Job, JobState, QueueClosedError, QueueFullError
 from .scheduler import FairScheduler
 from .store import ResultStore
 
@@ -77,6 +111,9 @@ class JobRequest:
     #: Process-shard heavy jobs through :mod:`repro.sim.parallel`.
     parallel: bool = False
     workers: int = 4
+    #: Remaining deadline budget in seconds, refreshed per attempt by
+    #: the worker loop and enforced cooperatively inside the facade.
+    timeout: float | None = None
 
 
 def default_runner(request: JobRequest) -> RunResult:
@@ -94,6 +131,7 @@ def default_runner(request: JobRequest) -> RunResult:
         batch_size=request.batch_size,
         parallel=request.parallel,
         workers=request.workers,
+        timeout=request.timeout,
         cache=False,
     )
 
@@ -103,6 +141,8 @@ class ServiceStats:
     """Counters of one :class:`JobQueue` instance."""
 
     submitted: int = 0
+    #: Runner invocations — with retries, one group may execute several
+    #: times; the fault-free count equals distinct executions.
     executed: int = 0
     completed: int = 0
     failed: int = 0
@@ -111,6 +151,15 @@ class ServiceStats:
     coalesced: int = 0
     memory_hits: int = 0
     persistent_hits: int = 0
+    #: Handles whose deadline expired before completion.
+    timed_out: int = 0
+    #: Re-executions triggered by the retry policy.
+    retries: int = 0
+    #: Submissions downgraded by admission control (still admitted).
+    degraded: int = 0
+    #: Submissions refused by admission control (never became jobs,
+    #: so they are *not* counted in ``submitted``).
+    admission_rejected: int = 0
 
     @property
     def cache_hits(self) -> int:
@@ -145,6 +194,10 @@ class ServiceStats:
             "coalesced": self.coalesced,
             "memory_hits": self.memory_hits,
             "persistent_hits": self.persistent_hits,
+            "timed_out": self.timed_out,
+            "retries": self.retries,
+            "degraded": self.degraded,
+            "admission_rejected": self.admission_rejected,
             "coalesce_rate": self.coalesce_rate,
             "cache_hit_rate": self.cache_hit_rate,
             "shared_rate": self.shared_rate,
@@ -162,6 +215,11 @@ class _Group:
     running: bool = False
     #: Every handle cancelled while still queued; workers skip it.
     abandoned: bool = False
+    #: The leader's deadline, enforced for the whole group (coalesced
+    #: followers ride on the one execution and inherit it).
+    deadline: Deadline | None = None
+    #: Shared attempt history — every attached handle aliases this list.
+    attempts: list[AttemptRecord] = field(default_factory=list)
 
 
 class JobQueue:
@@ -190,6 +248,19 @@ class JobQueue:
     runner:
         Execution callable ``(JobRequest) -> RunResult``; tests inject
         counting/blocking runners here.  Defaults to the facade.
+    retry_policy:
+        :class:`~repro.resilience.RetryPolicy` re-running transient
+        worker failures with deterministic backoff (``None`` = never
+        retry, the historical behaviour).
+    admission:
+        :class:`~repro.resilience.AdmissionPolicy` reviewing every
+        submission's estimated memory (defaults to the 1 GiB
+        :data:`~repro.resilience.DEFAULT_ADMISSION`).
+    fault_injector:
+        Seeded :class:`~repro.resilience.FaultInjector` for the
+        ``worker.run`` chaos site (``None`` = no injection; the
+        ambient injector installed via
+        :func:`repro.resilience.install_injector` still applies).
     """
 
     def __init__(
@@ -203,6 +274,9 @@ class JobQueue:
         age_weight: float = 0.1,
         runner: Callable[[JobRequest], RunResult] | None = None,
         job_retention: int = 10_000,
+        retry_policy: RetryPolicy | None = None,
+        admission: AdmissionPolicy | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("worker pool needs at least one thread")
@@ -225,14 +299,24 @@ class JobQueue:
         self.backpressure = backpressure
         self.stats = ServiceStats()
         self._runner = runner or default_runner
+        self._retry_policy = retry_policy
+        self._admission = admission if admission is not None \
+            else DEFAULT_ADMISSION
+        self._fault_injector = fault_injector
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._space = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
         self._scheduler: FairScheduler[_Group] = FairScheduler(age_weight)
         self._inflight: dict[str, _Group] = {}
         self._jobs: dict[str, Job] = {}
         self._job_retention = job_retention
         self._shutdown = False
+        #: False once drain() was called: no new admissions.
+        self._admitting = True
+        self._running_groups = 0
+        #: Set at shutdown to interrupt retry-backoff sleeps.
+        self._wake = threading.Event()
         self._threads = [
             threading.Thread(
                 target=self._worker_loop,
@@ -264,6 +348,7 @@ class JobQueue:
         submitter: str = "default",
         priority: int = 0,
         timeout: float | None = None,
+        deadline: "float | Deadline | None" = None,
         **build_kwargs,
     ) -> Job:
         """Queue one execution and return its :class:`Job` handle.
@@ -271,12 +356,21 @@ class JobQueue:
         Accepts the same targets and run options as
         :func:`repro.execute` plus the service knobs: ``submitter``
         (fairness bucket), ``priority`` (higher runs sooner, with
-        aging), and ``timeout`` (block-mode backpressure wait).  The
-        circuit is built and compiled here, on the submitting thread,
-        so the handle's coalescing key is final before it is returned.
+        aging), ``timeout`` (block-mode backpressure wait), and
+        ``deadline`` (seconds of total budget, or a
+        :class:`~repro.resilience.Deadline`; expiry lands the job in
+        TIMED_OUT).  The circuit is built and compiled here, on the
+        submitting thread, so the handle's coalescing key is final
+        before it is returned.
+
+        Raises :class:`~repro.service.QueueClosedError` after shutdown
+        or drain, and :class:`~repro.resilience.AdmissionError` when
+        the estimated memory footprint exceeds the admission budget
+        even after downgrades.
         """
-        if self._shutdown:
-            raise RuntimeError("queue is shut down")
+        if self._shutdown or not self._admitting:
+            raise QueueClosedError("queue is shut down or draining")
+        job_deadline = resolve_deadline(deadline)
         compiled_pipeline = resolve_pipeline(pipeline)
         probe = resolve_backend(backend, noise_model)
         circuit, preferred_wires = materialize_target(
@@ -294,6 +388,26 @@ class JobQueue:
         job_wires = tuple(job_wires) if job_wires is not None else None
         if not isinstance(initial, (StateVector, type(None))):
             initial = tuple(initial)
+
+        # Admission control: estimate the run's memory from the wire
+        # dims and downgrade (or reject) *before* the coalescing and
+        # cache keys are computed, so they reflect what actually runs.
+        decision = self._admission.review(
+            circuit,
+            probe.capabilities.kind,
+            trials=trials,
+            batch_size=batch_size,
+            parallel=parallel,
+            workers=workers,
+        )
+        if not decision.admitted:
+            with self._lock:
+                self.stats.admission_rejected += 1
+            raise AdmissionError(decision.reason)
+        if "parallel-to-serial" in decision.downgrades:
+            parallel = False
+        if "batched-to-looped" in decision.downgrades:
+            batch_size = 1
 
         fingerprint = circuit_fingerprint(circuit)
         request = JobRequest(
@@ -339,10 +453,13 @@ class JobQueue:
         )
         label = target if isinstance(target, str) else type(target).__name__
         job = Job(key, submitter=submitter, priority=priority,
-                  label=str(label))
+                  label=str(label), deadline=job_deadline)
+        job.degraded = decision.downgrades
 
         with self._lock:
             self.stats.submitted += 1
+            if decision.downgrades:
+                self.stats.degraded += 1
             self._remember(job)
 
             # Level 1+2: the layered result cache.
@@ -364,6 +481,9 @@ class JobQueue:
                 self.stats.coalesced += 1
                 job.served_from = "coalesced"
                 group.jobs.append(job)
+                # Followers ride the leader's execution: they share its
+                # attempt history and its (possibly absent) deadline.
+                job.attempts = group.attempts
                 if group.running:
                     job._mark_running()
                 return job
@@ -388,10 +508,11 @@ class JobQueue:
                         f"queue full; job {job.id} timed out waiting "
                         f"for space after {timeout}s"
                     )
-                if self._shutdown:
-                    raise RuntimeError("queue is shut down")
+                if self._shutdown or not self._admitting:
+                    raise QueueClosedError("queue is shut down or draining")
             group = _Group(key=key, cache_key=cache_key, request=request,
-                           jobs=[job])
+                           jobs=[job], deadline=job_deadline)
+            job.attempts = group.attempts
             self._inflight[key] = group
             self._scheduler.push(group, submitter=submitter,
                                  priority=priority)
@@ -416,7 +537,7 @@ class JobQueue:
         try:
             return self._jobs[job]
         except KeyError:
-            raise KeyError(f"unknown job id {job!r}")
+            raise KeyError(f"unknown job id {job!r}") from None
 
     def status(self, job: "Job | str") -> JobState:
         """The lifecycle state of a job (by handle or id)."""
@@ -472,51 +593,173 @@ class JobQueue:
                 group = self._scheduler.pop()
                 self._space.notify()
                 if group is None or group.abandoned:
+                    self._notify_if_idle()
+                    continue
+                if group.deadline is not None and group.deadline.expired():
+                    # Expired while queued: straight to TIMED_OUT,
+                    # never run.
+                    self._inflight.pop(group.key, None)
+                    error = JobTimeoutError(
+                        "deadline expired before execution started"
+                    )
+                    for job in group.jobs:
+                        if not job.done():
+                            self.stats.timed_out += 1
+                            job._finish(JobState.TIMED_OUT, error=error)
+                    self._notify_if_idle()
                     continue
                 group.running = True
+                self._running_groups += 1
                 for job in group.jobs:
                     if not job.done():
                         job._mark_running()
-                request = group.request
+            self._run_group(group)
+
+    def _run_group(self, group: _Group) -> None:
+        """One group's attempt loop, outside the queue lock.
+
+        Each attempt hands the runner the *remaining* deadline budget;
+        transient failures retry with deterministic backoff up to the
+        policy's cap; a run that completes after its deadline passed
+        still delivers (completion wins the race).
+        """
+        policy = self._retry_policy
+        attempt = 0
+        while True:
+            attempt += 1
+            request = group.request
+            if group.deadline is not None:
+                remaining = group.deadline.remaining()
+                if remaining <= 0.0:
+                    self._finish_group(
+                        group, JobState.TIMED_OUT,
+                        error=JobTimeoutError(
+                            f"deadline expired after {attempt - 1} "
+                            f"attempt(s)"
+                        ),
+                    )
+                    return
+                request = replace(request, timeout=remaining)
             try:
+                maybe_inject("worker.run", self._fault_injector)
                 result = self._runner(request)
+            except JobTimeoutError as error:
+                with self._lock:
+                    self.stats.executed += 1
+                self._finish_group(group, JobState.TIMED_OUT, error=error)
+                return
             except BaseException as error:  # noqa: BLE001 - fan out
                 captured = traceback.format_exc()
+                retry = (
+                    policy is not None
+                    and attempt < policy.max_attempts
+                    and policy.retryable(error)
+                    and not self._shutdown
+                    and not (
+                        group.deadline is not None
+                        and group.deadline.expired()
+                    )
+                )
+                delay = policy.delay(attempt, group.key) if retry else 0.0
+                record = AttemptRecord(
+                    attempt=attempt,
+                    error_type=type(error).__name__,
+                    message=str(error),
+                    delay=delay,
+                    retried=retry,
+                )
                 with self._lock:
-                    self._inflight.pop(group.key, None)
                     self.stats.executed += 1
-                    for job in group.jobs:
-                        if not job.done():
-                            self.stats.failed += 1
-                            job._finish(
-                                JobState.FAILED,
-                                error=error,
-                                traceback=captured,
-                            )
+                    group.attempts.append(record)
+                    if retry:
+                        self.stats.retries += 1
+                if not retry:
+                    self._finish_group(
+                        group, JobState.FAILED,
+                        error=error, traceback_text=captured,
+                    )
+                    return
+                # Interruptible backoff: shutdown wakes sleepers early.
+                self._wake.wait(delay)
             else:
                 with self._lock:
-                    self._inflight.pop(group.key, None)
                     self.stats.executed += 1
-                    if group.cache_key is not None:
-                        self.cache.put(group.cache_key, result)
-                    for job in group.jobs:
-                        if not job.done():
-                            self.stats.completed += 1
-                            job._finish(JobState.DONE, result=result)
+                self._finish_group(group, JobState.DONE, result=result)
+                return
+
+    def _finish_group(
+        self,
+        group: _Group,
+        state: JobState,
+        *,
+        result: RunResult | None = None,
+        error: BaseException | None = None,
+        traceback_text: str | None = None,
+    ) -> None:
+        """Fan one terminal state out to every live handle of a group."""
+        with self._lock:
+            self._inflight.pop(group.key, None)
+            self._running_groups -= 1
+            if state is JobState.DONE and group.cache_key is not None:
+                self.cache.put(group.cache_key, result)
+            for job in group.jobs:
+                if job.done():
+                    continue
+                if state is JobState.DONE:
+                    self.stats.completed += 1
+                elif state is JobState.TIMED_OUT:
+                    self.stats.timed_out += 1
+                else:
+                    self.stats.failed += 1
+                job._finish(state, result=result, error=error,
+                            traceback=traceback_text)
+            self._notify_if_idle()
+
+    def _notify_if_idle(self) -> None:
+        """Wake drain() waiters once nothing is queued or running.
+
+        Caller must hold ``self._lock``.
+        """
+        if not self._scheduler and self._running_groups == 0:
+            self._idle.notify_all()
 
     # -- lifecycle -----------------------------------------------------
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admissions and wait for in-flight work to finish.
+
+        After ``drain()`` every further :meth:`submit` raises
+        :class:`~repro.service.QueueClosedError`; queued and running
+        groups complete normally.  Returns True once the queue is idle
+        (False on ``timeout``).  The workers stay alive — call
+        :meth:`shutdown` to stop them.
+        """
+        with self._lock:
+            self._admitting = False
+            settled = self._idle.wait_for(
+                lambda: (
+                    (not self._scheduler and self._running_groups == 0)
+                    or self._shutdown
+                ),
+                timeout=timeout,
+            )
+        return bool(settled)
 
     def shutdown(self, wait: bool = True,
                  cancel_pending: bool = False) -> None:
         """Stop the pool.
 
         ``wait=True`` drains the queue first (workers finish every
-        pending group); ``cancel_pending=True`` cancels queued groups
-        instead of running them.  Idempotent.
+        pending group).  ``wait=False`` or ``cancel_pending=True``
+        deterministically CANCELs every still-queued group (cancel
+        reason ``"queue shut down"``) rather than orphaning handles in
+        QUEUED forever; running groups always finish.  Idempotent.
         """
         with self._lock:
             self._shutdown = True
-            if cancel_pending:
+            self._admitting = False
+            self._wake.set()
+            if cancel_pending or not wait:
                 for group in self._scheduler.drain():
                     if group.abandoned:
                         continue
@@ -524,9 +767,11 @@ class JobQueue:
                     for job in group.jobs:
                         if not job.done():
                             self.stats.cancelled += 1
-                            job._finish(JobState.CANCELLED)
+                            job._finish(JobState.CANCELLED,
+                                        reason="queue shut down")
             self._not_empty.notify_all()
             self._space.notify_all()
+            self._idle.notify_all()
         if wait:
             for thread in self._threads:
                 thread.join()
@@ -553,4 +798,9 @@ class JobQueue:
             if self.store is not None:
                 info["store_entries"] = len(self.store)
                 info["store_bytes"] = self.store.total_bytes()
+                info["store"] = self.store.stats.to_dict()
+                if self.store.breaker is not None:
+                    info["breaker"] = self.store.breaker.to_dict()
+            if self._fault_injector is not None:
+                info["faults"] = self._fault_injector.to_dict()
             return info

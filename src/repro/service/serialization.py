@@ -59,7 +59,7 @@ def _params_to_data(params: Mapping) -> dict:
     except (TypeError, ValueError) as error:
         raise SerializationError(
             f"result params/metadata are not JSON-serializable: {error}"
-        )
+        ) from error
     return mapping
 
 
@@ -195,5 +195,7 @@ def result_from_json(text: str) -> RunResult:
     try:
         data = json.loads(text)
     except json.JSONDecodeError as error:
-        raise SerializationError(f"malformed result JSON: {error}")
+        raise SerializationError(
+            f"malformed result JSON: {error}"
+        ) from error
     return result_from_dict(data)

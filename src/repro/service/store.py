@@ -26,6 +26,14 @@ Design points:
 * **Write-through safety** — entries are written to a temp file and
   atomically renamed, so a crash mid-write never leaves a half entry
   under a valid name.
+* **Failure containment** — an optional
+  :class:`~repro.resilience.CircuitBreaker` wraps the disk: corruption
+  and IO errors count as failures, a tripped breaker short-circuits
+  lookups/writes to fast misses (the queue keeps serving from its
+  in-memory LRU and re-executing), and half-open probes heal it.  The
+  ``store.read`` / ``store.write`` chaos sites inject here; injected
+  faults are absorbed exactly like real IO errors — counted, fed to
+  the breaker, never propagated to callers.
 """
 
 from __future__ import annotations
@@ -41,6 +49,9 @@ from typing import Hashable
 from ..exceptions import SerializationError
 from ..execution.cache import cache_key_digest, cache_key_encoding
 from ..execution.results import RunResult
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.faults import FaultInjector, maybe_inject
+from ..resilience.retry import TransientServiceError
 from .serialization import result_from_dict, result_to_dict
 
 #: Version tag of the store's on-disk entry envelope.
@@ -57,6 +68,11 @@ class StoreStats:
     write_failures: int = 0
     evictions: int = 0
     corrupt_dropped: int = 0
+    #: Disk-level failures (reads and writes), real or injected —
+    #: excludes plain misses and serialization failures.
+    io_errors: int = 0
+    #: Lookups/writes refused up front by an open circuit breaker.
+    short_circuited: int = 0
 
     @property
     def lookups(self) -> int:
@@ -68,6 +84,22 @@ class StoreStats:
         """Fraction of lookups served from disk (0.0 when unused)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot including the derived rate (surfaced by
+        ``JobQueue.describe()`` and the protocol ``stats`` op)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "write_failures": self.write_failures,
+            "evictions": self.evictions,
+            "corrupt_dropped": self.corrupt_dropped,
+            "io_errors": self.io_errors,
+            "short_circuited": self.short_circuited,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class ResultStore:
     """Content-addressed JSON result entries under one cache directory."""
@@ -77,6 +109,8 @@ class ResultStore:
         root: str | Path,
         max_bytes: int = 64 * 1024 * 1024,
         max_entries: int = 4096,
+        breaker: CircuitBreaker | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if max_entries < 1:
             raise ValueError("store needs room for at least one entry")
@@ -87,7 +121,18 @@ class ResultStore:
         self.max_bytes = max_bytes
         self.max_entries = max_entries
         self.stats = StoreStats()
+        #: Optional circuit breaker guarding the disk (None = always on).
+        self.breaker = breaker
+        self._fault_injector = fault_injector
         self._lock = Lock()
+
+    def _disk_ok(self) -> None:
+        if self.breaker is not None:
+            self.breaker.record_success()
+
+    def _disk_failed(self) -> None:
+        if self.breaker is not None:
+            self.breaker.record_failure()
 
     # -- paths ---------------------------------------------------------
 
@@ -108,12 +153,25 @@ class ResultStore:
     # -- CacheBacking protocol -----------------------------------------
 
     def get(self, key: Hashable) -> RunResult | None:
-        """Load the stored result for ``key``; None on miss/corruption."""
+        """Load the stored result for ``key``; None on miss, corruption,
+        IO error (real or injected), or while the breaker is open."""
         path = self.path_for(key)
         with self._lock:
+            if self.breaker is not None and not self.breaker.allow():
+                self.stats.short_circuited += 1
+                self.stats.misses += 1
+                return None
             try:
+                maybe_inject("store.read", self._fault_injector)
                 raw = path.read_text()
-            except OSError:
+            except FileNotFoundError:
+                # A genuine miss is a *healthy* disk answer.
+                self._disk_ok()
+                self.stats.misses += 1
+                return None
+            except (OSError, TransientServiceError):
+                self._disk_failed()
+                self.stats.io_errors += 1
                 self.stats.misses += 1
                 return None
             try:
@@ -135,8 +193,10 @@ class ResultStore:
                 ValueError,
             ):
                 # Treat any malformed entry as a miss and drop the file
-                # so it cannot poison later lookups.
+                # so it cannot poison later lookups; corruption counts
+                # against the disk's health.
                 path.unlink(missing_ok=True)
+                self._disk_failed()
                 self.stats.corrupt_dropped += 1
                 self.stats.misses += 1
                 return None
@@ -145,13 +205,18 @@ class ResultStore:
                 os.utime(path)
             except OSError:  # pragma: no cover - best effort
                 pass
+            self._disk_ok()
             self.stats.hits += 1
             return result
 
     def put(self, key: Hashable, result: RunResult) -> bool:
-        """Persist ``result`` under ``key``; False if unserializable."""
+        """Persist ``result`` under ``key``; False if unserializable,
+        on IO failure (real or injected), or while the breaker is open."""
         path = self.path_for(key)
         with self._lock:
+            if self.breaker is not None and not self.breaker.allow():
+                self.stats.short_circuited += 1
+                return False
             try:
                 envelope = {
                     "schema": STORE_SCHEMA,
@@ -161,16 +226,22 @@ class ResultStore:
                 }
                 text = json.dumps(envelope)
             except (SerializationError, TypeError, ValueError):
+                # Unserializable payloads say nothing about the disk:
+                # counted, but never fed to the breaker.
                 self.stats.write_failures += 1
                 return False
             temp = path.with_suffix(".tmp")
             try:
+                maybe_inject("store.write", self._fault_injector)
                 temp.write_text(text)
                 temp.replace(path)
-            except OSError:  # pragma: no cover - disk trouble
+            except (OSError, TransientServiceError):
                 temp.unlink(missing_ok=True)
+                self._disk_failed()
                 self.stats.write_failures += 1
+                self.stats.io_errors += 1
                 return False
+            self._disk_ok()
             self.stats.writes += 1
             self._evict_overflow()
             return True

@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro.execution import CacheBacking, ResultCache
+from repro.execution import CacheBacking, ResultCache, execute
 from repro.execution.cache import cache_key_digest, cache_key_encoding
 from repro.qudits import Qudit
 
@@ -146,3 +146,31 @@ class TestKeyEncoding:
     def test_digest_stable_across_calls(self):
         key = ("fp", None, True, 2.5)
         assert cache_key_digest(key) == cache_key_digest(key)
+
+
+class FlakyBacking(DictBacking):
+    """A backing layer whose every call raises."""
+
+    def get(self, key):
+        raise OSError("backing disk is gone")
+
+    def put(self, key, result):
+        raise OSError("backing disk is gone")
+
+
+class TestFlakyBacking:
+    def test_broken_backing_never_breaks_the_front_cache(self):
+        cache = ResultCache(backing=FlakyBacking())
+        result = execute(
+            "qutrit_tree", num_controls=3, backend="classical",
+            initial=(1, 1, 1, 0), cache=cache,
+        )
+        assert result.values == (1, 1, 1, 1)
+        assert cache.stats.backing_errors >= 2  # one get, one put
+        # The in-memory entry survived the failed write-through.
+        again = execute(
+            "qutrit_tree", num_controls=3, backend="classical",
+            initial=(1, 1, 1, 0), cache=cache,
+        )
+        assert again.values == (1, 1, 1, 1)
+        assert cache.stats.hits == 1

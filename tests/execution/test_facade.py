@@ -269,3 +269,58 @@ class TestCache:
             )
         assert len(cache) == 1
         assert cache.stats.evictions == 1
+
+
+class TestTimeouts:
+    """execute(timeout=...): the cooperative deadline (RESILIENCE.md)."""
+
+    def test_generous_timeout_completes(self):
+        result = execute(
+            "qutrit_tree", num_controls=3, backend="classical",
+            initial=(1, 1, 1, 0), timeout=300,
+        )
+        assert result.values == (1, 1, 1, 1)
+
+    def test_expired_deadline_raises_typed_error(self):
+        from repro.resilience import Deadline, JobTimeoutError
+
+        with pytest.raises(JobTimeoutError):
+            execute(
+                "qutrit_tree", num_controls=3, backend="classical",
+                initial=(1, 1, 1, 0),
+                timeout=Deadline(0.0),  # already expired
+            )
+
+    def test_expired_deadline_checked_between_sweep_tasks(self):
+        from repro.resilience import Deadline, JobTimeoutError
+
+        clock = {"now": 0.0}
+
+        # Each clock read advances time: the first sweep point fits
+        # the budget, the next between-task checkpoint does not.
+        def advancing_clock():
+            clock["now"] += 0.6
+            return clock["now"]
+
+        deadline = Deadline(1.0, clock=advancing_clock)
+        with pytest.raises(JobTimeoutError, match="execute"):
+            execute(
+                "qutrit_tree", backend="classical", initial=None,
+                sweep={"num_controls": [3, 4, 5]}, timeout=deadline,
+            )
+
+    def test_parallel_pool_honours_deadline(self):
+        from repro.resilience import Deadline, JobTimeoutError
+
+        with pytest.raises(JobTimeoutError, match="shards"):
+            execute(
+                "qutrit_tree", sweep={"num_controls": [3, 4]}, seed=2,
+                parallel=True, workers=2, timeout=Deadline(0.0),
+            )
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            execute(
+                "qutrit_tree", num_controls=3, backend="classical",
+                initial=(1, 1, 1, 0), timeout=-1,
+            )

@@ -1,0 +1,170 @@
+"""Property-based failure matrix for the resilience layer.
+
+The resilience claims are universally quantified — *no* fault site,
+rate, or seed may lose a handle, exceed the retry cap, or wedge the
+breaker — so they are tested as properties over the (site x rate x
+seed) matrix rather than at hand-picked points.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.execution.results import RunResult
+from repro.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    FaultInjector,
+    RetryPolicy,
+    TransientServiceError,
+    injected,
+)
+from repro.service import JobQueue, JobState, handle_request
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+rates = st.floats(min_value=0.0, max_value=1.0,
+                  allow_nan=False, allow_infinity=False)
+
+
+def quick_result(request):
+    return RunResult(backend="classical", wires=(), values=(0,))
+
+
+class TestFaultMatrixOnTheQueue:
+    @settings(max_examples=15, deadline=None)
+    @given(rate=rates, seed=seeds)
+    def test_no_lost_handles_and_retries_capped(self, rate, seed):
+        """Any worker.run fault schedule: every handle goes terminal,
+        every failure is the injected fault, attempts never exceed the
+        policy cap."""
+        injector = FaultInjector(rate={"worker.run": rate}, seed=seed)
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=0.0, max_delay=0.0, seed=seed,
+        )
+        with JobQueue(
+            workers=2, runner=quick_result,
+            retry_policy=policy, fault_injector=injector,
+        ) as queue:
+            jobs = [
+                queue.submit(
+                    "qutrit_tree", backend="classical",
+                    initial=(1, 1, 1, 0), num_controls=3, seed=index,
+                )
+                for index in range(6)
+            ]
+            for job in jobs:
+                assert job.wait(timeout=60)
+        for job in jobs:
+            assert job.state in (JobState.DONE, JobState.FAILED)
+            assert len(job.attempts) <= policy.max_attempts
+            if job.state is JobState.FAILED:
+                assert isinstance(job.error, TransientServiceError)
+                assert job.attempts[-1].retried is False
+
+    @settings(max_examples=10, deadline=None)
+    @given(rate=rates, seed=seeds)
+    def test_protocol_site_never_kills_the_dispatcher(self, rate, seed):
+        injector = FaultInjector(
+            rate={"protocol.request": rate}, seed=seed,
+        )
+        with JobQueue(workers=1, runner=quick_result) as queue:
+            with injected(injector):
+                responses = [
+                    handle_request(queue, {"op": "ping"})
+                    for _ in range(20)
+                ]
+        for response in responses:
+            assert response["ok"] or response.get("transient")
+
+
+class TestDeterministicBackoff:
+    @given(seed=seeds, token=st.text(max_size=20))
+    def test_sequence_reproducible_from_seed_and_token(self, seed, token):
+        a = RetryPolicy(seed=seed)
+        b = RetryPolicy(seed=seed)
+        assert a.backoff_sequence(token) == b.backoff_sequence(token)
+
+    @given(
+        seed=seeds,
+        base=st.floats(min_value=0.001, max_value=1.0),
+        cap=st.floats(min_value=0.001, max_value=10.0),
+        jitter=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_delays_bounded_by_cap_plus_jitter(self, seed, base, cap,
+                                               jitter):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=base,
+            max_delay=max(base, cap), jitter=jitter, seed=seed,
+        )
+        for attempt, delay in enumerate(policy.backoff_sequence("t"), 1):
+            ceiling = max(base, cap) * (1.0 + jitter)
+            assert 0.0 <= delay <= ceiling
+
+    @given(seed=seeds)
+    def test_injector_decision_stream_reproducible(self, seed):
+        a = FaultInjector(rate=0.4, seed=seed)
+        b = FaultInjector(rate=0.4, seed=seed)
+        assert [a.should_inject("store.read") for _ in range(64)] \
+            == [b.should_inject("store.read") for _ in range(64)]
+
+
+class TestBreakerStateMachine:
+    @settings(max_examples=200)
+    @given(
+        ops=st.lists(
+            st.sampled_from(["ok", "fail", "tick", "allow"]),
+            max_size=60,
+        ),
+        threshold=st.integers(min_value=1, max_value=5),
+    )
+    def test_transitions_stay_legal(self, ops, threshold):
+        """Arbitrary op sequences: the state stays in the three-state
+        machine and the transition edges hold."""
+        now = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=threshold, reset_timeout=10.0,
+            clock=lambda: now[0],
+        )
+        consecutive = 0
+        for op in ops:
+            before = breaker.state
+            if op == "ok":
+                breaker.record_success()
+                consecutive = 0
+                assert breaker.state == CLOSED
+            elif op == "fail":
+                breaker.record_failure()
+                consecutive += 1
+                if before == HALF_OPEN:
+                    assert breaker.state == OPEN
+                elif before == CLOSED and consecutive >= threshold:
+                    assert breaker.state == OPEN
+            elif op == "tick":
+                now[0] += 10.0
+                if before == OPEN:
+                    assert breaker.state == HALF_OPEN
+            elif op == "allow":
+                allowed = breaker.allow()
+                if before == CLOSED:
+                    assert allowed
+            assert breaker.state in (CLOSED, OPEN, HALF_OPEN)
+
+    @given(threshold=st.integers(min_value=1, max_value=8))
+    def test_open_half_open_closed_cycle(self, threshold):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=threshold, reset_timeout=5.0,
+            clock=lambda: now[0],
+        )
+        for _ in range(threshold):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        now[0] += 5.0
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()

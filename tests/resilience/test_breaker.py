@@ -1,0 +1,113 @@
+"""CircuitBreaker: the closed -> open -> half-open -> closed machine."""
+
+import pytest
+
+from repro.resilience import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def tripped(clock, threshold=3, reset=10.0, probes=1):
+    breaker = CircuitBreaker(
+        failure_threshold=threshold, reset_timeout=reset,
+        half_open_probes=probes, clock=clock,
+    )
+    for _ in range(threshold):
+        breaker.record_failure()
+    return breaker
+
+
+class TestTransitions:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = CircuitBreaker(clock=clock)
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trips_open_on_consecutive_failures(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.opens == 1
+
+    def test_success_resets_the_failure_count(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        for _ in range(10):
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_open_refuses_until_reset_timeout(self, clock):
+        breaker = tripped(clock, reset=10.0)
+        assert not breaker.allow()
+        assert breaker.refusals == 1
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # the probe
+
+    def test_half_open_probe_success_closes(self, clock):
+        breaker = tripped(clock, reset=10.0)
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.closes == 1
+
+    def test_half_open_probe_failure_reopens(self, clock):
+        breaker = tripped(clock, reset=10.0)
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opens == 2
+        assert not breaker.allow()
+        # The cooldown restarted from the re-open instant.
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_limits_probe_count(self, clock):
+        breaker = tripped(clock, reset=10.0, probes=2)
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # third probe refused
+
+
+class TestValidationAndStats:
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_threshold": 0},
+        {"reset_timeout": 0.0},
+        {"half_open_probes": 0},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)
+
+    def test_to_dict_snapshot(self, clock):
+        breaker = tripped(clock, threshold=3)
+        data = breaker.to_dict()
+        assert data["state"] == OPEN
+        assert data["opens"] == 1
+        assert data["failure_threshold"] == 3
+        assert data["consecutive_failures"] == 3

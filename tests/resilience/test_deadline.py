@@ -1,0 +1,78 @@
+"""Deadline: injectable-clock time budgets and the typed timeout."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.resilience import Deadline, JobTimeoutError, resolve_deadline
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        deadline = Deadline.after(10.0, clock)
+        assert deadline.remaining() == pytest.approx(10.0)
+        clock.advance(4.0)
+        assert deadline.remaining() == pytest.approx(6.0)
+        assert not deadline.expired()
+
+    def test_expired_after_budget(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock)
+        clock.advance(1.0)
+        assert deadline.expired()
+        assert deadline.remaining() == pytest.approx(0.0)
+
+    def test_check_raises_typed_error_with_label(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock)
+        deadline.check("sweep")  # within budget: no raise
+        clock.advance(2.5)
+        with pytest.raises(JobTimeoutError, match="sweep exceeded"):
+            deadline.check("sweep")
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline.after(0.0)
+        with pytest.raises(ValueError):
+            Deadline.after(-3.0)
+
+    def test_absolute_constructor(self):
+        clock = FakeClock(100.0)
+        deadline = Deadline(103.0, clock)
+        assert deadline.remaining() == pytest.approx(3.0)
+
+
+class TestJobTimeoutErrorHierarchy:
+    def test_is_timeout_error(self):
+        # Pre-existing `except TimeoutError` call sites keep working.
+        assert issubclass(JobTimeoutError, TimeoutError)
+
+    def test_is_repro_error(self):
+        assert issubclass(JobTimeoutError, ReproError)
+
+
+class TestResolveDeadline:
+    def test_none_passes_through(self):
+        assert resolve_deadline(None) is None
+
+    def test_deadline_passes_through(self):
+        clock = FakeClock()
+        deadline = Deadline.after(5.0, clock)
+        assert resolve_deadline(deadline) is deadline
+
+    def test_seconds_become_deadline(self):
+        clock = FakeClock()
+        deadline = resolve_deadline(5.0, clock)
+        assert isinstance(deadline, Deadline)
+        assert deadline.remaining() == pytest.approx(5.0)

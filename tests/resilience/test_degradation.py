@@ -1,0 +1,120 @@
+"""Admission control: closed-form estimates and the downgrade ladder."""
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.gates.qubit import X
+from repro.gates.qutrit import X01
+from repro.qudits import qubits, qutrits
+from repro.resilience import (
+    AdmissionError,
+    AdmissionPolicy,
+    estimate_memory_bytes,
+    state_entries,
+)
+
+
+def circuit_of(wires, gate=X):
+    return Circuit([gate.on(wire) for wire in wires])
+
+
+@pytest.fixture()
+def small():
+    return circuit_of(qubits(4))  # 16 amplitudes
+
+
+class TestEstimates:
+    def test_state_entries_multiplies_dimensions(self):
+        assert state_entries(circuit_of(qubits(4))) == 16
+        assert state_entries(circuit_of(qutrits(3), gate=X01)) == 27
+
+    def test_statevector_bytes(self, small):
+        assert estimate_memory_bytes(small, "statevector") == 16 * 16
+
+    def test_density_squares_the_state(self, small):
+        assert estimate_memory_bytes(small, "density") == 16 * 16 * 16
+
+    def test_classical_never_dominates(self, small):
+        assert estimate_memory_bytes(small, "classical") == 8 * 4
+
+    def test_trajectory_scales_with_batch(self, small):
+        explicit = estimate_memory_bytes(
+            small, "trajectory", trials=100, batch_size=10,
+        )
+        assert explicit == 2 * 10 * 16 * 16
+        looped = estimate_memory_bytes(
+            small, "trajectory", trials=100, batch_size=1,
+        )
+        assert looped == 2 * 1 * 16 * 16
+
+    def test_trajectory_auto_batch_is_bounded(self, small):
+        # Auto-chunking caps the stack at 256 trajectories.
+        auto = estimate_memory_bytes(small, "trajectory", trials=10_000)
+        assert auto == 2 * 256 * 16 * 16
+
+    def test_parallel_multiplies_by_workers(self, small):
+        serial = estimate_memory_bytes(small, "statevector")
+        fanned = estimate_memory_bytes(
+            small, "statevector", parallel=True, workers=4,
+        )
+        assert fanned == 4 * serial
+
+
+class TestReviewLadder:
+    def test_admit_within_budget(self, small):
+        policy = AdmissionPolicy(max_state_bytes=1 << 20)
+        decision = policy.review(small, "statevector")
+        assert decision.action == "admit"
+        assert decision.admitted
+        assert decision.downgrades == ()
+
+    def test_parallel_downgrades_to_serial(self, small):
+        serial_cost = estimate_memory_bytes(small, "statevector")
+        policy = AdmissionPolicy(max_state_bytes=serial_cost)
+        decision = policy.review(
+            small, "statevector", parallel=True, workers=4,
+        )
+        assert decision.action == "downgrade"
+        assert decision.downgrades == ("parallel-to-serial",)
+        assert decision.estimated_bytes == serial_cost
+
+    def test_batched_downgrades_to_looped(self, small):
+        looped_cost = estimate_memory_bytes(
+            small, "trajectory", trials=100, batch_size=1,
+        )
+        policy = AdmissionPolicy(max_state_bytes=looped_cost)
+        decision = policy.review(
+            small, "trajectory", trials=100, batch_size=64,
+        )
+        assert decision.action == "downgrade"
+        assert decision.downgrades == ("batched-to-looped",)
+
+    def test_both_rungs_applied_in_order(self, small):
+        looped_cost = estimate_memory_bytes(
+            small, "trajectory", trials=100, batch_size=1,
+        )
+        policy = AdmissionPolicy(max_state_bytes=looped_cost)
+        decision = policy.review(
+            small, "trajectory", trials=100, batch_size=64,
+            parallel=True, workers=4,
+        )
+        assert decision.action == "downgrade"
+        assert decision.downgrades == (
+            "parallel-to-serial", "batched-to-looped",
+        )
+
+    def test_reject_when_no_rung_is_enough(self, small):
+        policy = AdmissionPolicy(max_state_bytes=1)
+        decision = policy.review(small, "statevector")
+        assert decision.action == "reject"
+        assert not decision.admitted
+        assert "budget" in decision.reason
+
+    def test_admission_error_is_typed(self):
+        from repro.exceptions import ReproError
+
+        assert issubclass(AdmissionError, ReproError)
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_state_bytes=0)

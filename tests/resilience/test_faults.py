@@ -1,0 +1,121 @@
+"""FaultInjector: seeded streams, site isolation, ambient activation."""
+
+import pytest
+
+from repro.resilience import (
+    INJECTION_SITES,
+    FaultInjector,
+    TransientServiceError,
+    current_injector,
+    injected,
+    install_injector,
+    maybe_inject,
+)
+
+
+class TestDecisions:
+    def test_rate_zero_never_fires(self):
+        injector = FaultInjector(rate=0.0, seed=1)
+        assert not any(
+            injector.should_inject("worker.run") for _ in range(100)
+        )
+        assert injector.calls["worker.run"] == 100
+        assert injector.injections == {}
+
+    def test_rate_one_always_fires(self):
+        injector = FaultInjector(rate=1.0, seed=1)
+        assert all(
+            injector.should_inject("worker.run") for _ in range(10)
+        )
+        assert injector.injections["worker.run"] == 10
+
+    def test_same_seed_same_decision_sequence(self):
+        a = FaultInjector(rate=0.3, seed=42)
+        b = FaultInjector(rate=0.3, seed=42)
+        seq_a = [a.should_inject("store.read") for _ in range(200)]
+        seq_b = [b.should_inject("store.read") for _ in range(200)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)
+
+    def test_sites_draw_independent_streams(self):
+        # Interleaving calls at another site must not perturb the
+        # first site's decision sequence.
+        alone = FaultInjector(rate=0.3, seed=9)
+        mixed = FaultInjector(rate=0.3, seed=9)
+        seq_alone = [alone.should_inject("store.read") for _ in range(50)]
+        seq_mixed = []
+        for _ in range(50):
+            mixed.should_inject("store.write")
+            seq_mixed.append(mixed.should_inject("store.read"))
+        assert seq_alone == seq_mixed
+
+    def test_per_site_rates_with_default(self):
+        injector = FaultInjector(rate={"store.read": 1.0, "*": 0.0})
+        assert injector.rate_for("store.read") == 1.0
+        assert injector.rate_for("worker.run") == 0.0
+        assert injector.should_inject("store.read")
+        assert not injector.should_inject("worker.run")
+
+    def test_missing_site_never_fires_without_default(self):
+        injector = FaultInjector(rate={"store.read": 1.0})
+        assert not injector.should_inject("protocol.request")
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(rate=1.5)
+        with pytest.raises(ValueError):
+            FaultInjector(rate={"store.read": -0.1})
+
+
+class TestInjection:
+    def test_inject_raises_transient_by_default(self):
+        injector = FaultInjector(rate=1.0)
+        with pytest.raises(TransientServiceError, match="store.read"):
+            injector.inject("store.read")
+
+    def test_custom_exception_factory(self):
+        injector = FaultInjector(
+            rate=1.0,
+            exc_factory=lambda site, n: OSError(f"{site} #{n}"),
+        )
+        with pytest.raises(OSError, match="worker.run #1"):
+            injector.inject("worker.run")
+
+    def test_to_dict_snapshot(self):
+        injector = FaultInjector(rate=1.0, seed=3)
+        with pytest.raises(TransientServiceError):
+            injector.inject("store.write")
+        data = injector.to_dict()
+        assert data["seed"] == 3
+        assert data["calls"] == {"store.write": 1}
+        assert data["injections"] == {"store.write": 1}
+
+
+class TestAmbientActivation:
+    def test_maybe_inject_noop_without_injector(self):
+        install_injector(None)
+        maybe_inject("worker.run")  # no ambient, no explicit: no-op
+
+    def test_injected_context_scopes_and_restores(self):
+        install_injector(None)
+        injector = FaultInjector(rate=1.0)
+        with injected(injector):
+            assert current_injector() is injector
+            with pytest.raises(TransientServiceError):
+                maybe_inject("facade.task")
+        assert current_injector() is None
+        maybe_inject("facade.task")  # restored: no-op again
+
+    def test_explicit_injector_beats_ambient(self):
+        ambient = FaultInjector(rate=0.0)
+        explicit = FaultInjector(rate=1.0)
+        with injected(ambient):
+            with pytest.raises(TransientServiceError):
+                maybe_inject("store.read", explicit)
+            assert ambient.calls.get("store.read") is None
+
+    def test_all_wired_sites_listed(self):
+        assert set(INJECTION_SITES) == {
+            "worker.run", "facade.task", "store.read", "store.write",
+            "protocol.request",
+        }

@@ -1,0 +1,101 @@
+"""RetryPolicy: classification, capped backoff, deterministic jitter."""
+
+import pytest
+
+from repro.resilience import (
+    AttemptRecord,
+    JobTimeoutError,
+    RetryPolicy,
+    TransientServiceError,
+)
+
+
+class TestClassification:
+    def test_transient_is_retryable(self):
+        assert RetryPolicy().retryable(TransientServiceError("flaky"))
+
+    def test_os_and_connection_errors_are_retryable(self):
+        policy = RetryPolicy()
+        assert policy.retryable(OSError("disk hiccup"))
+        assert policy.retryable(ConnectionError("reset"))
+
+    def test_file_not_found_is_not_retryable(self):
+        assert not RetryPolicy().retryable(FileNotFoundError("gone"))
+
+    def test_logic_errors_are_not_retryable(self):
+        policy = RetryPolicy()
+        assert not policy.retryable(ValueError("bad input"))
+        assert not policy.retryable(TypeError("bad type"))
+
+    def test_timeout_never_retryable_even_when_listed(self):
+        policy = RetryPolicy(retryable_types=(JobTimeoutError, OSError))
+        assert not policy.retryable(JobTimeoutError("too late"))
+        assert policy.retryable(OSError("still listed"))
+
+    def test_explicit_types_replace_default(self):
+        policy = RetryPolicy(retryable_types=(ValueError,))
+        assert policy.retryable(ValueError("now transient"))
+        assert not policy.retryable(TransientServiceError("not listed"))
+
+
+class TestBackoff:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=1.0, max_delay=4.0,
+            multiplier=2.0, jitter=0.0,
+        )
+        delays = [policy.delay(k) for k in range(1, 6)]
+        assert delays == [1.0, 2.0, 4.0, 4.0, 4.0]
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.5)
+        for attempt in range(1, 50):
+            delay = policy.delay(attempt, "token")
+            assert 1.0 <= delay < 1.5
+
+    def test_jitter_deterministic_per_seed_and_token(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        assert a.backoff_sequence("job-1") == b.backoff_sequence("job-1")
+        assert a.backoff_sequence("job-1") != a.backoff_sequence("job-2")
+        assert (
+            RetryPolicy(seed=8).backoff_sequence("job-1")
+            != a.backoff_sequence("job-1")
+        )
+
+    def test_backoff_sequence_length(self):
+        assert RetryPolicy(max_attempts=1).backoff_sequence() == []
+        assert len(RetryPolicy(max_attempts=4).backoff_sequence()) == 3
+
+    def test_attempt_numbering_starts_at_one(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay": -1.0},
+        {"multiplier": 0.5},
+        {"jitter": 1.5},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestAttemptRecord:
+    def test_to_dict_round_trip(self):
+        record = AttemptRecord(
+            attempt=2, error_type="TransientServiceError",
+            message="injected fault", delay=0.125, retried=True,
+        )
+        data = record.to_dict()
+        assert data == {
+            "attempt": 2,
+            "error_type": "TransientServiceError",
+            "message": "injected fault",
+            "delay": 0.125,
+            "retried": True,
+        }
+        assert AttemptRecord(**data) == record
