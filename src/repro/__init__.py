@@ -55,6 +55,8 @@ from .execution import (
     Backend,
     CompilePipeline,
     FidelityResult,
+    PipelineSpec,
+    PipelineStage,
     ResultCache,
     RunResult,
     available_backends,
@@ -69,7 +71,7 @@ from .execution import (
 # The serving layer sits on top of the execution layer.
 from .service import Job, JobQueue, JobState, ResultStore
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Deprecated top-level names -> (module path, attribute) they forward to.
 _DEPRECATED_EXPORTS = {
@@ -123,6 +125,8 @@ __all__ = [
     "RunResult",
     "FidelityResult",
     "CompilePipeline",
+    "PipelineSpec",
+    "PipelineStage",
     "lowering_pipeline",
     "qutrit_promotion_pipeline",
     "hardware_pipeline",

@@ -12,15 +12,14 @@ Usage::
     python -m repro fidelity --controls 13 --trials 1000   # paper size
     python -m repro verify            # exhaustive construction checks
     python -m repro verify qutrit_tree -n 13 --undecomposed  # width-14 check
-    python -m repro bench             # engine timings -> BENCH_noise.json
-                                      # + BENCH_verify.json + BENCH_route.json
-                                      # + BENCH_serve.json
-    python -m repro bench --smoke     # CI-sized variant
-    python -m repro bench --smoke --check-route BENCH_route.json  # CI gate
-    python -m repro bench --smoke --check-serve BENCH_serve.json  # CI gate
-    python -m repro bench --smoke --check-opt BENCH_opt.json      # CI gate
-    python -m repro bench --smoke --check-state BENCH_state.json  # CI gate
-    python -m repro bench --smoke --check-chaos BENCH_chaos.json  # CI gate
+    python -m repro bench --suite all            # every suite, default outs
+    python -m repro bench --suite route          # one suite -> BENCH_route.json
+    python -m repro bench --suite interop --smoke \\
+        --check BENCH_interop.json               # CI regression gate
+    python -m repro bench --suite state --out /tmp/state.json
+    python -m repro bench                        # deprecated flag zoo: runs
+                                                 # the seven legacy suites with
+                                                 # --*-out/--check-* flags
 
     # The rewrite engine: optimize a construction (or saved circuit),
     # print per-pass statistics, verify against the equivalence oracles.
@@ -55,12 +54,33 @@ import argparse
 import sys
 
 #: Named pipelines offered by ``run``, ``optimize`` and ``circuit
-#: save`` — mirrors :data:`repro.execution.facade.NAMED_PIPELINES`.
+#: save`` — mirrors :data:`repro.execution.PIPELINE_SPECS`.
 PIPELINE_CHOICES = [
     "lowering", "qutrit-promotion", "optimize",
+    "naive-lift", "temporary-ternary",
     "hardware-line", "hardware-grid", "hardware-heavy-hex",
     "hardware-line-opt", "hardware-grid-opt", "hardware-heavy-hex-opt",
 ]
+
+#: Benchmark suites offered by ``bench --suite`` — mirrors
+#: :data:`repro.analysis.bench.BENCH_SUITES` (plus ``all``).
+BENCH_SUITE_CHOICES = [
+    "noise", "verify", "route", "opt", "state", "serve", "chaos",
+    "interop", "all",
+]
+
+
+def _cli_pipeline(name: "str | None"):
+    """Build the pipeline behind a ``--pipeline`` choice.
+
+    Goes through :meth:`PipelineSpec.from_name` so CLI use never hits
+    the string-name deprecation shim in ``resolve_pipeline``.
+    """
+    if name is None:
+        return None
+    from .execution import PipelineSpec
+
+    return PipelineSpec.from_name(name).build()
 
 
 def _print_run_result(result) -> None:
@@ -93,7 +113,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
 
     common = dict(
         backend=args.backend,
-        pipeline=args.pipeline,
+        pipeline=_cli_pipeline(args.pipeline),
         noise_model=noise_model,
         shots=args.shots,
         trials=args.trials,
@@ -233,7 +253,6 @@ def _cmd_circuit_save(args: argparse.Namespace) -> None:
 
     from inspect import signature
 
-    from .execution import resolve_pipeline
     from .toffoli.registry import CONSTRUCTIONS, construction_circuit
 
     build_kwargs = {}
@@ -251,7 +270,7 @@ def _cmd_circuit_save(args: argparse.Namespace) -> None:
     circuit = construction_circuit(
         args.construction, args.controls, **build_kwargs
     )
-    pipeline = resolve_pipeline(args.pipeline)
+    pipeline = _cli_pipeline(args.pipeline)
     if pipeline is not None:
         circuit = pipeline.compile(circuit).circuit
     text = circuit.to_json(indent=2 if args.pretty else None)
@@ -300,158 +319,101 @@ def _cmd_circuit_load(args: argparse.Namespace) -> None:
 
 def _cmd_bench(args: argparse.Namespace) -> None:
     import json
+    import warnings
     from pathlib import Path
 
-    from .analysis.bench import (
-        check_chaos_regression,
-        check_opt_regression,
-        check_route_regression,
-        check_serve_regression,
-        check_state_regression,
-        render_chaos_report,
-        render_opt_report,
-        render_report,
-        render_route_report,
-        render_serve_report,
-        render_state_report,
-        render_verify_report,
-        run_bench,
-        run_chaos_bench,
-        run_opt_bench,
-        run_route_bench,
-        run_serve_bench,
-        run_state_bench,
-        run_verify_bench,
-        write_report,
-    )
+    from .analysis.bench import BENCH_SUITES, write_report
 
-    report = run_bench(smoke=args.smoke, seed=args.seed)
-    print(render_report(report))
-    if args.out != "-":
-        path = write_report(report, args.out)
-        print(f"\nwrote {path}")
-    verify_report = run_verify_bench(smoke=args.smoke)
-    print()
-    print(render_verify_report(verify_report))
-    if args.verify_out != "-":
-        path = write_report(verify_report, args.verify_out)
-        print(f"\nwrote {path}")
-    route_report = run_route_bench(smoke=args.smoke)
-    print()
-    print(render_route_report(route_report))
-    if args.route_out != "-":
-        path = write_report(route_report, args.route_out)
-        print(f"\nwrote {path}")
-    if args.check_route is not None:
+    def run_suite(
+        name: str,
+        out: str,
+        check_path: "str | None",
+        label: "str | None" = None,
+        first: bool = False,
+    ) -> None:
+        suite = BENCH_SUITES[name]
+        label = label or suite.name
+        report = suite.run(args.smoke, args.seed)
+        if not first:
+            print()
+        print(suite.render(report))
+        if out != "-":
+            path = write_report(report, out)
+            print(f"\nwrote {path}")
+        if check_path is None:
+            return
+        if suite.check is None:
+            gated = sorted(
+                s.name for s in BENCH_SUITES.values()
+                if s.check is not None
+            )
+            raise SystemExit(
+                f"suite {name!r} has no regression gate; --check "
+                f"applies to {gated}"
+            )
         try:
-            committed = json.loads(Path(args.check_route).read_text())
+            committed = json.loads(Path(check_path).read_text())
         except (OSError, json.JSONDecodeError) as error:
             raise SystemExit(
-                f"cannot read committed routing report "
-                f"{args.check_route}: {error}"
+                f"cannot read committed {label} report "
+                f"{check_path}: {error}"
             )
-        failures = check_route_regression(committed, route_report)
+        failures = suite.check(committed, report)
         if failures:
-            print("\nrouting regression check FAILED:")
+            print(f"\n{label} regression check FAILED:")
             for failure in failures:
                 print(f"  {failure}")
             raise SystemExit(1)
         print(
-            f"\nrouting regression check passed against {args.check_route}"
+            f"\n{label} regression check passed against {check_path}"
         )
-    opt_report = run_opt_bench(smoke=args.smoke)
-    print()
-    print(render_opt_report(opt_report))
-    if args.opt_out != "-":
-        path = write_report(opt_report, args.opt_out)
-        print(f"\nwrote {path}")
-    if args.check_opt is not None:
-        try:
-            committed = json.loads(Path(args.check_opt).read_text())
-        except (OSError, json.JSONDecodeError) as error:
+
+    if args.suite is None and args.check is not None:
+        raise SystemExit("--check requires --suite (the gate is per-suite)")
+
+    if args.suite == "all":
+        if args.check is not None:
             raise SystemExit(
-                f"cannot read committed optimizer report "
-                f"{args.check_opt}: {error}"
+                "--check needs a single --suite (a baseline file is "
+                "per-suite); gate suites one invocation at a time"
             )
-        failures = check_opt_regression(committed, opt_report)
-        if failures:
-            print("\noptimizer regression check FAILED:")
-            for failure in failures:
-                print(f"  {failure}")
-            raise SystemExit(1)
-        print(
-            f"\noptimizer regression check passed against {args.check_opt}"
-        )
-    state_report = run_state_bench(smoke=args.smoke)
-    print()
-    print(render_state_report(state_report))
-    if args.state_out != "-":
-        path = write_report(state_report, args.state_out)
-        print(f"\nwrote {path}")
-    if args.check_state is not None:
-        try:
-            committed = json.loads(Path(args.check_state).read_text())
-        except (OSError, json.JSONDecodeError) as error:
+        if args.out is not None:
             raise SystemExit(
-                f"cannot read committed statevector report "
-                f"{args.check_state}: {error}"
+                "--out needs a single --suite; with --suite all each "
+                "report goes to its default path"
             )
-        failures = check_state_regression(committed, state_report)
-        if failures:
-            print("\nstatevector regression check FAILED:")
-            for failure in failures:
-                print(f"  {failure}")
-            raise SystemExit(1)
-        print(
-            f"\nstatevector regression check passed against "
-            f"{args.check_state}"
-        )
-    serve_report = run_serve_bench(smoke=args.smoke, seed=args.seed)
-    print()
-    print(render_serve_report(serve_report))
-    if args.serve_out != "-":
-        path = write_report(serve_report, args.serve_out)
-        print(f"\nwrote {path}")
-    if args.check_serve is not None:
-        try:
-            committed = json.loads(Path(args.check_serve).read_text())
-        except (OSError, json.JSONDecodeError) as error:
-            raise SystemExit(
-                f"cannot read committed serve report "
-                f"{args.check_serve}: {error}"
-            )
-        failures = check_serve_regression(committed, serve_report)
-        if failures:
-            print("\nserve regression check FAILED:")
-            for failure in failures:
-                print(f"  {failure}")
-            raise SystemExit(1)
-        print(
-            f"\nserve regression check passed against {args.check_serve}"
-        )
-    chaos_report = run_chaos_bench(smoke=args.smoke, seed=args.seed)
-    print()
-    print(render_chaos_report(chaos_report))
-    if args.chaos_out != "-":
-        path = write_report(chaos_report, args.chaos_out)
-        print(f"\nwrote {path}")
-    if args.check_chaos is not None:
-        try:
-            committed = json.loads(Path(args.check_chaos).read_text())
-        except (OSError, json.JSONDecodeError) as error:
-            raise SystemExit(
-                f"cannot read committed chaos report "
-                f"{args.check_chaos}: {error}"
-            )
-        failures = check_chaos_regression(committed, chaos_report)
-        if failures:
-            print("\nchaos regression check FAILED:")
-            for failure in failures:
-                print(f"  {failure}")
-            raise SystemExit(1)
-        print(
-            f"\nchaos regression check passed against {args.check_chaos}"
-        )
+        for index, suite in enumerate(BENCH_SUITES.values()):
+            run_suite(suite.name, suite.default_out, None, first=index == 0)
+        return
+
+    if args.suite is not None:
+        suite = BENCH_SUITES[args.suite]
+        out = args.out if args.out is not None else suite.default_out
+        run_suite(args.suite, out, args.check, first=True)
+        return
+
+    # No --suite: the original seven-suite flag zoo, kept as a shim.
+    warnings.warn(
+        "the all-in-one bench invocation with per-suite --*-out/"
+        "--check-* flags is deprecated; use 'repro bench --suite NAME "
+        "[--out PATH] [--check BASELINE]' (or --suite all)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    run_suite(
+        "noise",
+        args.out if args.out is not None else "BENCH_noise.json",
+        None,
+        first=True,
+    )
+    run_suite("verify", args.verify_out, None)
+    run_suite("route", args.route_out, args.check_route, label="routing")
+    run_suite("opt", args.opt_out, args.check_opt, label="optimizer")
+    run_suite(
+        "state", args.state_out, args.check_state, label="statevector"
+    )
+    run_suite("serve", args.serve_out, args.check_serve, label="serve")
+    run_suite("chaos", args.chaos_out, args.check_chaos, label="chaos")
 
 
 def _cmd_serve(args: argparse.Namespace) -> None:
@@ -485,7 +447,6 @@ def _cmd_route(args: argparse.Namespace) -> None:
     from .arch.metrics import estimate_routed_fidelity, routing_metrics
     from .arch.router import LookaheadRouter, GreedyRouter, RouterConfig
     from .arch.topology import TOPOLOGY_KINDS, sized_topology
-    from .execution import resolve_pipeline
     from .noise.presets import ALL_MODELS
     from .toffoli.registry import construction_circuit
 
@@ -506,7 +467,7 @@ def _cmd_route(args: argparse.Namespace) -> None:
     else:
         circuit = construction_circuit(args.construction, args.controls)
         label = f"{args.construction}(N={args.controls})"
-    pipeline = resolve_pipeline(args.pipeline)
+    pipeline = _cli_pipeline(args.pipeline)
     if pipeline is not None:
         circuit = pipeline.compile(circuit).circuit
     wires = circuit.all_qudits()
@@ -569,7 +530,6 @@ def _cmd_route(args: argparse.Namespace) -> None:
 def _cmd_optimize(args: argparse.Namespace) -> None:
     from pathlib import Path
 
-    from .execution import resolve_pipeline
     from .optimize import RewriteEngine
     from .toffoli.registry import construction_circuit
 
@@ -579,7 +539,7 @@ def _cmd_optimize(args: argparse.Namespace) -> None:
     else:
         circuit = construction_circuit(args.construction, args.controls)
         label = f"{args.construction}(N={args.controls})"
-    pipeline = resolve_pipeline(args.pipeline)
+    pipeline = _cli_pipeline(args.pipeline)
     if pipeline is not None:
         circuit = pipeline.compile(circuit).circuit
 
@@ -728,19 +688,33 @@ def main(argv: list[str] | None = None) -> int:
 
     bench = sub.add_parser(
         "bench",
-        help="time the engines; write BENCH_noise.json + BENCH_verify.json",
+        help="run a benchmark suite (--suite NAME|all); no --suite runs "
+        "the deprecated all-in-one flag interface",
+    )
+    bench.add_argument(
+        "--suite", default=None, choices=BENCH_SUITE_CHOICES,
+        help="benchmark suite to run ('all' runs every suite with its "
+        "default output path)",
+    )
+    bench.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="with --suite: compare the fresh report against this "
+        "committed JSON and exit non-zero on regression (the CI "
+        "bench-regression gate; suites without a gate reject this)",
     )
     bench.add_argument(
         "--smoke", action="store_true",
         help="shrunken workloads for CI (seconds, not minutes)",
     )
     bench.add_argument(
-        "--out", default="BENCH_noise.json",
-        help="noise-report path ('-' skips writing)",
+        "--out", default=None,
+        help="report path ('-' skips writing; default: the suite's "
+        "BENCH_*.json, or BENCH_noise.json for the legacy interface)",
     )
     bench.add_argument(
         "--verify-out", default="BENCH_verify.json",
-        help="verification-report path ('-' skips writing)",
+        help="(deprecated; use --suite verify --out) "
+        "verification-report path ('-' skips writing)",
     )
     bench.add_argument(
         "--route-out", default="BENCH_route.json",

@@ -56,11 +56,19 @@ from __future__ import annotations
 import json
 import platform
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
+from ..interop.bench import (
+    INTEROP_SCHEMA,
+    check_interop_regression,
+    interop_record_key,
+    render_interop_table,
+    run_interop_bench,
+)
 from ..noise.model import NoiseModel
 from ..noise.presets import (
     BARE_QUTRIT,
@@ -102,6 +110,7 @@ __all__ = [
     "CHAOS_SCHEMA",
     "OPT_SCHEMA",
     "STATE_SCHEMA",
+    "INTEROP_SCHEMA",
     "run_bench",
     "run_verify_bench",
     "run_route_bench",
@@ -109,6 +118,7 @@ __all__ = [
     "run_chaos_bench",
     "run_opt_bench",
     "run_state_bench",
+    "run_interop_bench",
     "render_report",
     "render_verify_report",
     "render_route_report",
@@ -116,15 +126,20 @@ __all__ = [
     "render_chaos_report",
     "render_opt_report",
     "render_state_report",
+    "render_interop_table",
     "check_route_regression",
     "check_serve_regression",
     "check_chaos_regression",
     "check_opt_regression",
     "check_state_regression",
+    "check_interop_regression",
     "route_record_key",
     "opt_record_key",
     "state_record_key",
+    "interop_record_key",
     "write_report",
+    "BenchSuite",
+    "BENCH_SUITES",
 ]
 
 #: Schema tag written into the JSON, so later PRs can evolve the format.
@@ -1284,3 +1299,98 @@ def write_report(report: dict, path: str | Path) -> Path:
     path = Path(path)
     path.write_text(json.dumps(report, indent=2) + "\n")
     return path
+
+
+@dataclass(frozen=True)
+class BenchSuite:
+    """One registered benchmark suite behind ``repro bench --suite``.
+
+    ``run`` takes ``(smoke, seed)`` regardless of whether the underlying
+    runner is seeded — unseeded suites ignore the argument — so the CLI
+    can drive every suite through one code path.  ``check`` is ``None``
+    for timing-only suites that have no committed-baseline gate.
+    """
+
+    name: str
+    run: Callable[[bool, int], dict]
+    render: Callable[[dict], str]
+    default_out: str
+    check: "Callable[[dict, dict], list[str]] | None" = None
+
+
+#: Every benchmark suite, in the order the legacy all-in-one
+#: ``repro bench`` invocation ran them (interop, the newest, is last).
+#: All callables bind late through this module's globals, so
+#: monkeypatching ``repro.analysis.bench.run_route_bench`` (as the CLI
+#: tests do) also redirects the registry.
+BENCH_SUITES: dict[str, BenchSuite] = {
+    suite.name: suite
+    for suite in (
+        BenchSuite(
+            "noise",
+            lambda smoke, seed: run_bench(smoke=smoke, seed=seed),
+            lambda report: render_report(report),
+            "BENCH.json",
+        ),
+        BenchSuite(
+            "verify",
+            lambda smoke, seed: run_verify_bench(smoke=smoke),
+            lambda report: render_verify_report(report),
+            "BENCH_verify.json",
+        ),
+        BenchSuite(
+            "route",
+            lambda smoke, seed: run_route_bench(smoke=smoke),
+            lambda report: render_route_report(report),
+            "BENCH_route.json",
+            lambda committed, fresh: check_route_regression(
+                committed, fresh
+            ),
+        ),
+        BenchSuite(
+            "opt",
+            lambda smoke, seed: run_opt_bench(smoke=smoke),
+            lambda report: render_opt_report(report),
+            "BENCH_opt.json",
+            lambda committed, fresh: check_opt_regression(
+                committed, fresh
+            ),
+        ),
+        BenchSuite(
+            "state",
+            lambda smoke, seed: run_state_bench(smoke=smoke),
+            lambda report: render_state_report(report),
+            "BENCH_state.json",
+            lambda committed, fresh: check_state_regression(
+                committed, fresh
+            ),
+        ),
+        BenchSuite(
+            "serve",
+            lambda smoke, seed: run_serve_bench(smoke=smoke, seed=seed),
+            lambda report: render_serve_report(report),
+            "BENCH_serve.json",
+            lambda committed, fresh: check_serve_regression(
+                committed, fresh
+            ),
+        ),
+        BenchSuite(
+            "chaos",
+            lambda smoke, seed: run_chaos_bench(smoke=smoke, seed=seed),
+            lambda report: render_chaos_report(report),
+            "BENCH_chaos.json",
+            lambda committed, fresh: check_chaos_regression(
+                committed, fresh
+            ),
+        ),
+        BenchSuite(
+            "interop",
+            lambda smoke, seed: run_interop_bench(smoke=smoke),
+            lambda report: render_interop_table(report),
+            "BENCH_interop.json",
+            lambda committed, fresh: check_interop_regression(
+                committed, fresh
+            ),
+        ),
+    )
+}

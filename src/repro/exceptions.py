@@ -43,3 +43,11 @@ class SerializationError(ReproError):
 
 class OptimizationError(ReproError):
     """A rewrite pass produced an invalid or non-equivalent circuit."""
+
+
+class InteropError(ReproError):
+    """A qubit<->qutrit dimension transform could not be performed.
+
+    Raised when lifting meets a gate that cannot be embedded, or when
+    lowering meets a gate whose action leaks out of the qubit subspace
+    (the |2> population is not transient at that gate)."""

@@ -55,6 +55,12 @@ from .pipeline import (
     lowering_pipeline,
     qutrit_promotion_pipeline,
 )
+from .pipeline_spec import (
+    PIPELINE_SPECS,
+    STAGE_KINDS,
+    PipelineSpec,
+    PipelineStage,
+)
 from .results import FidelityResult, RunResult
 
 __all__ = [
@@ -79,6 +85,10 @@ __all__ = [
     "transform_operations",
     "CompilePipeline",
     "CompiledCircuit",
+    "PipelineSpec",
+    "PipelineStage",
+    "PIPELINE_SPECS",
+    "STAGE_KINDS",
     "lowering_pipeline",
     "qutrit_promotion_pipeline",
     "hardware_pipeline",

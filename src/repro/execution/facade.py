@@ -22,6 +22,7 @@ everything else feeds the circuit builder.
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, replace
@@ -49,6 +50,7 @@ from .pipeline import (
     optimize_pipeline,
     qutrit_promotion_pipeline,
 )
+from .pipeline_spec import PIPELINE_SPECS, PipelineSpec
 from .results import FidelityResult, RunResult
 
 ExecuteTarget = (
@@ -87,16 +89,38 @@ _SEED_STRIDE = 1_000_003
 
 
 def resolve_pipeline(
-    spec: "CompilePipeline | str | None",
+    spec: "CompilePipeline | PipelineSpec | str | None",
 ) -> CompilePipeline | None:
-    """Accept a pipeline instance, a registered name, or None."""
+    """Accept a pipeline, a :class:`PipelineSpec`, a name, or None.
+
+    Plain string names are the legacy form, kept as a deprecation shim:
+    they warn and resolve through the original factories (so observable
+    behaviour — including the reported pipeline name — is unchanged).
+    New call sites should pass ``PipelineSpec.from_name(name)`` or a
+    hand-built spec.
+    """
     if spec is None or isinstance(spec, CompilePipeline):
         return spec
-    if spec in NAMED_PIPELINES:
-        return NAMED_PIPELINES[spec]()
-    raise KeyError(
-        f"unknown pipeline {spec!r}; choose from "
-        f"{sorted(NAMED_PIPELINES)} or pass a CompilePipeline"
+    if isinstance(spec, PipelineSpec):
+        return spec.build()
+    if isinstance(spec, str):
+        if spec in NAMED_PIPELINES or spec in PIPELINE_SPECS:
+            warnings.warn(
+                f"passing pipeline name strings is deprecated; use "
+                f"PipelineSpec.from_name({spec!r})",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if spec in NAMED_PIPELINES:
+                return NAMED_PIPELINES[spec]()
+            return PIPELINE_SPECS[spec].build()
+        raise KeyError(
+            f"unknown pipeline {spec!r}; choose from "
+            f"{sorted(set(NAMED_PIPELINES) | set(PIPELINE_SPECS))} or "
+            "pass a CompilePipeline / PipelineSpec"
+        )
+    raise TypeError(
+        f"cannot resolve a pipeline from {type(spec).__name__}"
     )
 
 
@@ -309,7 +333,7 @@ def execute(
     target: ExecuteTarget,
     *,
     backend: str | Backend = "statevector",
-    pipeline: CompilePipeline | str | None = None,
+    pipeline: CompilePipeline | PipelineSpec | str | None = None,
     optimize: "bool | str | Sequence | object | None" = None,
     noise_model: NoiseModel | None = None,
     wires: Sequence[Qudit] | None = None,

@@ -16,6 +16,7 @@ downstream.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from typing import Callable, Iterable, Mapping, Sequence
 
@@ -38,7 +39,7 @@ from ..gates.base import Gate, PermutationGate, index_to_values, values_to_index
 from ..gates.decompositions import decompose_operation
 from ..gates.matrix import MatrixGate
 from ..gates.qutrit import embedded_qubit_gate
-from ..qudits import QUBIT_D, Qudit
+from ..qudits import Qudit
 
 
 class CompilePass(ABC):
@@ -149,43 +150,39 @@ def promote_gate(gate: Gate, new_dims: Sequence[int]) -> Gate:
 
 
 class PromoteQubitsToQutrits(CompilePass):
-    """Re-host qubit wires on higher-dimensional wires (default: qutrits).
+    """Deprecated: use :class:`repro.interop.LiftToQutrits`.
 
-    Every d=2 wire becomes a d=``dim`` wire with the same index; every
-    gate is embedded to act on the original two levels and fix the new
-    ones.  This is the entry ticket to the paper's qutrit constructions:
-    binary circuits keep their semantics while gaining |2> as workspace.
+    This pass promoted *wires* and embedded each gate through anonymous
+    matrix/permutation wrappers; the interop layer's lift keeps the
+    sub-gate (so circuits lower back) and verifies its own output — no
+    qubit-dimensioned gate can slip through silently any more.  The
+    shim delegates to the lift and keeps the old error contract:
+    failures surface as :class:`DecompositionError`, metadata keeps the
+    ``promoted_wires`` key.
     """
 
     def __init__(self, dim: int = 3) -> None:
-        if dim < 3:
-            raise ValueError("promotion target dimension must be >= 3")
-        self._dim = dim
+        warnings.warn(
+            "PromoteQubitsToQutrits is deprecated; use "
+            "repro.interop.LiftToQutrits",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..interop.transform import LiftToQutrits
+
+        self._delegate = LiftToQutrits(dim)
 
     def transform(self, circuit: Circuit) -> Circuit:
-        mapping: dict[Qudit, Qudit] = {}
-        occupied = set(circuit.all_qudits())
-        for wire in circuit.all_qudits():
-            if wire.dimension != QUBIT_D:
-                continue
-            promoted = Qudit(wire.index, self._dim)
-            if promoted in occupied:
-                raise DecompositionError(
-                    f"cannot promote {wire}: wire {promoted} already exists"
-                )
-            mapping[wire] = promoted
+        from ..exceptions import InteropError
 
-        def promote_op(op: GateOperation) -> list[GateOperation]:
-            if not any(w in mapping for w in op.qudits):
-                return [op]
-            new_wires = tuple(mapping.get(w, w) for w in op.qudits)
-            new_dims = tuple(w.dimension for w in new_wires)
-            return [promote_gate(op.gate, new_dims).on(*new_wires)]
-
-        promoted_circuit = transform_operations(circuit, promote_op)
+        try:
+            promoted_circuit = self._delegate.transform(circuit)
+        except InteropError as error:
+            raise DecompositionError(str(error)) from error
+        metadata = dict(self._delegate.last_metadata)
         self.last_metadata = {
-            "promoted_wires": len(mapping),
-            "target_dimension": self._dim,
+            "promoted_wires": metadata.pop("lifted_wires"),
+            **metadata,
         }
         return promoted_circuit
 

@@ -22,7 +22,6 @@ from .passes import (
     DecomposeToWidth2,
     MergeMoments,
     OptimizePass,
-    PromoteQubitsToQutrits,
     RouteToTopology,
 )
 
@@ -132,9 +131,16 @@ def lowering_pipeline() -> CompilePipeline:
 
 
 def qutrit_promotion_pipeline(dim: int = 3) -> CompilePipeline:
-    """Promote qubit wires to qutrits, then repack."""
+    """Lift qubit wires to qutrits, then repack.
+
+    Runs the interop layer's :class:`~repro.interop.LiftToQutrits`
+    (structure-preserving, self-verifying) — the pass that supersedes
+    the deprecated ``PromoteQubitsToQutrits``.
+    """
+    from ..interop.transform import LiftToQutrits
+
     return CompilePipeline(
-        [PromoteQubitsToQutrits(dim), MergeMoments()],
+        [LiftToQutrits(dim), MergeMoments()],
         name="qutrit-promotion",
     )
 

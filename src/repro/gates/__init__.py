@@ -48,6 +48,7 @@ from .qutrit import (
     shift_gate,
 )
 from .controlled import ControlledGate, controlled
+from .embedded import EmbeddedGate
 from .inverse import INVERSE_RULES, inverse_spec, semantic_inverse
 from .decompositions import (
     decompose_controlled_controlled_u,
@@ -67,6 +68,7 @@ __all__ = [
     "PhasedGate",
     "ControlledGate",
     "controlled",
+    "EmbeddedGate",
     "INVERSE_RULES",
     "inverse_spec",
     "semantic_inverse",

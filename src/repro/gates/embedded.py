@@ -1,0 +1,153 @@
+"""Block-diagonal embedding of gates into larger wire dimensions.
+
+The paper's dimension-transform front end rests on one observation
+(Sec. 2, following the CirqTrit ``to_qutrit_wrappers`` idiom): any qubit
+gate extends to a qutrit wire by acting identically on levels {0, 1} and
+fixing |2>.  :class:`EmbeddedGate` is that embedding as a first-class
+gate, generalised to any arities and target dimensions: the wrapped
+gate's unitary occupies the sub-block of basis states whose per-wire
+values lie below the original dimensions, and every state touching an
+added level is fixed.
+
+Unlike the anonymous matrix/permutation wrappers the promotion pass used
+to emit, the wrapper *retains* the sub-gate, which is what makes lowering
+(:class:`repro.interop.LowerToQubits`) an unwrap instead of a matrix
+reverse-engineering problem.  Structural identity is the ``__embedded__``
+spec (the sub-gate's spec nested inside), so lifted circuits serialize,
+fingerprint, cache and optimize like native gates; classicality and
+diagonality are delegated to the sub-gate, so lifted classical gates
+lower to permutation tables (:func:`repro.sim.kernels
+.embed_permutation_table`) without ever forming a dense matrix and keep
+the batched engines' fast paths.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import DimensionMismatchError
+from .base import Gate, index_to_values, values_to_index
+from .spec import GATE_REGISTRY, GateSpec
+
+
+class EmbeddedGate(Gate):
+    """``sub_gate`` on enlarged wires: original action on the original
+    levels, identity on every basis state touching an added level."""
+
+    def __init__(
+        self,
+        sub_gate: Gate,
+        dims: Sequence[int],
+        name: str | None = None,
+    ) -> None:
+        dims = tuple(int(d) for d in dims)
+        old = sub_gate.dims
+        if len(dims) != len(old):
+            raise DimensionMismatchError(
+                f"embedding of {sub_gate.name} needs {len(old)} dims, "
+                f"got {len(dims)}"
+            )
+        if any(n < o for n, o in zip(dims, old)):
+            raise DimensionMismatchError(
+                f"cannot embed {sub_gate.name} with dims {old} into "
+                f"smaller dims {dims}"
+            )
+        if dims == old:
+            raise ValueError(
+                f"embedding {sub_gate.name} into its own dims {old} is a "
+                "no-op; use the gate directly"
+            )
+        self._sub_gate = sub_gate
+        self._dims = dims
+        self._name = name if name is not None else f"{sub_gate.name}@{dims}"
+
+    # -- data access -----------------------------------------------------
+
+    @property
+    def sub_gate(self) -> Gate:
+        """The wrapped gate (acting on the original, smaller dims)."""
+        return self._sub_gate
+
+    # -- Gate interface --------------------------------------------------
+
+    @property
+    def dims(self) -> tuple[int, ...]:
+        return self._dims
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    _embed_cache: np.ndarray | None = None
+
+    def _embed_indices(self) -> np.ndarray:
+        """Joint indices of the embedded subspace, in sub-gate order."""
+        if self._embed_cache is None:
+            old = self._sub_gate.dims
+            indices = np.array(
+                [
+                    values_to_index(index_to_values(k, old), self._dims)
+                    for k in range(self._sub_gate.total_dim)
+                ],
+                dtype=np.int64,
+            )
+            indices.setflags(write=False)
+            object.__setattr__(self, "_embed_cache", indices)
+        return self._embed_cache
+
+    def unitary(self) -> np.ndarray:
+        matrix = np.eye(self.total_dim, dtype=complex)
+        embed = self._embed_indices()
+        matrix[np.ix_(embed, embed)] = self._sub_gate.unitary()
+        return matrix
+
+    def _permutation(self) -> list[int]:
+        if self._perm_cache is None:
+            from ..sim.kernels import embed_permutation_table
+
+            table = embed_permutation_table(
+                self._sub_gate.permutation(),
+                self._sub_gate.dims,
+                self._dims,
+            )
+            object.__setattr__(
+                self, "_perm_cache", [int(v) for v in table]
+            )
+        return self._perm_cache  # type: ignore[return-value]
+
+    def diagonal_phases(self) -> "np.ndarray | None":
+        sub_phases = self._sub_gate.diagonal_phases()
+        if sub_phases is None:
+            return None
+        phases = np.ones(self.total_dim, dtype=complex)
+        phases[self._embed_indices()] = sub_phases
+        return phases
+
+    def _structural_spec(self) -> GateSpec:
+        return GateSpec(
+            "__embedded__",
+            (self._name, self._sub_gate.spec()),
+            self._dims,
+        )
+
+    def _canonical_spec(self) -> GateSpec:
+        return GateSpec(
+            "__embedded__",
+            (self._sub_gate.canonical_spec(),),
+            self._dims,
+        )
+
+    def _structural_inverse(self) -> "EmbeddedGate":
+        return EmbeddedGate(self._sub_gate.inverse(), self._dims)
+
+
+def _build_embedded(spec: GateSpec) -> EmbeddedGate:
+    name, sub_spec = spec.params
+    return EmbeddedGate(
+        GATE_REGISTRY.build(sub_spec), spec.dims, name=name
+    )
+
+
+GATE_REGISTRY.register("__embedded__", _build_embedded)

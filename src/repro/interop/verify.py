@@ -1,0 +1,201 @@
+"""Subspace equivalence oracles for lifted circuits.
+
+A lifted circuit is correct iff it acts on the embedded qubit subspace
+exactly as the original acts on its qubit wires — *and* never strands
+population on the added levels.  The two oracles mirror the PR 4 / PR 7
+verification layer, generalised across unequal wire dimensions:
+
+* **classical** — both circuits lower to permutation tables; every
+  subspace input must advance to the same (subspace) output on both
+  sides, checked with one batched table-gather run per circuit.  An
+  output touching an added level is a transience violation and fails.
+* **statevector** — the whole subspace basis advances through both
+  circuits as stacked tensors; the lifted amplitudes restricted to the
+  subspace block must equal the original amplitudes elementwise.  Since
+  the original's columns carry unit norm, agreement on the block
+  implies the leakage outside it is zero — transience is checked for
+  free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..exceptions import InteropError
+from ..qudits import Qudit
+from ..sim.classical_batch import BatchedClassicalSimulator
+from ..sim.fidelity import resolve_batch_size
+from ..sim.kernels import apply_block, gate_kernel
+
+#: Dense-oracle ceiling on the *lifted* joint dimension (3^8): a stacked
+#: subspace batch beyond this stops being cheap, and callers should rely
+#: on the classical oracle or skip.
+INTEROP_DENSE_CAP = 6561
+
+__all__ = [
+    "INTEROP_DENSE_CAP",
+    "subspace_equivalence_method",
+    "subspace_equivalent",
+    "assert_subspace_equivalent",
+]
+
+
+def _paired_wires(
+    original: Circuit, lifted: Circuit
+) -> tuple[list[Qudit], list[Qudit]]:
+    """Match original and lifted wires index-by-index.
+
+    Raises :class:`InteropError` when the circuits disagree on wire
+    indices, an index is ambiguous (two dimensions share it), or a
+    lifted wire is smaller than its original.
+    """
+    def by_index(circuit: Circuit, label: str) -> dict[int, Qudit]:
+        table: dict[int, Qudit] = {}
+        for wire in circuit.all_qudits():
+            if wire.index in table:
+                raise InteropError(
+                    f"{label} circuit uses index {wire.index} at two "
+                    "dimensions; subspace comparison is ambiguous"
+                )
+            table[wire.index] = wire
+        return table
+
+    orig = by_index(original, "original")
+    lift = by_index(lifted, "lifted")
+    if set(orig) != set(lift):
+        raise InteropError(
+            f"wire indices differ: original {sorted(orig)} vs lifted "
+            f"{sorted(lift)}"
+        )
+    for index in orig:
+        if lift[index].dimension < orig[index].dimension:
+            raise InteropError(
+                f"lifted wire {lift[index]} is smaller than original "
+                f"{orig[index]}"
+            )
+    order = sorted(orig)
+    return [orig[i] for i in order], [lift[i] for i in order]
+
+
+def subspace_equivalence_method(
+    original: Circuit, lifted: Circuit
+) -> "str | None":
+    """The cheapest sound oracle: ``"classical"``, ``"statevector"``,
+    or None when neither applies (non-classical and too wide)."""
+    simulator = BatchedClassicalSimulator()
+    if simulator.is_classical_circuit(
+        original
+    ) and simulator.is_classical_circuit(lifted):
+        return "classical"
+    _, lift_wires = _paired_wires(original, lifted)
+    joint = 1
+    for wire in lift_wires:
+        joint *= wire.dimension
+    if joint <= INTEROP_DENSE_CAP:
+        return "statevector"
+    return None
+
+
+def _advance(
+    circuit: Circuit, wires: Sequence[Qudit], batch: np.ndarray
+) -> np.ndarray:
+    axis = {w: 1 + k for k, w in enumerate(wires)}
+    for op in circuit.all_operations():
+        kernel = gate_kernel(op)
+        batch = apply_block(
+            batch, kernel.block, [axis[w] for w in op.qudits]
+        )
+    return batch
+
+
+def _basis_batch(
+    dims: tuple[int, ...], rows: np.ndarray
+) -> np.ndarray:
+    batch = np.zeros((len(rows),) + dims, dtype=complex)
+    member = (np.arange(len(rows)),) + tuple(
+        rows[:, k] for k in range(rows.shape[1])
+    )
+    batch[member] = 1.0
+    return batch
+
+
+def subspace_equivalent(
+    original: Circuit,
+    lifted: Circuit,
+    atol: float = 1e-8,
+    method: "str | None" = None,
+) -> bool:
+    """True iff ``lifted`` acts on the embedded subspace as ``original``.
+
+    Wires pair by index; the subspace is the set of joint basis states
+    whose per-wire values are valid on the original wires.  Population
+    left on an added level (non-transient |2> occupation) fails the
+    check.  Raises :class:`InteropError` when no oracle applies — probe
+    with :func:`subspace_equivalence_method` first.
+    """
+    orig_wires, lift_wires = _paired_wires(original, lifted)
+    if method is None:
+        method = subspace_equivalence_method(original, lifted)
+    inputs = BatchedClassicalSimulator.input_space(orig_wires)
+    if method == "classical":
+        simulator = BatchedClassicalSimulator()
+        out_lift = simulator.run_array(lifted, lift_wires, inputs)
+        limits = np.array([w.dimension for w in orig_wires])
+        if np.any(out_lift >= limits[np.newaxis, :]):
+            return False
+        out_orig = simulator.run_array(original, orig_wires, inputs)
+        return bool(np.array_equal(out_lift, out_orig))
+    if method == "statevector":
+        orig_dims = tuple(w.dimension for w in orig_wires)
+        lift_dims = tuple(w.dimension for w in lift_wires)
+        joint = 1
+        for d in lift_dims:
+            joint *= d
+        if joint > INTEROP_DENSE_CAP:
+            raise InteropError(
+                f"lifted joint dimension {joint} exceeds the dense "
+                f"oracle cap {INTEROP_DENSE_CAP}"
+            )
+        block = (slice(None),) + tuple(slice(0, d) for d in orig_dims)
+        chunk = resolve_batch_size(None, lift_wires, len(inputs))
+        for start in range(0, len(inputs), chunk):
+            rows = inputs[start : start + chunk]
+            out_lift = _advance(
+                lifted, lift_wires, _basis_batch(lift_dims, rows)
+            )
+            out_orig = _advance(
+                original, orig_wires, _basis_batch(orig_dims, rows)
+            )
+            if not np.allclose(out_lift[block], out_orig, atol=atol):
+                return False
+        return True
+    raise InteropError(
+        "no subspace equivalence oracle applies: circuits are not "
+        f"classical and the lifted joint dimension exceeds "
+        f"{INTEROP_DENSE_CAP}"
+    )
+
+
+def assert_subspace_equivalent(
+    original: Circuit,
+    lifted: Circuit,
+    atol: float = 1e-8,
+    context: str = "lift",
+) -> str:
+    """Raise :class:`InteropError` unless the pair agrees; returns the
+    oracle used, for reporting."""
+    method = subspace_equivalence_method(original, lifted)
+    if method is None:
+        raise InteropError(
+            f"cannot verify {context}: no subspace oracle applies "
+            "(non-classical circuit wider than the dense cap)"
+        )
+    if not subspace_equivalent(original, lifted, atol, method=method):
+        raise InteropError(
+            f"{context} changed the circuit's action on the qubit "
+            f"subspace ({method} oracle mismatch)"
+        )
+    return method

@@ -1,0 +1,158 @@
+"""Parametric qubit-circuit factories for the interop benchmark.
+
+These are the paper's Sec. V benchmark families, expressed as plain
+qubit circuits — the *input* of the dimension-transform front end, not
+qutrit constructions.  Each factory is deterministic in its parameters
+(the random family takes an explicit seed), so benchmark rows are
+reproducible byte-for-byte.
+
+* :func:`qft_circuit` — quantum Fourier transform: Hadamards, a
+  triangle of controlled phases, and the final wire-reversal swaps.
+* :func:`ripple_carry_adder` — the Cuccaro in-place majority/unmajority
+  adder on ``2n + 2`` wires (Toffoli + CNOT only, so it stays inside
+  the classical oracle's reach at any width).
+* :func:`random_clifford_t` — seeded random circuit over
+  {H, S, T, CNOT}.
+* :func:`grover_circuit` — Grover iterations marking ``|1...1>`` with a
+  multi-controlled-Z oracle (up to two controls, the widest primitive
+  the decomposition layer accepts).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.operation import GateOperation
+from ..exceptions import InteropError
+from ..gates.controlled import ControlledGate
+from ..gates.qubit import CNOT, H, P, S, SWAP, T, TOFFOLI, X, Z
+from ..qudits import QUBIT_D, Qudit
+
+__all__ = [
+    "qft_circuit",
+    "ripple_carry_adder",
+    "random_clifford_t",
+    "grover_circuit",
+    "WORKLOADS",
+    "build_workload",
+]
+
+
+def _qubits(n: int) -> list[Qudit]:
+    return [Qudit(i, QUBIT_D) for i in range(n)]
+
+
+def qft_circuit(n: int) -> Circuit:
+    """Quantum Fourier transform on ``n`` qubits, swaps included."""
+    if n < 1:
+        raise ValueError("QFT needs at least one qubit")
+    wires = _qubits(n)
+    ops: list[GateOperation] = []
+    for i in range(n):
+        ops.append(H.on(wires[i]))
+        for j in range(i + 1, n):
+            theta = math.pi / (2 ** (j - i))
+            cp = ControlledGate(P(theta), (QUBIT_D,))
+            ops.append(cp.on(wires[j], wires[i]))
+    for k in range(n // 2):
+        ops.append(SWAP.on(wires[k], wires[n - 1 - k]))
+    return Circuit(ops)
+
+
+def ripple_carry_adder(n: int) -> Circuit:
+    """Cuccaro ripple-carry adder: ``b <- a + b (mod 2^n)`` plus carry.
+
+    Wire layout (``2n + 2`` wires): carry-in, then alternating
+    ``b[k], a[k]`` pairs, then the carry-out.  Toffoli + CNOT only.
+    """
+    if n < 1:
+        raise ValueError("adder needs at least one bit per register")
+    wires = _qubits(2 * n + 2)
+    carry_in = wires[0]
+    b = [wires[1 + 2 * k] for k in range(n)]
+    a = [wires[2 + 2 * k] for k in range(n)]
+    carry_out = wires[2 * n + 1]
+
+    def maj(x: Qudit, y: Qudit, z: Qudit) -> list[GateOperation]:
+        return [CNOT.on(z, y), CNOT.on(z, x), TOFFOLI.on(x, y, z)]
+
+    def uma(x: Qudit, y: Qudit, z: Qudit) -> list[GateOperation]:
+        return [TOFFOLI.on(x, y, z), CNOT.on(z, x), CNOT.on(x, y)]
+
+    ops: list[GateOperation] = []
+    chain = [carry_in] + a
+    for k in range(n):
+        ops.extend(maj(chain[k], b[k], chain[k + 1]))
+    ops.append(CNOT.on(chain[n], carry_out))
+    for k in reversed(range(n)):
+        ops.extend(uma(chain[k], b[k], chain[k + 1]))
+    return Circuit(ops)
+
+
+def random_clifford_t(
+    n: int, depth: int = 20, seed: int = 0
+) -> Circuit:
+    """Seeded random circuit over {H, S, T, CNOT} on ``n`` qubits."""
+    if n < 2:
+        raise ValueError("random Clifford+T needs at least two qubits")
+    rng = np.random.default_rng(seed)
+    wires = _qubits(n)
+    singles = (H, S, T)
+    ops: list[GateOperation] = []
+    for _ in range(depth):
+        if rng.random() < 0.5:
+            gate = singles[int(rng.integers(len(singles)))]
+            ops.append(gate.on(wires[int(rng.integers(n))]))
+        else:
+            i, j = rng.choice(n, size=2, replace=False)
+            ops.append(CNOT.on(wires[int(i)], wires[int(j)]))
+    return Circuit(ops)
+
+
+def grover_circuit(n: int, iterations: int = 1) -> Circuit:
+    """Grover search for ``|1...1>`` on ``n`` qubits (``2 <= n <= 3``).
+
+    The oracle and diffuser use an ``(n-1)``-controlled Z; the
+    decomposition layer lowers at most two controls, hence the width
+    cap — wider searches belong to the PR 3/PR 5 ancilla constructions,
+    not this front end.
+    """
+    if not 2 <= n <= 3:
+        raise InteropError(
+            "grover workload supports 2 or 3 qubits (the oracle is an "
+            f"(n-1)-controlled Z), got n={n}"
+        )
+    wires = _qubits(n)
+    mcz = ControlledGate(Z, (QUBIT_D,) * (n - 1))
+    ops: list[GateOperation] = [H.on(w) for w in wires]
+    for _ in range(max(1, int(iterations))):
+        ops.append(mcz.on(*wires))
+        ops.extend(H.on(w) for w in wires)
+        ops.extend(X.on(w) for w in wires)
+        ops.append(mcz.on(*wires))
+        ops.extend(X.on(w) for w in wires)
+        ops.extend(H.on(w) for w in wires)
+    return Circuit(ops)
+
+
+#: Name -> factory registry used by the benchmark and the CLI.
+WORKLOADS = {
+    "qft": qft_circuit,
+    "adder": ripple_carry_adder,
+    "clifford_t": random_clifford_t,
+    "grover": grover_circuit,
+}
+
+
+def build_workload(name: str, **params) -> Circuit:
+    """Build a registered workload by name."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise InteropError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+        ) from None
+    return factory(**params)

@@ -138,6 +138,57 @@ def mixed_radix_weights(dims: Sequence[int]) -> np.ndarray:
     return weights
 
 
+def embed_permutation_table(
+    table: "Sequence[int] | np.ndarray",
+    old_dims: Sequence[int],
+    new_dims: Sequence[int],
+) -> np.ndarray:
+    """Lift a permutation table onto elementwise-larger wire dimensions.
+
+    The returned table acts as the original permutation on every joint
+    basis state whose per-wire values all lie below the old dimensions,
+    and as the identity on every state touching an added level — the
+    whole-domain action of a block-diagonal embedding.  This is the
+    permutation-table form of the qubit->qutrit lift, computed with the
+    same vectorized mixed-radix arithmetic as the batched classical
+    engine, so :class:`~repro.gates.embedded.EmbeddedGate` wrapping a
+    classical gate lowers to a lookup table without ever forming its
+    dense matrix and keeps the permutation fast paths.
+    """
+    old_dims = tuple(int(d) for d in old_dims)
+    new_dims = tuple(int(d) for d in new_dims)
+    if len(old_dims) != len(new_dims) or any(
+        n < o for n, o in zip(new_dims, old_dims)
+    ):
+        raise ValueError(
+            f"cannot embed dims {old_dims} into {new_dims}"
+        )
+    table = np.asarray(table, dtype=np.int64)
+    new_weights = mixed_radix_weights(new_dims)
+    old_weights = mixed_radix_weights(old_dims)
+    size = 1
+    for d in new_dims:
+        size *= d
+    index = np.arange(size, dtype=np.int64)
+    digits = [
+        (index // new_weights[k]) % new_dims[k]
+        for k in range(len(new_dims))
+    ]
+    member = np.ones(size, dtype=bool)
+    for k, old in enumerate(old_dims):
+        member &= digits[k] < old
+    sub_index = np.zeros(int(member.sum()), dtype=np.int64)
+    for k in range(len(old_dims)):
+        sub_index += digits[k][member] * old_weights[k]
+    mapped = table[sub_index]
+    image = np.zeros_like(sub_index)
+    for k in range(len(old_dims)):
+        image += ((mapped // old_weights[k]) % old_dims[k]) * new_weights[k]
+    out = index.copy()
+    out[member] = image
+    return out
+
+
 def apply_block(
     tensor: np.ndarray, block: np.ndarray, axes: Sequence[int]
 ) -> np.ndarray:

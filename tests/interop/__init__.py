@@ -1,0 +1,1 @@
+"""Test package (enables package-relative helper imports)."""

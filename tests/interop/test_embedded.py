@@ -1,0 +1,124 @@
+"""EmbeddedGate: block-diagonal lifting as a first-class gate."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import DimensionMismatchError
+from repro.gates import GATE_REGISTRY
+from repro.gates.embedded import EmbeddedGate
+from repro.gates.qubit import CNOT, H, S, SWAP, T, X
+from repro.qudits import Qudit
+
+
+class TestUnitaryStructure:
+    def test_x_into_qutrit_is_block_diagonal(self):
+        lifted = EmbeddedGate(X, (3,))
+        expected = np.eye(3, dtype=complex)
+        expected[:2, :2] = X.unitary()
+        assert np.allclose(lifted.unitary(), expected)
+
+    def test_added_levels_are_fixed(self):
+        lifted = EmbeddedGate(H, (4,))
+        unitary = lifted.unitary()
+        assert np.allclose(unitary[2:, 2:], np.eye(2))
+        assert np.allclose(unitary[2:, :2], 0)
+        assert np.allclose(unitary[:2, 2:], 0)
+
+    def test_two_wire_embedding_acts_on_sub_block(self):
+        lifted = EmbeddedGate(SWAP, (3, 3))
+        unitary = lifted.unitary()
+        # Subspace states: (0,0)->0, (0,1)->1, (1,0)->3, (1,1)->4.
+        embed = [0, 1, 3, 4]
+        assert np.allclose(
+            unitary[np.ix_(embed, embed)], SWAP.unitary()
+        )
+        fixed = [k for k in range(9) if k not in embed]
+        assert np.allclose(
+            unitary[np.ix_(fixed, fixed)], np.eye(len(fixed))
+        )
+
+    def test_embedding_is_unitary(self):
+        lifted = EmbeddedGate(CNOT, (3, 3))
+        unitary = lifted.unitary()
+        assert np.allclose(
+            unitary.conj().T @ unitary, np.eye(9), atol=1e-12
+        )
+
+
+class TestValidation:
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(DimensionMismatchError, match="needs 1 dims"):
+            EmbeddedGate(X, (3, 3))
+
+    def test_shrinking_dims_rejected(self):
+        with pytest.raises(DimensionMismatchError, match="smaller"):
+            EmbeddedGate(SWAP, (2, 1))
+
+    def test_identity_embedding_rejected(self):
+        with pytest.raises(ValueError, match="no-op"):
+            EmbeddedGate(X, (2,))
+
+
+class TestFastPaths:
+    def test_classical_sub_gate_keeps_permutation(self):
+        lifted = EmbeddedGate(X, (3,))
+        assert lifted.permutation() == [1, 0, 2]
+
+    def test_two_wire_permutation_matches_unitary(self):
+        lifted = EmbeddedGate(CNOT, (3, 3))
+        table = lifted.permutation()
+        unitary = lifted.unitary()
+        for source, image in enumerate(table):
+            assert unitary[image, source] == pytest.approx(1.0)
+
+    def test_diagonal_sub_gate_keeps_phases(self):
+        lifted = EmbeddedGate(S, (3,))
+        phases = lifted.diagonal_phases()
+        assert phases is not None
+        assert np.allclose(phases, [1, 1j, 1])
+
+    def test_non_diagonal_sub_gate_has_no_phases(self):
+        assert EmbeddedGate(H, (3,)).diagonal_phases() is None
+
+
+class TestIdentityAndSerialization:
+    def test_spec_round_trips_through_registry(self):
+        lifted = EmbeddedGate(T, (3,))
+        rebuilt = GATE_REGISTRY.build(lifted.spec())
+        assert isinstance(rebuilt, EmbeddedGate)
+        assert rebuilt.dims == (3,)
+        assert np.allclose(rebuilt.unitary(), lifted.unitary())
+
+    def test_circuit_serialization_round_trip(self):
+        wires = [Qudit(0, 3), Qudit(1, 3)]
+        circuit = Circuit(
+            [
+                EmbeddedGate(H, (3,)).on(wires[0]),
+                EmbeddedGate(CNOT, (3, 3)).on(*wires),
+            ]
+        )
+        assert Circuit.from_json(circuit.to_json()) == circuit
+
+    def test_fingerprint_stable_across_round_trip(self):
+        from repro.execution.cache import circuit_fingerprint
+
+        wires = [Qudit(0, 3)]
+        circuit = Circuit([EmbeddedGate(S, (3,)).on(wires[0])])
+        replayed = Circuit.from_json(circuit.to_json())
+        assert circuit_fingerprint(circuit) == circuit_fingerprint(
+            replayed
+        )
+
+    def test_canonical_spec_ignores_display_name(self):
+        a = EmbeddedGate(T, (3,), name="alpha")
+        b = EmbeddedGate(T, (3,), name="beta")
+        assert a.spec() != b.spec()
+        assert a.canonical_spec() == b.canonical_spec()
+
+    def test_inverse_unwraps_to_sub_inverse(self):
+        lifted = EmbeddedGate(S, (3,))
+        inverse = lifted.inverse()
+        assert np.allclose(
+            inverse.unitary() @ lifted.unitary(), np.eye(3), atol=1e-12
+        )

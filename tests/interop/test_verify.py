@@ -1,0 +1,129 @@
+"""Subspace equivalence oracles for lifted circuits."""
+
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import InteropError
+from repro.gates.controlled import ControlledGate
+from repro.gates.embedded import EmbeddedGate
+from repro.gates.qubit import CNOT, H, T, TOFFOLI, X
+from repro.gates.qutrit import X01, X_PLUS_1
+from repro.interop import (
+    assert_subspace_equivalent,
+    lift_circuit,
+    subspace_equivalence_method,
+    subspace_equivalent,
+)
+from repro.qudits import qubits, qutrits
+
+
+def _classical_circuit():
+    a, b, c = qubits(3)
+    return Circuit([X.on(a), CNOT.on(a, b), TOFFOLI.on(a, b, c)])
+
+
+def _dense_circuit():
+    a, b = qubits(2)
+    return Circuit([H.on(a), CNOT.on(a, b), T.on(b)])
+
+
+class TestMethodSelection:
+    def test_classical_pair_uses_classical_oracle(self):
+        circuit = _classical_circuit()
+        assert subspace_equivalence_method(
+            circuit, lift_circuit(circuit)
+        ) == "classical"
+
+    def test_dense_pair_uses_statevector_oracle(self):
+        circuit = _dense_circuit()
+        assert subspace_equivalence_method(
+            circuit, lift_circuit(circuit)
+        ) == "statevector"
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "build", [_classical_circuit, _dense_circuit]
+    )
+    def test_lift_is_subspace_equivalent(self, build):
+        circuit = build()
+        assert subspace_equivalent(circuit, lift_circuit(circuit))
+
+    @pytest.mark.parametrize(
+        "build", [_classical_circuit, _dense_circuit]
+    )
+    def test_tampered_lift_detected(self, build):
+        circuit = build()
+        lifted = lift_circuit(circuit)
+        wire = lifted.all_qudits()[0]
+        tampered = Circuit(
+            list(lifted.all_operations()) + [EmbeddedGate(X, (3,)).on(wire)]
+        )
+        assert not subspace_equivalent(circuit, tampered)
+
+    def test_leaking_lift_detected(self):
+        circuit = _classical_circuit()
+        lifted = lift_circuit(circuit)
+        wire = lifted.all_qudits()[0]
+        leaking = Circuit(
+            list(lifted.all_operations()) + [X_PLUS_1.on(wire)]
+        )
+        assert not subspace_equivalent(circuit, leaking)
+
+    def test_phase_error_detected_by_statevector_oracle(self):
+        circuit = _dense_circuit()
+        lifted = lift_circuit(circuit)
+        wire = lifted.all_qudits()[1]
+        tampered = Circuit(
+            list(lifted.all_operations()) + [EmbeddedGate(T, (3,)).on(wire)]
+        )
+        assert not subspace_equivalent(circuit, tampered)
+
+    def test_equivalent_rewrites_accepted(self):
+        # Lifted CNOT as a ControlledGate vs the same action embedded
+        # whole: different structure, same subspace action.
+        a3, b3 = qutrits(2)
+        a2, b2 = qubits(2)
+        original = Circuit([CNOT.on(a2, b2)])
+        rewritten = Circuit(
+            [ControlledGate(EmbeddedGate(X, (3,)), (3,), (1,)).on(a3, b3)]
+        )
+        assert subspace_equivalent(original, rewritten)
+
+
+class TestAssertHelper:
+    def test_returns_oracle_name(self):
+        circuit = _classical_circuit()
+        assert assert_subspace_equivalent(
+            circuit, lift_circuit(circuit)
+        ) == "classical"
+
+    def test_raises_typed_error_with_context(self):
+        circuit = _dense_circuit()
+        lifted = lift_circuit(circuit)
+        wire = lifted.all_qudits()[0]
+        tampered = Circuit(
+            list(lifted.all_operations()) + [EmbeddedGate(X, (3,)).on(wire)]
+        )
+        with pytest.raises(InteropError, match="bench"):
+            assert_subspace_equivalent(
+                circuit, tampered, context="bench"
+            )
+
+
+class TestWirePairing:
+    def test_wire_count_mismatch_rejected(self):
+        a2, b2 = qubits(2)
+        (a3,) = qutrits(1)
+        with pytest.raises(InteropError):
+            subspace_equivalent(
+                Circuit([CNOT.on(a2, b2)]), Circuit([X01.on(a3)])
+            )
+
+    def test_shrunken_wire_rejected(self):
+        (a3,) = qutrits(1)
+        (a2,) = qubits(1)
+        with pytest.raises(InteropError):
+            subspace_equivalent(
+                Circuit([X01.on(a3)]), Circuit([X.on(a2)])
+            )

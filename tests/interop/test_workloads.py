@@ -1,0 +1,126 @@
+"""The interop benchmark's qubit workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InteropError
+from repro.execution import execute
+from repro.interop.workloads import (
+    WORKLOADS,
+    build_workload,
+    grover_circuit,
+    qft_circuit,
+    random_clifford_t,
+    ripple_carry_adder,
+)
+from repro.sim.state import StateVector
+from repro.sim.statevector import StateVectorSimulator
+
+
+class TestQft:
+    def test_matches_dft_matrix(self):
+        n = 3
+        circuit = qft_circuit(n)
+        wires = circuit.all_qudits()
+        size = 2 ** n
+        simulator = StateVectorSimulator()
+        unitary = np.zeros((size, size), dtype=complex)
+        for column in range(size):
+            bits = [(column >> (n - 1 - i)) & 1 for i in range(n)]
+            state = simulator.run(
+                circuit,
+                StateVector.computational_basis(list(wires), bits),
+                wires=wires,
+            )
+            unitary[:, column] = state.vector
+        omega = np.exp(2j * np.pi / size)
+        dft = np.array(
+            [
+                [omega ** (row * column) for column in range(size)]
+                for row in range(size)
+            ]
+        ) / np.sqrt(size)
+        assert np.allclose(unitary, dft, atol=1e-9)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            qft_circuit(0)
+
+
+class TestAdder:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_adds_mod_2n_with_carry(self, n):
+        circuit = ripple_carry_adder(n)
+        wires = circuit.all_qudits()
+        for a in range(2 ** n):
+            for b in range(2 ** n):
+                values = [0] * (2 * n + 2)
+                for k in range(n):
+                    values[1 + 2 * k] = (b >> k) & 1
+                    values[2 + 2 * k] = (a >> k) & 1
+                out = execute(
+                    circuit,
+                    backend="classical",
+                    wires=wires,
+                    initial=values,
+                ).values
+                total = a + b
+                assert [
+                    out[1 + 2 * k] for k in range(n)
+                ] == [(total >> k) & 1 for k in range(n)]
+                assert out[2 * n + 1] == (total >> n) & 1
+                # a register and carry-in are restored in place.
+                assert [
+                    out[2 + 2 * k] for k in range(n)
+                ] == [(a >> k) & 1 for k in range(n)]
+                assert out[0] == 0
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            ripple_carry_adder(0)
+
+
+class TestRandomCliffordT:
+    def test_seed_determinism(self):
+        assert random_clifford_t(3, depth=15, seed=7) == \
+            random_clifford_t(3, depth=15, seed=7)
+        assert random_clifford_t(3, depth=15, seed=7) != \
+            random_clifford_t(3, depth=15, seed=8)
+
+    def test_gate_set(self):
+        circuit = random_clifford_t(4, depth=30, seed=1)
+        assert circuit.num_operations == 30
+        for op in circuit.all_operations():
+            assert op.gate.name in ("H", "S", "T", "C[1]X")
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            random_clifford_t(1)
+
+
+class TestGrover:
+    def test_two_qubit_search_is_exact(self):
+        circuit = grover_circuit(2)
+        result = execute(circuit, backend="statevector")
+        assert np.isclose(result.probability_of((1, 1)), 1.0, atol=1e-9)
+
+    def test_three_qubit_search_amplifies(self):
+        circuit = grover_circuit(3, iterations=2)
+        result = execute(circuit, backend="statevector")
+        assert result.probability_of((1, 1, 1)) > 0.9
+
+    def test_width_cap(self):
+        with pytest.raises(InteropError, match="grover"):
+            grover_circuit(4)
+
+
+class TestRegistry:
+    def test_build_workload_dispatch(self):
+        assert build_workload("qft", n=3) == qft_circuit(3)
+        assert set(WORKLOADS) == {
+            "qft", "adder", "clifford_t", "grover"
+        }
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(InteropError, match="unknown workload"):
+            build_workload("vqe")

@@ -212,6 +212,14 @@ def _stub_bench_suites(monkeypatch, *, keep=()):
             ("run_serve_bench", lambda smoke, seed: {"smoke": smoke}),
             ("render_serve_report", lambda report: "serve stub"),
         ),
+        "state": (
+            ("run_state_bench", lambda smoke: {"smoke": smoke}),
+            ("render_state_report", lambda report: "state stub"),
+        ),
+        "chaos": (
+            ("run_chaos_bench", lambda smoke, seed: {"smoke": smoke}),
+            ("render_chaos_report", lambda report: "chaos stub"),
+        ),
     }
     for suite, patches in stubs.items():
         if suite in keep:
@@ -223,7 +231,8 @@ def _stub_bench_suites(monkeypatch, *, keep=()):
 #: Silence every per-suite report file the bench command would write.
 _BENCH_NO_FILES = [
     "--out", "-", "--verify-out", "-", "--route-out", "-",
-    "--opt-out", "-", "--serve-out", "-",
+    "--opt-out", "-", "--serve-out", "-", "--state-out", "-",
+    "--chaos-out", "-",
 ]
 
 
